@@ -1,0 +1,56 @@
+// Command coordinator is the control node of the distributed deployment
+// (paper Fig 8): it waits for K workers to register over TCP, distributes
+// the job spec and mesh addresses, triggers the run, validates the output
+// checksums, and prints the aggregated stage table.
+//
+// Usage:
+//
+//	coordinator -listen :7077 -alg codedterasort -k 4 -r 2 -rows 1000000
+//	(then start 4 `worker -coord host:7077` processes)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"codedterasort/internal/cluster"
+	"codedterasort/internal/stats"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:7077", "address to accept worker registrations on")
+	alg := flag.String("alg", "codedterasort", "algorithm: terasort or codedterasort")
+	k := flag.Int("k", 4, "number of workers")
+	r := flag.Int("r", 2, "redundancy parameter (codedterasort)")
+	rows := flag.Int64("rows", 100000, "input size in records")
+	seed := flag.Uint64("seed", 2017, "input generator seed")
+	skewed := flag.Bool("skewed", false, "skewed input keys")
+	tree := flag.Bool("tree", false, "binomial-tree multicast")
+	rate := flag.Float64("rate", 0, "per-node egress cap in Mbps")
+	flag.Parse()
+
+	spec := cluster.Spec{
+		Algorithm: cluster.Algorithm(*alg),
+		K:         *k, R: *r, Rows: *rows, Seed: *seed,
+		Skewed: *skewed, TreeMulticast: *tree, RateMbps: *rate,
+	}
+	if spec.Algorithm == cluster.AlgTeraSort {
+		spec.R = 0
+	}
+	coord, err := cluster.NewCoordinator(*listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "coordinator:", err)
+		os.Exit(1)
+	}
+	defer coord.Close()
+	fmt.Printf("coordinator: listening on %s, waiting for %d workers...\n", coord.Addr(), *k)
+	job, err := coord.RunJob(spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "coordinator:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("job complete: validated=%v, shuffle load %.2f MB, wire %.2f MB\n",
+		job.Validated, float64(job.ShuffleLoadBytes)/1e6, float64(job.WireBytes)/1e6)
+	fmt.Print(stats.RenderTable("", []stats.Row{{Label: string(spec.Algorithm), Times: job.Times}}))
+}

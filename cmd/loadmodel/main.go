@@ -1,0 +1,56 @@
+// Command loadmodel prints the theory the paper builds on: the Fig 2
+// computation/communication tradeoff curve (coded vs uncoded load as a
+// function of the computation load r) and the Section III-B analysis of
+// Table I — the optimal redundancy r* and the theoretical speedup bound.
+//
+// Usage:
+//
+//	loadmodel          # Fig 2 curve for K=10 plus the Table I analysis
+//	loadmodel -k 16
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"codedterasort/internal/model"
+	"codedterasort/internal/simnet"
+	"codedterasort/internal/stats"
+)
+
+func main() {
+	k := flag.Int("k", 10, "number of nodes K for the load curve")
+	flag.Parse()
+
+	fmt.Printf("Fig 2: communication load vs computation load r (K=%d)\n", *k)
+	fmt.Printf("%4s  %12s  %12s  %6s\n", "r", "uncoded L", "coded L", "gain")
+	for _, p := range model.LoadCurve(*k) {
+		gain := 0.0
+		if p.Coded > 0 {
+			gain = p.Uncoded / p.Coded
+		}
+		fmt.Printf("%4.0f  %12.4f  %12.4f  %5.1fx\n", p.R, p.Uncoded, p.Coded, gain)
+	}
+	fmt.Println()
+
+	// Section III-B: plug the measured Table I times into Eq. 4/5.
+	t1 := simnet.PaperRows12GB[0].Times
+	m := model.TimeModel{
+		TMap:     t1[stats.StageMap],
+		TShuffle: t1[stats.StageShuffle],
+		TReduce:  t1[stats.StageReduce],
+	}
+	fmt.Println("Section III-B analysis of Table I (TeraSort, 12 GB, K=16):")
+	fmt.Printf("  baseline total (Eq. 3):     %8.2f s\n", m.Baseline().Seconds())
+	fmt.Printf("  optimal redundancy r*:      %8d   (ceil sqrt(Tshuffle/Tmap) = ceil sqrt(%.2f/%.2f))\n",
+		m.RStar(), m.TShuffle.Seconds(), m.TMap.Seconds())
+	fmt.Printf("  optimal total (Eq. 5):      %8.2f s\n", m.OptimalTotal().Seconds())
+	fmt.Printf("  theoretical speedup bound:  %8.2fx  (the paper's ~10x)\n", m.OptimalSpeedup())
+	fmt.Println()
+	fmt.Println("Eq. 4 totals and speedups at the evaluated redundancies (K=16):")
+	for _, r := range []int{1, 3, 5} {
+		fmt.Printf("  r=%d: T=%8.2f s  speedup %.2fx (finite-K exact: %.2fx)\n",
+			r, m.Total(float64(r)).Seconds(), m.Speedup(float64(r)),
+			m.Baseline().Seconds()/m.TotalExact(16, float64(r)).Seconds())
+	}
+}

@@ -1,0 +1,56 @@
+// Command sweep simulates the Section V-C trend experiments at full 12 GB
+// scale: the impact of the redundancy parameter r at fixed K, and the
+// impact of the worker count K at fixed r, including the optimal-r search
+// where speedup peaks before CodeGen dominates.
+//
+// Usage:
+//
+//	sweep            # r-sweep at K=16 and K-sweep at r=3
+//	sweep -k 20 -r 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"codedterasort/internal/simnet"
+)
+
+func main() {
+	k := flag.Int("k", 16, "worker count for the r-sweep")
+	r := flag.Int("r", 3, "redundancy for the K-sweep")
+	flag.Parse()
+	cm := simnet.Default()
+
+	rs := make([]int, 0, *k-1)
+	for i := 1; i < *k && i <= 10; i++ {
+		rs = append(rs, i)
+	}
+	pts, err := simnet.SweepR(*k, rs, cm)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+	fmt.Print(simnet.RenderSweep(fmt.Sprintf("Impact of r (K=%d, 12 GB, 100 Mbps)", *k), pts))
+	fmt.Println()
+
+	const maxR = 8 // storage-feasibility cap (paper footnote 6)
+	bestR, bestS, err := simnet.OptimalR(*k, maxR, cm)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("Optimal redundancy at K=%d (r <= %d by storage): r=%d (speedup %.2fx)\n\n", *k, maxR, bestR, bestS)
+
+	ks := []int{}
+	for kk := *r + 1; kk <= 28; kk += 4 {
+		ks = append(ks, kk)
+	}
+	ptsK, err := simnet.SweepK(*r, ks, cm)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+	fmt.Print(simnet.RenderSweep(fmt.Sprintf("Impact of K (r=%d, 12 GB, 100 Mbps)", *r), ptsK))
+}

@@ -1,0 +1,73 @@
+// Command tables regenerates the paper's evaluation tables (Tables I, II
+// and III: sorting 12 GB at 100 Mbps with K=16 and K=20 workers) on the
+// virtual-time simulator, prints them in the paper's layout, and with
+// -calibrate reports every simulated cell against the published
+// measurement.
+//
+// Usage:
+//
+//	tables            # all three tables plus the published values
+//	tables -table 2   # Table II only
+//	tables -calibrate # per-cell paper-vs-simulation fit report
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"codedterasort/internal/simnet"
+	"codedterasort/internal/stats"
+)
+
+func main() {
+	table := flag.Int("table", 0, "table to print: 1, 2 or 3 (0 = all)")
+	calibrate := flag.Bool("calibrate", false, "print the per-cell paper-vs-simulation comparison")
+	flag.Parse()
+
+	cm := simnet.Default()
+	if *calibrate {
+		cells, err := simnet.Compare(cm)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tables:", err)
+			os.Exit(1)
+		}
+		fmt.Println("Calibration: simulated vs published cells (Tables I-III)")
+		fmt.Print(simnet.RenderComparison(cells))
+		return
+	}
+
+	specs := map[int]simnet.TableSpec{
+		1: simnet.Table1Spec(),
+		2: simnet.Table2Spec(),
+		3: simnet.Table3Spec(),
+	}
+	order := []int{1, 2, 3}
+	if *table != 0 {
+		if _, ok := specs[*table]; !ok {
+			fmt.Fprintf(os.Stderr, "tables: no table %d\n", *table)
+			os.Exit(1)
+		}
+		order = []int{*table}
+	}
+	for _, id := range order {
+		spec := specs[id]
+		rows, err := simnet.GenerateTable(spec, cm)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tables:", err)
+			os.Exit(1)
+		}
+		fmt.Print(stats.RenderTable(spec.Title+" (simulated)", rows))
+		fmt.Println()
+		// Published values for side-by-side comparison.
+		var paperRows []stats.Row
+		for _, pr := range simnet.PaperTable(spec.K) {
+			if id == 1 && pr.Coded {
+				continue
+			}
+			paperRows = append(paperRows, stats.Row{Label: pr.Label, Times: pr.Times, Speedup: pr.Speedup})
+		}
+		fmt.Print(stats.RenderTable(spec.Title+" (paper)", paperRows))
+		fmt.Println()
+	}
+}

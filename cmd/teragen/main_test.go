@@ -1,0 +1,48 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"codedterasort/internal/kv"
+)
+
+func TestRunWritesExactRecords(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "input.dat")
+	if err := run(1000, 7, false, out, false); err != nil {
+		t.Fatal(err)
+	}
+	buf, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := kv.NewRecords(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := kv.NewGenerator(7, kv.DistUniform).Generate(0, 1000)
+	if !got.Equal(want) {
+		t.Fatalf("file content differs from generator output")
+	}
+}
+
+func TestRunTextMode(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "preview.txt")
+	if err := run(3, 1, true, out, true); err != nil {
+		t.Fatal(err)
+	}
+	buf, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buf) == 0 {
+		t.Fatal("empty text preview")
+	}
+}
+
+func TestRunRejectsNegativeRows(t *testing.T) {
+	if err := run(-1, 1, false, "", false); err == nil {
+		t.Fatal("negative rows accepted")
+	}
+}

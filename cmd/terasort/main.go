@@ -1,0 +1,47 @@
+// Command terasort runs the conventional TeraSort baseline (paper Section
+// III) on an in-process cluster of K workers, optionally traffic-shaped to
+// emulate the paper's 100 Mbps EC2 configuration, and prints the stage
+// breakdown in the layout of the paper's Table I.
+//
+// Usage:
+//
+//	terasort -k 8 -rows 1000000
+//	terasort -k 16 -rows 1200000 -rate 100 -permsg 5ms
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"codedterasort/internal/cluster"
+	"codedterasort/internal/stats"
+)
+
+func main() {
+	k := flag.Int("k", 8, "number of worker nodes")
+	rows := flag.Int64("rows", 100000, "input size in 100-byte records")
+	seed := flag.Uint64("seed", 2017, "input generator seed")
+	skewed := flag.Bool("skewed", false, "skewed input keys")
+	rate := flag.Float64("rate", 0, "per-node egress cap in Mbps (0 = unlimited)")
+	perMsg := flag.Duration("permsg", 0, "fixed per-message overhead")
+	flag.Parse()
+
+	spec := cluster.Spec{
+		Algorithm: cluster.AlgTeraSort,
+		K:         *k, Rows: *rows, Seed: *seed, Skewed: *skewed,
+		RateMbps: *rate, PerMessage: *perMsg,
+	}
+	start := time.Now()
+	job, err := cluster.RunLocal(spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "terasort:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("TeraSort: K=%d, %d records (%.1f MB), validated=%v, wall time %.2fs\n",
+		*k, *rows, float64(*rows)*100/1e6, job.Validated, time.Since(start).Seconds())
+	fmt.Print(stats.RenderTable("", []stats.Row{{Label: "TeraSort", Times: job.Times}}))
+	fmt.Printf("shuffle payload: %.2f MB (load %.3f of input)\n",
+		float64(job.ShuffleLoadBytes)/1e6, float64(job.ShuffleLoadBytes)/(float64(*rows)*100))
+}

@@ -1,0 +1,29 @@
+// Command worker is one compute node of the distributed deployment (paper
+// Fig 8): it registers with the coordinator, joins the TCP worker mesh,
+// executes its share of the assigned sorting job, and reports its stage
+// times and output checksum.
+//
+// Usage:
+//
+//	worker -coord host:7077
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"codedterasort/internal/cluster"
+)
+
+func main() {
+	coord := flag.String("coord", "127.0.0.1:7077", "coordinator address")
+	meshHost := flag.String("mesh-host", "127.0.0.1", "interface to bind the worker mesh listener")
+	flag.Parse()
+
+	if err := cluster.RunWorker(*coord, cluster.WorkerOptions{MeshHost: *meshHost}); err != nil {
+		fmt.Fprintln(os.Stderr, "worker:", err)
+		os.Exit(1)
+	}
+	fmt.Println("worker: job complete, report delivered")
+}

@@ -1,0 +1,104 @@
+// coded_grep demonstrates the paper's "Beyond Sorting Algorithms" future
+// direction (Section VI): the same structured redundancy and coded
+// multicast shuffling applied to Grep, another application the paper names
+// as shuffle-limited. Each worker scans its files for records whose value
+// contains a pattern, and only the (coded) matches are shuffled; reducers
+// output the sorted matches of their key range.
+//
+//	go run ./examples/coded_grep
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"sync"
+
+	"codedterasort/internal/coded"
+	"codedterasort/internal/kv"
+	"codedterasort/internal/terasort"
+	"codedterasort/internal/transport"
+	"codedterasort/internal/transport/memnet"
+)
+
+func main() {
+	const (
+		k    = 6
+		r    = 3
+		rows = 300_000
+		seed = 21
+	)
+	pattern := []byte("QQ") // ~0.13% of uniform 26-letter filler values
+	match := func(rec []byte) bool {
+		return bytes.Contains(rec[kv.KeySize:], pattern)
+	}
+
+	fmt.Printf("Coded Grep: pattern %q over %d records on %d workers (r=%d)\n\n",
+		pattern, rows, k, r)
+
+	run := func(codedRun bool) (int, int64) {
+		mesh := memnet.NewMesh(k)
+		defer mesh.Close()
+		var wg sync.WaitGroup
+		matches := make([]int, k)
+		var loadBytes int64
+		var mu sync.Mutex
+		for rank := 0; rank < k; rank++ {
+			wg.Add(1)
+			go func(rank int) {
+				defer wg.Done()
+				ep := transport.WithCollectives(mesh.Endpoint(rank), transport.BcastSequential)
+				if codedRun {
+					res, err := coded.Run(ep, coded.Config{
+						K: k, R: r, Rows: rows, Seed: seed, Filter: match,
+					}, nil)
+					if err != nil {
+						log.Fatal(err)
+					}
+					mu.Lock()
+					matches[rank] = res.Output.Len()
+					loadBytes += res.MulticastBytes
+					mu.Unlock()
+				} else {
+					res, err := terasort.Run(ep, terasort.Config{
+						K: k, Rows: rows, Seed: seed, Filter: match,
+					}, nil)
+					if err != nil {
+						log.Fatal(err)
+					}
+					mu.Lock()
+					matches[rank] = res.Output.Len()
+					loadBytes += res.ShuffleBytes
+					mu.Unlock()
+				}
+			}(rank)
+		}
+		wg.Wait()
+		total := 0
+		for _, m := range matches {
+			total += m
+		}
+		return total, loadBytes
+	}
+
+	plainMatches, plainLoad := run(false)
+	codedMatches, codedLoad := run(true)
+
+	// Reference scan.
+	data := kv.NewGenerator(seed, kv.DistUniform).Generate(0, rows)
+	want := 0
+	for i := 0; i < data.Len(); i++ {
+		if match(data.Record(i)) {
+			want++
+		}
+	}
+	fmt.Printf("sequential scan:   %6d matches\n", want)
+	fmt.Printf("uncoded grep:      %6d matches, %8.1f KB shuffled\n", plainMatches, float64(plainLoad)/1e3)
+	fmt.Printf("coded grep (r=%d):  %6d matches, %8.1f KB shuffled (%.2fx less)\n",
+		r, codedMatches, float64(codedLoad)/1e3, float64(plainLoad)/float64(codedLoad))
+	if plainMatches != want || codedMatches != want {
+		log.Fatalf("match counts disagree: scan %d, uncoded %d, coded %d", want, plainMatches, codedMatches)
+	}
+	fmt.Println("\nAll three agree; the coded shuffle moved the matches with the same")
+	fmt.Println("multicast coding the sorter uses, at ~1/r of the uncoded load.")
+}

@@ -1,0 +1,51 @@
+// ec2_tables regenerates the paper's full evaluation (Tables I, II, III:
+// 12 GB sorted by K=16 and K=20 EC2 workers at 100 Mbps) on the
+// virtual-time simulator and prints simulated-vs-published values for
+// every cell, ending with the aggregate fit quality.
+//
+//	go run ./examples/ec2_tables
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"codedterasort/internal/simnet"
+	"codedterasort/internal/stats"
+)
+
+func main() {
+	cm := simnet.Default()
+	for _, spec := range []simnet.TableSpec{
+		simnet.Table1Spec(), simnet.Table2Spec(), simnet.Table3Spec(),
+	} {
+		rows, err := simnet.GenerateTable(spec, cm)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(stats.RenderTable(spec.Title+" (simulated)", rows))
+		fmt.Println()
+	}
+
+	cells, err := simnet.Compare(cm)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Per-cell comparison against the published tables:")
+	fmt.Print(simnet.RenderComparison(cells))
+
+	var sum, worst float64
+	var worstCell simnet.CompareCell
+	for _, c := range cells {
+		e := math.Abs(c.Ratio() - 1)
+		sum += e
+		if e > worst {
+			worst, worstCell = e, c
+		}
+	}
+	fmt.Printf("\nMean cell error: %.1f%%; worst cell: %s %s (%.2fx)\n",
+		100*sum/float64(len(cells)), worstCell.Row, worstCell.Stage, worstCell.Ratio())
+	fmt.Println("The reproduction targets shape (who wins, by what factor, how stages")
+	fmt.Println("scale with r and K), not exact EC2 wall-clock values.")
+}

@@ -1,0 +1,57 @@
+// Quickstart: sort one million 100-byte records on an in-process cluster
+// of 8 workers with both algorithms — conventional TeraSort and
+// CodedTeraSort with redundancy r=3 — verify both outputs, and compare
+// their stage breakdowns and communication loads.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"codedterasort/internal/cluster"
+	"codedterasort/internal/stats"
+)
+
+func main() {
+	const (
+		k    = 8
+		r    = 3
+		rows = 1_000_000 // 100 MB
+		seed = 2017
+	)
+	fmt.Printf("Sorting %d records (%.0f MB) on %d in-process workers\n\n", rows, float64(rows)*100/1e6, k)
+
+	tera, err := cluster.RunLocal(cluster.Spec{
+		Algorithm: cluster.AlgTeraSort, K: k, Rows: rows, Seed: seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("TeraSort        done: validated=%v\n", tera.Validated)
+
+	coded, err := cluster.RunLocal(cluster.Spec{
+		Algorithm: cluster.AlgCoded, K: k, R: r, Rows: rows, Seed: seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("CodedTeraSort   done: validated=%v\n\n", coded.Validated)
+
+	fmt.Print(stats.RenderTable("Stage breakdown (wall clock, unshaped network)", []stats.Row{
+		{Label: "TeraSort", Times: tera.Times},
+		{Label: fmt.Sprintf("CodedTeraSort r=%d", r), Times: coded.Times,
+			Speedup: tera.Times.Total().Seconds() / coded.Times.Total().Seconds()},
+	}))
+	fmt.Println()
+
+	gain := float64(tera.ShuffleLoadBytes) / float64(coded.ShuffleLoadBytes)
+	fmt.Printf("Communication load (shuffle payload, multicast counted once):\n")
+	fmt.Printf("  TeraSort:      %8.2f MB\n", float64(tera.ShuffleLoadBytes)/1e6)
+	fmt.Printf("  CodedTeraSort: %8.2f MB  -> %.2fx less data shuffled\n",
+		float64(coded.ShuffleLoadBytes)/1e6, gain)
+	fmt.Printf("\nOn a bandwidth-constrained network (the paper's 100 Mbps EC2 setting)\n")
+	fmt.Printf("that %.1fx load reduction converts into the paper's 1.97x-3.39x\n", gain)
+	fmt.Printf("end-to-end speedup; see examples/ratelimited and cmd/tables.\n")
+}

@@ -1,0 +1,126 @@
+package cluster
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"codedterasort/internal/kv"
+	"codedterasort/internal/verify"
+)
+
+// Coordinator is the Fig 8 control node: it accepts worker registrations,
+// assigns ranks, distributes the job spec and mesh addresses, and collects
+// result reports. It never touches record data — the row-addressable
+// generator replaces its role of copying input files onto worker disks,
+// and workers report partition checksums instead of shipping output back.
+type Coordinator struct {
+	ln net.Listener
+}
+
+// NewCoordinator starts a coordinator listening on addr
+// (e.g. "127.0.0.1:0" for a dynamic port).
+func NewCoordinator(addr string) (*Coordinator, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: coordinator listen: %w", err)
+	}
+	return &Coordinator{ln: ln}, nil
+}
+
+// Addr returns the coordinator's listen address for workers to dial.
+func (c *Coordinator) Addr() string { return c.ln.Addr().String() }
+
+// Close stops accepting workers.
+func (c *Coordinator) Close() error { return c.ln.Close() }
+
+// RunJob blocks until spec.K workers register, runs the job across them,
+// and aggregates their reports. Output integrity is verified by multiset
+// checksum: the sum of per-partition checksums must equal the input's.
+func (c *Coordinator) RunJob(spec Spec) (*JobReport, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	conns := make([]net.Conn, 0, spec.K)
+	defer func() {
+		for _, conn := range conns {
+			conn.Close()
+		}
+	}()
+	addrs := make([]string, 0, spec.K)
+	for len(conns) < spec.K {
+		conn, err := c.ln.Accept()
+		if err != nil {
+			return nil, fmt.Errorf("cluster: accepting worker %d: %w", len(conns), err)
+		}
+		var reg registerMsg
+		if err := readFrame(conn, &reg); err != nil {
+			conn.Close()
+			return nil, fmt.Errorf("cluster: worker %d registration: %w", len(conns), err)
+		}
+		conns = append(conns, conn)
+		addrs = append(addrs, reg.MeshAddr)
+	}
+	// Assign ranks in registration order and release all workers.
+	for rank, conn := range conns {
+		if err := writeFrame(conn, assignMsg{Rank: rank, Addrs: addrs, Spec: spec}); err != nil {
+			return nil, fmt.Errorf("cluster: assigning rank %d: %w", rank, err)
+		}
+	}
+	// Collect reports concurrently; a worker failure fails the job.
+	reports := make([]WorkerReport, spec.K)
+	errs := make([]error, spec.K)
+	var wg sync.WaitGroup
+	for rank, conn := range conns {
+		wg.Add(1)
+		go func(rank int, conn net.Conn) {
+			defer wg.Done()
+			var rep reportMsg
+			if err := readFrame(conn, &rep); err != nil {
+				errs[rank] = err
+				return
+			}
+			if rep.Err != "" {
+				errs[rank] = fmt.Errorf("worker failure: %s", rep.Err)
+				return
+			}
+			if rep.Rank != rank {
+				errs[rank] = fmt.Errorf("report rank %d on connection %d", rep.Rank, rank)
+				return
+			}
+			reports[rank] = WorkerReport{
+				Rank:             rep.Rank,
+				Times:            rep.Times,
+				OutputRows:       rep.OutputRows,
+				OutputChecksum:   rep.OutputChecksum,
+				SentPayloadBytes: rep.SentPayloadBytes,
+				MulticastOps:     rep.MulticastOps,
+				WireBytes:        rep.WireBytes,
+			}
+		}(rank, conn)
+	}
+	wg.Wait()
+	for rank, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("cluster: worker %d: %w", rank, err)
+		}
+	}
+	job, err := assemble(spec, reports, nil)
+	if err != nil {
+		return nil, err
+	}
+	// Multiset integrity: partition checksums must sum to the input's.
+	in := verify.DescribeGenerated(kv.NewGenerator(spec.Seed, spec.Dist()), spec.Rows)
+	var rows int64
+	var sum uint64
+	for _, w := range reports {
+		rows += w.OutputRows
+		sum += w.OutputChecksum
+	}
+	if rows != in.Rows || sum != in.Checksum {
+		return nil, fmt.Errorf("cluster: output mismatch: %d rows (want %d), checksum %#x (want %#x)",
+			rows, in.Rows, sum, in.Checksum)
+	}
+	job.Validated = true
+	return job, nil
+}

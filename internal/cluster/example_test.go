@@ -1,0 +1,34 @@
+package cluster_test
+
+import (
+	"fmt"
+
+	"codedterasort/internal/cluster"
+)
+
+// ExampleRunLocal sorts half a million generated records with
+// CodedTeraSort on four in-process workers and reports the verified
+// communication load.
+func ExampleRunLocal() {
+	job, err := cluster.RunLocal(cluster.Spec{
+		Algorithm: cluster.AlgCoded,
+		K:         4,
+		R:         2,
+		Rows:      500_000,
+		Seed:      2017,
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("validated: %v\n", job.Validated)
+	fmt.Printf("workers: %d\n", len(job.Workers))
+	// Eq. 2: coded load = D*(1-r/K)/r = 50 MB * (1/2) / 2 = 12.5 MB,
+	// plus a little padding and framing.
+	fmt.Printf("shuffle load about 12.5 MB: %v\n",
+		job.ShuffleLoadBytes > 12_400_000 && job.ShuffleLoadBytes < 13_000_000)
+	// Output:
+	// validated: true
+	// workers: 4
+	// shuffle load about 12.5 MB: true
+}

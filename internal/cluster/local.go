@@ -1,0 +1,167 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+
+	"codedterasort/internal/coded"
+	"codedterasort/internal/kv"
+	"codedterasort/internal/partition"
+	"codedterasort/internal/stats"
+	"codedterasort/internal/terasort"
+	"codedterasort/internal/transport"
+	"codedterasort/internal/transport/memnet"
+	"codedterasort/internal/transport/netem"
+	"codedterasort/internal/verify"
+)
+
+// WorkerReport is one worker's result summary.
+type WorkerReport struct {
+	Rank int
+	// Times is the worker's stage breakdown.
+	Times stats.Breakdown
+	// OutputRows and OutputChecksum summarize the sorted partition.
+	OutputRows     int64
+	OutputChecksum uint64
+	// SentPayloadBytes counts shuffle payload this worker pushed:
+	// unicast bytes for TeraSort, multicast packet bytes (counted once
+	// per packet, the paper's load metric) for CodedTeraSort.
+	SentPayloadBytes int64
+	// MulticastOps counts coded packets this worker multicast (0 for
+	// TeraSort).
+	MulticastOps int64
+	// WireBytes counts bytes that actually crossed the transport,
+	// including the per-receiver copies of application-layer multicast
+	// and control traffic (tokens, barriers, handshakes).
+	WireBytes int64
+	// Output is the sorted partition itself when Spec.KeepOutput is set.
+	Output kv.Records
+}
+
+// JobReport aggregates a completed job.
+type JobReport struct {
+	Spec    Spec
+	Workers []WorkerReport
+	// Times is the cluster-level breakdown: per-stage maximum over
+	// workers, matching how the paper reports synchronized stage times.
+	Times stats.Breakdown
+	// ShuffleLoadBytes is the total shuffle payload (multicast counted
+	// once) — the communication load the theory bounds.
+	ShuffleLoadBytes int64
+	// WireBytes is the total transport-level traffic.
+	WireBytes int64
+	// Validated is set when the job's output passed verification against
+	// the input multiset and ordering invariants.
+	Validated bool
+}
+
+// Total returns the cluster-level total execution time.
+func (j JobReport) Total() float64 { return j.Times.Total().Seconds() }
+
+// RunLocal executes the job with all K workers in this process over the
+// in-memory transport, optionally traffic-shaped per the spec. Outputs are
+// verified against the input (order, partition membership, multiset
+// equality) before the report is returned.
+func RunLocal(spec Spec) (*JobReport, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	mesh := memnet.NewMesh(spec.K)
+	defer mesh.Close()
+
+	reports := make([]WorkerReport, spec.K)
+	errs := make([]error, spec.K)
+	outputs := make([]kv.Records, spec.K)
+	var wg sync.WaitGroup
+	for r := 0; r < spec.K; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			var conn transport.Conn = mesh.Endpoint(rank)
+			if spec.RateMbps > 0 || spec.PerMessage > 0 {
+				opts := netem.Options{RateMbps: spec.RateMbps, PerMessage: spec.PerMessage}
+				if spec.StragglerFactor > 1 && rank == spec.StragglerRank {
+					opts.SlowFactor = spec.StragglerFactor
+				}
+				conn = netem.Limit(conn, opts)
+			}
+			meter := transport.NewMeter(conn)
+			ep := transport.WithCollectives(meter, spec.Strategy())
+			rep, out, err := runWorker(ep, spec)
+			if err != nil {
+				errs[rank] = err
+				return
+			}
+			rep.Rank = rank
+			rep.WireBytes = meter.Counters().SentBytes
+			reports[rank] = rep
+			outputs[rank] = out
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("cluster: worker %d: %w", r, err)
+		}
+	}
+	return assemble(spec, reports, outputs)
+}
+
+// runWorker executes the spec's algorithm on one endpoint.
+func runWorker(ep transport.Endpoint, spec Spec) (WorkerReport, kv.Records, error) {
+	var rep WorkerReport
+	var out kv.Records
+	switch spec.Algorithm {
+	case AlgTeraSort:
+		res, err := terasort.Run(ep, terasort.Config{
+			K: spec.K, Rows: spec.Rows, Seed: spec.Seed, Dist: spec.Dist(),
+			Parallel: spec.ParallelShuffle,
+		}, nil)
+		if err != nil {
+			return rep, out, err
+		}
+		rep.Times = res.Times
+		rep.SentPayloadBytes = res.ShuffleBytes
+		out = res.Output
+	case AlgCoded:
+		res, err := coded.Run(ep, coded.Config{
+			K: spec.K, R: spec.R, Rows: spec.Rows, Seed: spec.Seed,
+			Dist: spec.Dist(), Strategy: spec.Strategy(),
+			Parallel: spec.ParallelShuffle,
+		}, nil)
+		if err != nil {
+			return rep, out, err
+		}
+		rep.Times = res.Times
+		rep.SentPayloadBytes = res.MulticastBytes
+		rep.MulticastOps = res.MulticastOps
+		out = res.Output
+	default:
+		return rep, out, fmt.Errorf("cluster: unknown algorithm %q", spec.Algorithm)
+	}
+	rep.OutputRows = int64(out.Len())
+	rep.OutputChecksum = out.Checksum()
+	if spec.KeepOutput {
+		rep.Output = out
+	}
+	return rep, out, nil
+}
+
+// assemble merges worker reports, verifies outputs, and builds the job
+// report.
+func assemble(spec Spec, reports []WorkerReport, outputs []kv.Records) (*JobReport, error) {
+	job := &JobReport{Spec: spec, Workers: reports}
+	for _, w := range reports {
+		job.Times = job.Times.Max(w.Times)
+		job.ShuffleLoadBytes += w.SentPayloadBytes
+		job.WireBytes += w.WireBytes
+	}
+	if outputs != nil {
+		in := verify.DescribeGenerated(kv.NewGenerator(spec.Seed, spec.Dist()), spec.Rows)
+		if err := verify.SortedOutput(outputs, partition.NewUniform(spec.K), in); err != nil {
+			return nil, fmt.Errorf("cluster: output verification failed: %w", err)
+		}
+		job.Validated = true
+	}
+	return job, nil
+}

@@ -1,0 +1,97 @@
+package cluster
+
+import (
+	"testing"
+
+	"codedterasort/internal/stats"
+)
+
+// TestParallelShuffleCorrect covers the paper's "Asynchronous Execution"
+// future direction: lifting the serial Fig 9 schedule must not change any
+// output.
+func TestParallelShuffleCorrect(t *testing.T) {
+	for _, alg := range []Algorithm{AlgTeraSort, AlgCoded} {
+		spec := Spec{Algorithm: alg, K: 5, R: 2, Rows: 5000, Seed: 6, ParallelShuffle: true}
+		if alg == AlgTeraSort {
+			spec.R = 0
+		}
+		job, err := RunLocal(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		if !job.Validated {
+			t.Fatalf("%s: not validated", alg)
+		}
+	}
+}
+
+// TestParallelShuffleMatchesSerialOutputs: schedule changes only timing;
+// per-rank partitions are identical.
+func TestParallelShuffleMatchesSerialOutputs(t *testing.T) {
+	base := Spec{Algorithm: AlgCoded, K: 4, R: 2, Rows: 2000, Seed: 12}
+	serial, err := RunLocal(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par := base
+	par.ParallelShuffle = true
+	parallel, err := RunLocal(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rank := range serial.Workers {
+		if serial.Workers[rank].OutputChecksum != parallel.Workers[rank].OutputChecksum {
+			t.Fatalf("rank %d output differs between schedules", rank)
+		}
+	}
+	if serial.ShuffleLoadBytes != parallel.ShuffleLoadBytes {
+		t.Fatalf("schedules moved different loads: %d vs %d",
+			serial.ShuffleLoadBytes, parallel.ShuffleLoadBytes)
+	}
+}
+
+// TestParallelShuffleFasterUnderShaping: with per-node egress shaping,
+// K concurrent senders finish the same total load roughly K times faster
+// than the one-at-a-time schedule.
+func TestParallelShuffleFasterUnderShaping(t *testing.T) {
+	base := Spec{Algorithm: AlgTeraSort, K: 4, Rows: 80000, Seed: 13, RateMbps: 200}
+	serial, err := RunLocal(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par := base
+	par.ParallelShuffle = true
+	parallel, err := RunLocal(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := serial.Times[stats.StageShuffle].Seconds()
+	p := parallel.Times[stats.StageShuffle].Seconds()
+	if p >= s {
+		t.Fatalf("parallel shuffle (%.3fs) not faster than serial (%.3fs)", p, s)
+	}
+	// Ideal gain is K=4; demand at least 2x to stay robust on a loaded
+	// 2-core test machine.
+	if s/p < 2 {
+		t.Fatalf("parallel gain only %.2fx (serial %.3fs, parallel %.3fs)", s/p, s, p)
+	}
+}
+
+// TestStragglerSlowsJob: a slow node (netem.SlowFactor via PerMessage on a
+// single worker is not spec-exposed; model it with a global PerMessage and
+// check the serial schedule's sensitivity to per-message cost — the
+// straggler discussion of the coded-computing literature the paper cites).
+func TestPerMessageOverheadDominatesSmallMessages(t *testing.T) {
+	fast, err := RunLocal(Spec{Algorithm: AlgTeraSort, K: 4, Rows: 400, Seed: 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := RunLocal(Spec{Algorithm: AlgTeraSort, K: 4, Rows: 400, Seed: 14,
+		PerMessage: 5_000_000}) // 5ms per message
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.Times[stats.StageShuffle] <= fast.Times[stats.StageShuffle] {
+		t.Fatalf("per-message overhead had no effect")
+	}
+}

@@ -1,0 +1,81 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+
+	"codedterasort/internal/stats"
+)
+
+// Control-plane wire protocol between coordinator and workers: 4-byte
+// big-endian length followed by a JSON document. Three message types flow:
+// register (worker -> coordinator), assign (coordinator -> worker) and
+// report (worker -> coordinator).
+
+// maxControlFrame caps control messages; they carry no record data.
+const maxControlFrame = 16 << 20
+
+// registerMsg announces a worker and the address of its mesh listener.
+type registerMsg struct {
+	MeshAddr string `json:"mesh_addr"`
+}
+
+// assignMsg gives a worker its rank, the full mesh address list, and the
+// job spec.
+type assignMsg struct {
+	Rank  int      `json:"rank"`
+	Addrs []string `json:"addrs"`
+	Spec  Spec     `json:"spec"`
+}
+
+// reportMsg returns a worker's results; Err is non-empty on failure.
+type reportMsg struct {
+	Rank             int             `json:"rank"`
+	Err              string          `json:"err,omitempty"`
+	Times            stats.Breakdown `json:"times"`
+	OutputRows       int64           `json:"output_rows"`
+	OutputChecksum   uint64          `json:"output_checksum"`
+	SentPayloadBytes int64           `json:"sent_payload_bytes"`
+	MulticastOps     int64           `json:"multicast_ops"`
+	WireBytes        int64           `json:"wire_bytes"`
+}
+
+// writeFrame sends one length-prefixed JSON message.
+func writeFrame(conn net.Conn, v any) error {
+	p, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("cluster: encode frame: %w", err)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(p)))
+	if _, err := conn.Write(hdr[:]); err != nil {
+		return fmt.Errorf("cluster: write frame header: %w", err)
+	}
+	if _, err := conn.Write(p); err != nil {
+		return fmt.Errorf("cluster: write frame body: %w", err)
+	}
+	return nil
+}
+
+// readFrame receives one length-prefixed JSON message into v.
+func readFrame(conn net.Conn, v any) error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+		return fmt.Errorf("cluster: read frame header: %w", err)
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxControlFrame {
+		return fmt.Errorf("cluster: control frame of %d bytes exceeds limit", n)
+	}
+	p := make([]byte, n)
+	if _, err := io.ReadFull(conn, p); err != nil {
+		return fmt.Errorf("cluster: read frame body: %w", err)
+	}
+	if err := json.Unmarshal(p, v); err != nil {
+		return fmt.Errorf("cluster: decode frame: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,117 @@
+// Package cluster implements the paper's system architecture (Fig 8): a
+// coordinator that distributes the job specification and input placement,
+// and K workers that execute the sorting stages. Two deployments share the
+// same job specification:
+//
+//   - RunLocal: all workers as goroutines over the in-memory transport,
+//     optionally traffic-shaped (the single-machine stand-in for EC2).
+//   - Coordinator/Worker: separate processes; workers register with the
+//     coordinator over TCP, receive rank assignments and the spec, form a
+//     full TCP mesh among themselves, run, and report results back.
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"codedterasort/internal/kv"
+	"codedterasort/internal/transport"
+)
+
+// Algorithm selects which sorting algorithm a job runs.
+type Algorithm string
+
+const (
+	// AlgTeraSort is the conventional baseline (paper Section III).
+	AlgTeraSort Algorithm = "terasort"
+	// AlgCoded is CodedTeraSort (paper Section IV).
+	AlgCoded Algorithm = "codedterasort"
+)
+
+// Spec is the full description of one sorting job, distributed verbatim by
+// the coordinator to every worker.
+type Spec struct {
+	// Algorithm picks TeraSort or CodedTeraSort.
+	Algorithm Algorithm `json:"algorithm"`
+	// K is the number of workers.
+	K int `json:"k"`
+	// R is the redundancy parameter (CodedTeraSort only).
+	R int `json:"r,omitempty"`
+	// Rows is the input size in records.
+	Rows int64 `json:"rows"`
+	// Seed feeds the row-addressable generator — the stand-in for the
+	// coordinator physically copying input files to worker disks.
+	Seed uint64 `json:"seed"`
+	// Skewed selects the skewed input distribution.
+	Skewed bool `json:"skewed,omitempty"`
+	// TreeMulticast selects binomial-tree multicast instead of the
+	// paper's serial per-receiver multicast.
+	TreeMulticast bool `json:"tree_multicast,omitempty"`
+	// RateMbps, when positive, rate-limits every worker's egress — the
+	// paper's 100 Mbps tc configuration.
+	RateMbps float64 `json:"rate_mbps,omitempty"`
+	// PerMessage is a fixed per-message overhead added by the shaper.
+	PerMessage time.Duration `json:"per_message,omitempty"`
+	// ParallelShuffle lifts the paper's serial one-sender-at-a-time
+	// schedule (Fig 9): all nodes shuffle concurrently (the paper's
+	// "Asynchronous Execution" future direction).
+	ParallelShuffle bool `json:"parallel_shuffle,omitempty"`
+	// StragglerFactor, when above 1, multiplies the shaped transmission
+	// delays of worker StragglerRank — the slow-node injection motivated
+	// by the straggler-mitigation line of coded computing the paper cites
+	// ([11]). Effective only together with RateMbps or PerMessage.
+	StragglerFactor float64 `json:"straggler_factor,omitempty"`
+	// StragglerRank selects which worker is slow.
+	StragglerRank int `json:"straggler_rank,omitempty"`
+	// KeepOutput retains each worker's sorted partition in its report
+	// (memory-heavy; tests and examples only).
+	KeepOutput bool `json:"keep_output,omitempty"`
+}
+
+// Validate checks the spec's internal consistency.
+func (s Spec) Validate() error {
+	switch s.Algorithm {
+	case AlgTeraSort, AlgCoded:
+	default:
+		return fmt.Errorf("cluster: unknown algorithm %q", s.Algorithm)
+	}
+	if s.K <= 0 {
+		return fmt.Errorf("cluster: K=%d", s.K)
+	}
+	if s.Algorithm == AlgCoded && (s.R < 1 || s.R > s.K) {
+		return fmt.Errorf("cluster: r=%d outside [1,%d]", s.R, s.K)
+	}
+	if s.Rows < 0 {
+		return fmt.Errorf("cluster: negative rows")
+	}
+	return nil
+}
+
+// Dist returns the input key distribution of the spec.
+func (s Spec) Dist() kv.Distribution {
+	if s.Skewed {
+		return kv.DistSkewed
+	}
+	return kv.DistUniform
+}
+
+// Strategy returns the multicast strategy of the spec.
+func (s Spec) Strategy() transport.BcastStrategy {
+	if s.TreeMulticast {
+		return transport.BcastBinomialTree
+	}
+	return transport.BcastSequential
+}
+
+// Marshal encodes the spec for the wire.
+func (s Spec) Marshal() ([]byte, error) { return json.Marshal(s) }
+
+// UnmarshalSpec decodes a wire spec.
+func UnmarshalSpec(p []byte) (Spec, error) {
+	var s Spec
+	if err := json.Unmarshal(p, &s); err != nil {
+		return Spec{}, fmt.Errorf("cluster: bad spec: %w", err)
+	}
+	return s, nil
+}

@@ -1,0 +1,98 @@
+package cluster
+
+import (
+	"fmt"
+	"net"
+
+	"codedterasort/internal/transport"
+	"codedterasort/internal/transport/netem"
+	"codedterasort/internal/transport/tcpnet"
+)
+
+// WorkerOptions configures RunWorker.
+type WorkerOptions struct {
+	// MeshHost is the interface the worker's mesh listener binds
+	// (default 127.0.0.1). Workers advertise MeshHost:port to peers.
+	MeshHost string
+}
+
+// RunWorker joins one job: it opens a mesh listener, registers with the
+// coordinator at coordAddr, waits for a rank assignment, forms the TCP
+// mesh with its peers, executes the assigned algorithm, and reports the
+// result. It returns once the report is delivered (or on failure, after
+// attempting to report the error so the coordinator can fail fast).
+func RunWorker(coordAddr string, opts WorkerOptions) error {
+	host := opts.MeshHost
+	if host == "" {
+		host = "127.0.0.1"
+	}
+	meshLn, err := net.Listen("tcp", net.JoinHostPort(host, "0"))
+	if err != nil {
+		return fmt.Errorf("cluster: worker mesh listen: %w", err)
+	}
+	// The listener transfers to the mesh endpoint on success; close it on
+	// every earlier exit.
+	meshOwned := true
+	defer func() {
+		if meshOwned {
+			meshLn.Close()
+		}
+	}()
+
+	conn, err := net.Dial("tcp", coordAddr)
+	if err != nil {
+		return fmt.Errorf("cluster: dial coordinator %s: %w", coordAddr, err)
+	}
+	defer conn.Close()
+	if err := writeFrame(conn, registerMsg{MeshAddr: meshLn.Addr().String()}); err != nil {
+		return err
+	}
+	var assign assignMsg
+	if err := readFrame(conn, &assign); err != nil {
+		return err
+	}
+	spec := assign.Spec
+	if err := spec.Validate(); err != nil {
+		return reportFailure(conn, assign.Rank, err)
+	}
+	if assign.Rank < 0 || assign.Rank >= len(assign.Addrs) || len(assign.Addrs) != spec.K {
+		return reportFailure(conn, assign.Rank, fmt.Errorf("cluster: bad assignment rank=%d addrs=%d k=%d",
+			assign.Rank, len(assign.Addrs), spec.K))
+	}
+
+	mesh, err := tcpnet.NewWithListener(assign.Rank, assign.Addrs, meshLn)
+	if err != nil {
+		return reportFailure(conn, assign.Rank, err)
+	}
+	meshOwned = false
+	defer mesh.Close()
+
+	var shaped transport.Conn = mesh
+	if spec.RateMbps > 0 || spec.PerMessage > 0 {
+		shaped = netem.Limit(mesh, netem.Options{RateMbps: spec.RateMbps, PerMessage: spec.PerMessage})
+	}
+	meter := transport.NewMeter(shaped)
+	ep := transport.WithCollectives(meter, spec.Strategy())
+
+	rep, _, err := runWorker(ep, spec)
+	if err != nil {
+		return reportFailure(conn, assign.Rank, err)
+	}
+	rep.Rank = assign.Rank
+	rep.WireBytes = meter.Counters().SentBytes
+	return writeFrame(conn, reportMsg{
+		Rank:             rep.Rank,
+		Times:            rep.Times,
+		OutputRows:       rep.OutputRows,
+		OutputChecksum:   rep.OutputChecksum,
+		SentPayloadBytes: rep.SentPayloadBytes,
+		MulticastOps:     rep.MulticastOps,
+		WireBytes:        rep.WireBytes,
+	})
+}
+
+// reportFailure best-effort reports err to the coordinator and returns err.
+func reportFailure(conn net.Conn, rank int, err error) error {
+	_ = writeFrame(conn, reportMsg{Rank: rank, Err: err.Error()})
+	return err
+}

@@ -1,0 +1,278 @@
+// Package codec implements the serialization and coding layer of
+// CodedTeraSort:
+//
+//   - Pack/Unpack: the Pack and Unpack stages of TeraSort (paper Section
+//     V-A), which serialize an intermediate value into one contiguous
+//     payload so a single TCP flow carries it.
+//   - Segmentation: the even, record-aligned split of an intermediate value
+//     I^t_F into r segments, one per node of F (paper Eq. 7).
+//   - Frames: zero-padded, length-headed byte frames that make XOR of
+//     unequal-length segments reversible ("all segments are zero-padded to
+//     the length of the longest one", Section IV-C footnote).
+//   - EncodePacket / DecodePacket: Algorithm 1 and Algorithm 2 — the coded
+//     multicast packet construction and its cancellation decoding.
+package codec
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"codedterasort/internal/combin"
+	"codedterasort/internal/kv"
+)
+
+// packHeader is the Pack frame header: a 4-byte record count. The byte
+// length of the payload is count*kv.RecordSize, so Unpack can validate
+// truncation and corruption.
+const packHeader = 4
+
+// PackIV serializes an intermediate value into a single contiguous payload
+// (the Pack stage). The layout is [uint32 record count][records...].
+func PackIV(iv kv.Records) []byte {
+	out := make([]byte, packHeader+iv.Size())
+	binary.BigEndian.PutUint32(out, uint32(iv.Len()))
+	copy(out[packHeader:], iv.Bytes())
+	return out
+}
+
+// UnpackIV deserializes a payload produced by PackIV (the Unpack stage).
+func UnpackIV(payload []byte) (kv.Records, error) {
+	if len(payload) < packHeader {
+		return kv.Records{}, fmt.Errorf("codec: packed IV of %d bytes lacks header", len(payload))
+	}
+	n := int(binary.BigEndian.Uint32(payload))
+	if len(payload) != packHeader+n*kv.RecordSize {
+		return kv.Records{}, fmt.Errorf("codec: packed IV declares %d records but carries %d bytes",
+			n, len(payload)-packHeader)
+	}
+	return kv.NewRecords(append([]byte(nil), payload[packHeader:]...))
+}
+
+// PackedSize returns the wire size of an IV with n records once packed.
+func PackedSize(n int) int { return packHeader + n*kv.RecordSize }
+
+// SplitSegments splits an intermediate value into r contiguous,
+// record-aligned segments whose sizes differ by at most one record:
+// segment j holds records [j*n/r, (j+1)*n/r). Every node of a file set F
+// computes the identical split locally, which is what lets the XOR coding
+// cancel (paper Eq. 7: "evenly and arbitrarily split into r segments" —
+// the split must nonetheless be agreed upon, so it is deterministic here).
+//
+// Segment j belongs to the j-th member of F in ascending node order.
+func SplitSegments(iv kv.Records, r int) []kv.Records {
+	if r <= 0 {
+		panic(fmt.Sprintf("codec: SplitSegments r=%d", r))
+	}
+	n := iv.Len()
+	segs := make([]kv.Records, r)
+	for j := 0; j < r; j++ {
+		segs[j] = iv.Slice(j*n/r, (j+1)*n/r)
+	}
+	return segs
+}
+
+// Segment returns only the j-th of the r segments of iv, without
+// materializing the others.
+func Segment(iv kv.Records, r, j int) kv.Records {
+	if r <= 0 || j < 0 || j >= r {
+		panic(fmt.Sprintf("codec: Segment r=%d j=%d", r, j))
+	}
+	n := iv.Len()
+	return iv.Slice(j*n/r, (j+1)*n/r)
+}
+
+// frameHeader is the per-segment length header inside a coded frame.
+// XORing zero-padded segments is only reversible if the receiver can learn
+// the true segment length after cancellation; the paper's implementation
+// carries lengths in its serialization, and this 4-byte header plays that
+// role here.
+const frameHeader = 4
+
+// FrameSize returns the frame width needed to carry a segment of segBytes.
+func FrameSize(segBytes int) int { return frameHeader + segBytes }
+
+// AppendFrame appends the frame encoding of seg ([uint32 len][seg bytes],
+// zero-padded to width) to dst. It panics if width < FrameSize(len(seg)).
+func AppendFrame(dst []byte, seg []byte, width int) []byte {
+	if width < FrameSize(len(seg)) {
+		panic(fmt.Sprintf("codec: frame width %d < %d", width, FrameSize(len(seg))))
+	}
+	start := len(dst)
+	dst = append(dst, make([]byte, width)...)
+	binary.BigEndian.PutUint32(dst[start:], uint32(len(seg)))
+	copy(dst[start+frameHeader:], seg)
+	return dst
+}
+
+// XORInto XORs src into dst element-wise. It panics if lengths differ:
+// frames participating in one packet always share the packet width.
+func XORInto(dst, src []byte) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("codec: XOR length mismatch %d vs %d", len(dst), len(src)))
+	}
+	// 8-byte strides cover the bulk; the compiler vectorizes this loop.
+	n := len(dst)
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		d := binary.LittleEndian.Uint64(dst[i:])
+		s := binary.LittleEndian.Uint64(src[i:])
+		binary.LittleEndian.PutUint64(dst[i:], d^s)
+	}
+	for ; i < n; i++ {
+		dst[i] ^= src[i]
+	}
+}
+
+// xorFrameInto XORs the frame encoding of seg (width len(dst)) into dst
+// without materializing the padded frame.
+func xorFrameInto(dst []byte, seg []byte) {
+	if len(dst) < FrameSize(len(seg)) {
+		panic(fmt.Sprintf("codec: frame width %d < %d", len(dst), FrameSize(len(seg))))
+	}
+	var hdr [frameHeader]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(seg)))
+	for i := 0; i < frameHeader; i++ {
+		dst[i] ^= hdr[i]
+	}
+	XORInto(dst[frameHeader:frameHeader+len(seg)], seg)
+}
+
+// openFrame validates and strips the frame header, returning the segment.
+func openFrame(frame []byte) ([]byte, error) {
+	if len(frame) < frameHeader {
+		return nil, fmt.Errorf("codec: frame of %d bytes lacks header", len(frame))
+	}
+	n := int(binary.BigEndian.Uint32(frame))
+	if n > len(frame)-frameHeader {
+		return nil, fmt.Errorf("codec: frame declares %d bytes but carries %d", n, len(frame)-frameHeader)
+	}
+	if n%kv.RecordSize != 0 {
+		return nil, fmt.Errorf("codec: decoded segment of %d bytes is not record-aligned", n)
+	}
+	// Padding beyond the declared length must have cancelled to zero; a
+	// non-zero byte means the XOR cancellation used wrong side information.
+	for _, b := range frame[frameHeader+n:] {
+		if b != 0 {
+			return nil, fmt.Errorf("codec: non-zero padding after decode; side information mismatch")
+		}
+	}
+	return frame[frameHeader : frameHeader+n], nil
+}
+
+// IVStore provides the locally known intermediate values of one node:
+// IV(q, file) returns I^q_file, the records of file whose keys hash to
+// partition q. Encode reads the IVs a node computed in its Map stage;
+// Decode reads them as cancellation side information.
+type IVStore interface {
+	IV(part int, file combin.Set) kv.Records
+}
+
+// IVMap is a map-backed IVStore for tests and the in-memory engines.
+type IVMap map[IVKey]kv.Records
+
+// IVKey identifies one intermediate value I^Part_File.
+type IVKey struct {
+	Part int
+	File combin.Set
+}
+
+// IV implements IVStore; absent entries are empty record sets.
+func (m IVMap) IV(part int, file combin.Set) kv.Records {
+	return m[IVKey{part, file}]
+}
+
+// Put stores an intermediate value.
+func (m IVMap) Put(part int, file combin.Set, iv kv.Records) {
+	m[IVKey{part, file}] = iv
+}
+
+// EncodePacket builds the coded packet E_{M,k} that node k multicasts to
+// the other members of group M (Algorithm 1):
+//
+//	E_{M,k} = XOR over t in M\{k} of  I^t_{M\{t}, k}
+//
+// where I^t_{M\{t},k} is node k's segment of the intermediate value for
+// partition t computed from file M\{t}. All r participating segments are
+// wrapped in length-headed frames padded to the widest one, so the packet
+// width is FrameSize(max segment bytes).
+//
+// The redundancy parameter r is |M|-1; every file index M\{t} has size r.
+func EncodePacket(store IVStore, m combin.Set, k int) ([]byte, error) {
+	if !m.Contains(k) {
+		return nil, fmt.Errorf("codec: encoder node %d not in group %v", k, m)
+	}
+	r := m.Size() - 1
+	if r < 1 {
+		return nil, fmt.Errorf("codec: group %v too small", m)
+	}
+	// First pass: packet width = widest segment frame.
+	width := frameHeader
+	others := m.Remove(k).Members()
+	for _, t := range others {
+		file := m.Remove(t)
+		seg := Segment(store.IV(t, file), r, file.Index(k))
+		if w := FrameSize(seg.Size()); w > width {
+			width = w
+		}
+	}
+	packet := make([]byte, width)
+	for _, t := range others {
+		file := m.Remove(t)
+		seg := Segment(store.IV(t, file), r, file.Index(k))
+		xorFrameInto(packet, seg.Bytes())
+	}
+	return packet, nil
+}
+
+// DecodePacket recovers node k's segment from the coded packet E_{M,u}
+// received from node u in group M (Algorithm 2):
+//
+//	I^k_{M\{k}, u} = E_{M,u} XOR ( XOR over t in M\{u,k} of I^t_{M\{t}, u} )
+//
+// The cancellation terms are segments of IVs node k computed locally in its
+// Map stage (k is a member of every file M\{t} with t != k).
+func DecodePacket(store IVStore, m combin.Set, k, u int, packet []byte) (kv.Records, error) {
+	if !m.Contains(k) || !m.Contains(u) || k == u {
+		return kv.Records{}, fmt.Errorf("codec: decode with k=%d u=%d not distinct members of %v", k, u, m)
+	}
+	r := m.Size() - 1
+	acc := append([]byte(nil), packet...)
+	for _, t := range m.Minus(combin.NewSet(k, u)).Members() {
+		file := m.Remove(t)
+		seg := Segment(store.IV(t, file), r, file.Index(u))
+		if FrameSize(seg.Size()) > len(acc) {
+			return kv.Records{}, fmt.Errorf("codec: side-information segment (%d bytes) wider than packet (%d)",
+				seg.Size(), len(acc))
+		}
+		xorFrameInto(acc, seg.Bytes())
+	}
+	segBytes, err := openFrame(acc)
+	if err != nil {
+		return kv.Records{}, err
+	}
+	return kv.NewRecords(append([]byte(nil), segBytes...))
+}
+
+// MergeSegments reassembles the intermediate value I^k_{M\{k}} from the r
+// segments node k decoded within group M, given in ascending sender order
+// (the order combin.Set.Members returns for M\{k}). Because SplitSegments
+// is contiguous and ascending, reassembly is concatenation.
+func MergeSegments(segs []kv.Records) kv.Records {
+	return kv.Concat(segs...)
+}
+
+// CodedPacketWidth returns the wire size of the coded packet node k sends
+// in group M given the store, without building it. Used by the cost model
+// and the simulator.
+func CodedPacketWidth(store IVStore, m combin.Set, k int) int {
+	r := m.Size() - 1
+	width := frameHeader
+	for _, t := range m.Remove(k).Members() {
+		file := m.Remove(t)
+		seg := Segment(store.IV(t, file), r, file.Index(k))
+		if w := FrameSize(seg.Size()); w > width {
+			width = w
+		}
+	}
+	return width
+}

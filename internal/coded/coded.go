@@ -1,0 +1,404 @@
+// Package coded implements CodedTeraSort, the paper's primary contribution
+// (Section IV): distributed sorting with structured redundant file
+// placement that enables coded multicast shuffling. The six stages are
+//
+//  1. CodeGen — enumerate the C(K,r) file indices and the C(K,r+1)
+//     multicast groups, and establish per-group communication state (the
+//     MPI_Comm_split equivalent; its cost grows as C(K,r+1), the scaling
+//     bottleneck Section V-C identifies).
+//  2. Map — hash every locally stored file, keeping only the relevant
+//     intermediate values (I^k_S and {I^i_S : i not in S}, Fig 5).
+//  3. Encode — build one coded packet E_{M,k} per group (Algorithm 1).
+//  4. Multicast Shuffling — serial multicast, one sender at a time, each
+//     packet broadcast to the r other members of its group (Fig 9b).
+//  5. Decode — cancel known segments from received packets to recover the
+//     needed intermediate values (Algorithm 2).
+//  6. Reduce — locally sort partition k (same as TeraSort).
+package coded
+
+import (
+	"fmt"
+
+	"codedterasort/internal/codec"
+	"codedterasort/internal/combin"
+	"codedterasort/internal/kv"
+	"codedterasort/internal/partition"
+	"codedterasort/internal/placement"
+	"codedterasort/internal/stats"
+	"codedterasort/internal/transport"
+)
+
+// Tag stage namespaces; disjoint from the terasort package's tags.
+const (
+	tagCodeGen   uint8 = 0x20
+	tagMulticast uint8 = 0x21
+	tagToken     uint8 = 0x22
+	tagBarrier   uint8 = 0x23
+)
+
+// groupTag builds the unique tag of group-scoped traffic: the group's
+// colexicographic rank (up to C(64,k), needs up to 32+ bits) plus the
+// root's rank within the group.
+func groupTag(stage uint8, groupRank int64, root int) transport.Tag {
+	return transport.Tag(uint64(stage)<<56 | uint64(root)<<48 | uint64(groupRank))
+}
+
+// Config describes one CodedTeraSort run. All workers must hold identical
+// configurations.
+type Config struct {
+	// K is the number of worker nodes.
+	K int
+	// R is the redundancy parameter: every input file is mapped on R nodes
+	// (paper Section IV-A). 1 <= R <= K.
+	R int
+	// Rows is the total input size in records.
+	Rows int64
+	// Seed feeds the row-addressable input generator.
+	Seed uint64
+	// Dist selects the input key distribution.
+	Dist kv.Distribution
+	// Part maps keys to the K reducers. Nil selects uniform partitioning.
+	Part partition.Partitioner
+	// Strategy selects the application-layer multicast algorithm
+	// (sequential per Fig 9b, or the binomial tree MPI_Bcast uses).
+	Strategy transport.BcastStrategy
+	// Input, when non-nil, supplies the C(K,R) input files directly
+	// instead of generating them: file i (colex order of its node set) is
+	// Input[i]. All workers must hold the same slice (in-process engines
+	// only). Rows and Seed are ignored for data placement when Input is
+	// set.
+	Input []kv.Records
+	// Parallel lifts the serial sender schedule of Fig 9(b): every node
+	// multicasts its coded packets concurrently — the paper's
+	// "Asynchronous Execution" future direction.
+	Parallel bool
+	// Filter, when non-nil, keeps only records it accepts during the Map
+	// stage — the "Beyond Sorting" hook (paper Section VI): coded Grep
+	// selects in Map and multicasts only coded matches. The function must
+	// be pure and identical on all workers, because every replica of a
+	// file must produce identical intermediate values for the XOR
+	// cancellation to hold.
+	Filter func(record []byte) bool
+}
+
+func (c Config) normalize() (Config, error) {
+	if c.K <= 0 || c.K > combin.MaxNodes {
+		return c, fmt.Errorf("coded: K=%d out of range", c.K)
+	}
+	if c.R < 1 || c.R > c.K {
+		return c, fmt.Errorf("coded: r=%d outside [1,%d]", c.R, c.K)
+	}
+	if c.Rows < 0 {
+		return c, fmt.Errorf("coded: negative row count")
+	}
+	if c.Part == nil {
+		c.Part = partition.NewUniform(c.K)
+	}
+	if c.Part.NumPartitions() != c.K {
+		return c, fmt.Errorf("coded: partitioner has %d partitions for K=%d", c.Part.NumPartitions(), c.K)
+	}
+	if c.Input != nil {
+		if want := combin.Binomial(c.K, c.R); int64(len(c.Input)) != want {
+			return c, fmt.Errorf("coded: %d input files, want C(%d,%d)=%d", len(c.Input), c.K, c.R, want)
+		}
+	}
+	return c, nil
+}
+
+// Result is one worker's output.
+type Result struct {
+	// Output is the node's fully sorted partition.
+	Output kv.Records
+	// Times is the node's stage breakdown (CodeGen, Map, Encode under
+	// Pack, Shuffle, Decode under Unpack, Reduce).
+	Times stats.Breakdown
+	// MulticastBytes counts coded-packet payload bytes this node
+	// multicast, each packet counted once — the paper's communication-load
+	// metric, under which coding wins by a factor r.
+	MulticastBytes int64
+	// MulticastOps counts coded packets this node multicast.
+	MulticastOps int64
+	// Groups is the number of multicast groups this node belongs to,
+	// C(K-1, r).
+	Groups int
+}
+
+// group is the node-local state of one multicast group established during
+// CodeGen.
+type group struct {
+	set     combin.Set
+	members []int
+	rank    int64 // colex rank among all (r+1)-subsets: the tag component
+}
+
+// Run executes the CodedTeraSort worker for ep.Rank() and blocks until this
+// node's part of the job completes. Every rank of the endpoint's world must
+// call Run concurrently with an identical configuration. The timeline may
+// be nil, in which case a wall-clock timeline is used internally.
+func Run(ep transport.Endpoint, cfg Config, tl *stats.Timeline) (Result, error) {
+	cfg, err := cfg.normalize()
+	if err != nil {
+		return Result{}, err
+	}
+	if ep.Size() != cfg.K {
+		return Result{}, fmt.Errorf("coded: endpoint world %d != K %d", ep.Size(), cfg.K)
+	}
+	if tl == nil {
+		tl = stats.NewTimeline(stats.NewWallClock())
+	}
+	w := &worker{ep: ep, cfg: cfg, tl: tl, rank: ep.Rank(), store: codec.IVMap{}}
+	return w.run()
+}
+
+type worker struct {
+	ep   transport.Endpoint
+	cfg  Config
+	tl   *stats.Timeline
+	rank int
+
+	plan     placement.Plan
+	myGroups []group
+	store    codec.IVMap // IVs kept after Map: {I^q_S : rank in S, q == rank or q not in S}
+	packets  [][]byte    // E_{M,rank} per myGroups index
+	// received[gi][u] is the packet E_{M,u} received from root u in group
+	// myGroups[gi].
+	received []map[int][]byte
+	decoded  []kv.Records
+	result   Result
+}
+
+func (w *worker) run() (Result, error) {
+	steps := []struct {
+		stage stats.Stage
+		fn    func() error
+	}{
+		{stats.StageCodeGen, w.codeGenStage},
+		{stats.StageMap, w.mapStage},
+		{stats.StagePack, w.encodeStage},
+		{stats.StageShuffle, w.multicastStage},
+		{stats.StageUnpack, w.decodeStage},
+		{stats.StageReduce, w.reduceStage},
+	}
+	for _, s := range steps {
+		if err := w.tl.Measure(s.stage, s.fn); err != nil {
+			return Result{}, fmt.Errorf("coded: rank %d %v stage: %w", w.rank, s.stage, err)
+		}
+		if err := w.ep.Barrier(transport.MakeTag(tagBarrier, uint16(s.stage), 0xFFFF)); err != nil {
+			return Result{}, fmt.Errorf("coded: rank %d barrier after %v: %w", w.rank, s.stage, err)
+		}
+	}
+	w.result.Times = w.tl.Breakdown()
+	return w.result, nil
+}
+
+// codeGenStage enumerates file indices and multicast groups and performs a
+// lightweight per-group handshake: within every group, each member sends
+// one setup message to its cyclic successor and waits for one from its
+// predecessor. The handshake gives group construction a real per-group
+// communication cost, the role MPI_Comm_split plays in the paper, whose
+// measured CodeGen time scales with the group count C(K, r+1).
+func (w *worker) codeGenStage() error {
+	var err error
+	w.plan, err = placement.Redundant(w.cfg.K, w.cfg.R, w.cfg.Rows)
+	if err != nil {
+		return err
+	}
+	sets := combin.SubsetsContaining(combin.Range(w.cfg.K), w.cfg.R+1, w.rank)
+	w.myGroups = make([]group, len(sets))
+	for i, s := range sets {
+		w.myGroups[i] = group{set: s, members: s.Members(), rank: combin.Rank(s)}
+	}
+	w.result.Groups = len(w.myGroups)
+	// Handshake: send to all successors first (sends are asynchronous),
+	// then collect from predecessors, so the ring cannot deadlock.
+	for _, g := range w.myGroups {
+		succ := g.members[(g.set.Index(w.rank)+1)%len(g.members)]
+		if err := w.ep.Send(succ, groupTag(tagCodeGen, g.rank, 0), nil); err != nil {
+			return err
+		}
+	}
+	for _, g := range w.myGroups {
+		idx := g.set.Index(w.rank)
+		pred := g.members[(idx+len(g.members)-1)%len(g.members)]
+		if _, err := w.ep.Recv(pred, groupTag(tagCodeGen, g.rank, 0)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// mapStage hashes every locally stored file and keeps only the relevant
+// intermediate values (Fig 5).
+func (w *worker) mapStage() error {
+	var source func(int) kv.Records
+	if w.cfg.Input != nil {
+		source = func(i int) kv.Records { return w.cfg.Input[i] }
+	} else {
+		gen := kv.NewGenerator(w.cfg.Seed, w.cfg.Dist)
+		source = func(i int) kv.Records { return w.plan.Materialize(gen, i) }
+	}
+	if keep := w.cfg.Filter; keep != nil {
+		inner := source
+		source = func(i int) kv.Records { return filterRecords(inner(i), keep) }
+	}
+	w.store = mapRelevant(w.plan, w.cfg.Part, w.rank, source)
+	return nil
+}
+
+// filterRecords returns the accepted subset of r.
+func filterRecords(r kv.Records, keep func([]byte) bool) kv.Records {
+	out := kv.MakeRecords(r.Len())
+	for i := 0; i < r.Len(); i++ {
+		if keep(r.Record(i)) {
+			out = out.Append(r.Record(i))
+		}
+	}
+	return out
+}
+
+// MapFiles runs the CodedTeraSort Map stage for one node: it hashes every
+// file stored on rank and returns the relevant intermediate values —
+// I^rank_S (needed by this node's own reducer) and {I^q_S : q not in S}
+// (needed by remote reducers that did not map S). IVs for partitions
+// q in S\{rank} are dropped: those reducers computed them locally during
+// their own Map stage (paper Section IV-B, Fig 5).
+func MapFiles(plan placement.Plan, part partition.Partitioner, gen *kv.Generator, rank int) codec.IVMap {
+	return mapRelevant(plan, part, rank, func(i int) kv.Records {
+		return plan.Materialize(gen, i)
+	})
+}
+
+// MapFilesInput is MapFiles over directly supplied input files, indexed by
+// colex file rank.
+func MapFilesInput(plan placement.Plan, part partition.Partitioner, input []kv.Records, rank int) codec.IVMap {
+	return mapRelevant(plan, part, rank, func(i int) kv.Records { return input[i] })
+}
+
+func mapRelevant(plan placement.Plan, part partition.Partitioner, rank int, file func(int) kv.Records) codec.IVMap {
+	store := codec.IVMap{}
+	for _, fi := range plan.FilesOn(rank) {
+		fileSet := plan.Files[fi]
+		parts := partition.Split(part, file(fi))
+		for q := 0; q < plan.K; q++ {
+			if q == rank || !fileSet.Contains(q) {
+				store.Put(q, fileSet, parts[q])
+			}
+		}
+	}
+	return store
+}
+
+// encodeStage builds this node's coded packet for every group it belongs
+// to (Algorithm 1). Packet construction includes the serialization work the
+// paper assigns to the Encode stage.
+func (w *worker) encodeStage() error {
+	w.packets = make([][]byte, len(w.myGroups))
+	for i, g := range w.myGroups {
+		p, err := codec.EncodePacket(w.store, g.set, w.rank)
+		if err != nil {
+			return fmt.Errorf("group %v: %w", g.set, err)
+		}
+		w.packets[i] = p
+	}
+	return nil
+}
+
+// multicastStage runs the serial multicast schedule of Fig 9(b): one
+// sender at a time (rank order), each broadcasting its coded packets to
+// its groups one after another. Receives run concurrently so the single
+// active sender streams without blocking.
+func (w *worker) multicastStage() error {
+	w.received = make([]map[int][]byte, len(w.myGroups))
+	for i := range w.received {
+		w.received[i] = make(map[int][]byte, w.cfg.R)
+	}
+	// Index of my groups by set for the receive path.
+	groupIdx := make(map[combin.Set]int, len(w.myGroups))
+	for i, g := range w.myGroups {
+		groupIdx[g.set] = i
+	}
+
+	recvErr := make(chan error, 1)
+	go func() {
+		universe := combin.Range(w.cfg.K)
+		for u := 0; u < w.cfg.K; u++ {
+			if u == w.rank {
+				continue
+			}
+			for _, m := range combin.SubsetsContaining(universe, w.cfg.R+1, u) {
+				if !m.Contains(w.rank) {
+					continue
+				}
+				gi := groupIdx[m]
+				g := w.myGroups[gi]
+				p, err := w.ep.Bcast(g.members, u, groupTag(tagMulticast, g.rank, u), nil)
+				if err != nil {
+					recvErr <- fmt.Errorf("bcast recv in %v from %d: %w", m, u, err)
+					return
+				}
+				w.received[gi][u] = p
+			}
+		}
+		recvErr <- nil
+	}()
+
+	send := func() error {
+		for i, g := range w.myGroups {
+			if _, err := w.ep.Bcast(g.members, w.rank, groupTag(tagMulticast, g.rank, w.rank), w.packets[i]); err != nil {
+				return fmt.Errorf("bcast send in %v: %w", g.set, err)
+			}
+			w.result.MulticastBytes += int64(len(w.packets[i]))
+			w.result.MulticastOps++
+		}
+		return nil
+	}
+	var sendErr error
+	if w.cfg.Parallel {
+		sendErr = send()
+	} else {
+		sendErr = transport.SerialOrder(w.ep, transport.MakeTag(tagToken, 0, 0), send)
+	}
+	if sendErr != nil {
+		return sendErr
+	}
+	return <-recvErr
+}
+
+// decodeStage recovers, for every group M containing this node, the
+// intermediate value I^rank_{M\{rank}} from the r received coded packets
+// (Algorithm 2), then merges the segments in ascending sender order.
+func (w *worker) decodeStage() error {
+	w.decoded = make([]kv.Records, 0, len(w.myGroups))
+	for gi, g := range w.myGroups {
+		file := g.set.Remove(w.rank)
+		segs := make([]kv.Records, 0, w.cfg.R)
+		for _, u := range file.Members() {
+			p, ok := w.received[gi][u]
+			if !ok {
+				return fmt.Errorf("missing packet from %d in group %v", u, g.set)
+			}
+			seg, err := codec.DecodePacket(w.store, g.set, w.rank, u, p)
+			if err != nil {
+				return fmt.Errorf("decode in %v from %d: %w", g.set, u, err)
+			}
+			segs = append(segs, seg)
+		}
+		w.decoded = append(w.decoded, codec.MergeSegments(segs))
+	}
+	return nil
+}
+
+// reduceStage concatenates the locally mapped share of partition `rank`
+// ({I^rank_S : rank in S}) with the decoded remote share
+// ({I^rank_S : rank not in S}) and sorts (Section IV-F).
+func (w *worker) reduceStage() error {
+	parts := make([]kv.Records, 0, len(w.decoded)+w.plan.NumFiles())
+	for _, fi := range w.plan.FilesOn(w.rank) {
+		parts = append(parts, w.store.IV(w.rank, w.plan.Files[fi]))
+	}
+	parts = append(parts, w.decoded...)
+	out := kv.Concat(parts...)
+	out.Sort()
+	w.result.Output = out
+	return nil
+}

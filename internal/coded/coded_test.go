@@ -1,0 +1,359 @@
+package coded
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"codedterasort/internal/codec"
+	"codedterasort/internal/combin"
+	"codedterasort/internal/kv"
+	"codedterasort/internal/partition"
+	"codedterasort/internal/placement"
+	"codedterasort/internal/stats"
+	"codedterasort/internal/terasort"
+	"codedterasort/internal/transport"
+	"codedterasort/internal/transport/memnet"
+	"codedterasort/internal/transport/netem"
+	"codedterasort/internal/verify"
+)
+
+// runAll executes a full CodedTeraSort over an in-memory mesh.
+func runAll(t *testing.T, cfg Config) []Result {
+	t.Helper()
+	mesh := memnet.NewMesh(cfg.K)
+	defer mesh.Close()
+	results := make([]Result, cfg.K)
+	errs := make([]error, cfg.K)
+	var wg sync.WaitGroup
+	for r := 0; r < cfg.K; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			ep := transport.WithCollectives(mesh.Endpoint(rank), cfg.Strategy)
+			results[rank], errs[rank] = Run(ep, cfg, nil)
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+	return results
+}
+
+func outputs(results []Result) []kv.Records {
+	out := make([]kv.Records, len(results))
+	for i, r := range results {
+		out[i] = r.Output
+	}
+	return out
+}
+
+func TestEndToEndSortsCorrectly(t *testing.T) {
+	cfg := Config{K: 4, R: 2, Rows: 4200, Seed: 1}
+	results := runAll(t, cfg)
+	in := verify.DescribeGenerated(kv.NewGenerator(1, kv.DistUniform), cfg.Rows)
+	if err := verify.SortedOutput(outputs(results), partition.NewUniform(4), in); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatchesSequentialSort(t *testing.T) {
+	cfg := Config{K: 4, R: 2, Rows: 1200, Seed: 7}
+	results := runAll(t, cfg)
+	all := kv.Concat(outputs(results)...)
+	want := kv.NewGenerator(7, kv.DistUniform).Generate(0, cfg.Rows)
+	want.Sort()
+	if !all.Equal(want) {
+		t.Fatalf("coded output != sequential sort")
+	}
+}
+
+func TestMatchesTeraSortOutput(t *testing.T) {
+	// CodedTeraSort and TeraSort must produce identical per-partition
+	// outputs for the same input and partitioner.
+	const k, rows, seed = 5, 2500, 42
+	codedRes := runAll(t, Config{K: k, R: 3, Rows: rows, Seed: seed})
+
+	mesh := memnet.NewMesh(k)
+	defer mesh.Close()
+	teraRes := make([]terasort.Result, k)
+	var wg sync.WaitGroup
+	for r := 0; r < k; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			ep := transport.WithCollectives(mesh.Endpoint(rank), transport.BcastSequential)
+			res, err := terasort.Run(ep, terasort.Config{K: k, Rows: rows, Seed: seed}, nil)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			teraRes[rank] = res
+		}(r)
+	}
+	wg.Wait()
+	for rank := 0; rank < k; rank++ {
+		if !codedRes[rank].Output.Equal(teraRes[rank].Output) {
+			t.Fatalf("partition %d differs between algorithms", rank)
+		}
+	}
+}
+
+func TestAllRedundancyLevels(t *testing.T) {
+	// r = 1 (no coding benefit, unicast-equivalent) through r = K
+	// (everything local, nothing shuffled).
+	const k, rows = 5, 1500
+	for r := 1; r <= k; r++ {
+		cfg := Config{K: k, R: r, Rows: rows, Seed: uint64(r)}
+		results := runAll(t, cfg)
+		in := verify.DescribeGenerated(kv.NewGenerator(uint64(r), kv.DistUniform), rows)
+		if err := verify.SortedOutput(outputs(results), partition.NewUniform(k), in); err != nil {
+			t.Fatalf("r=%d: %v", r, err)
+		}
+		if r == k {
+			for _, res := range results {
+				if res.MulticastOps != 0 {
+					t.Fatalf("r=K should multicast nothing, got %d ops", res.MulticastOps)
+				}
+			}
+		}
+	}
+}
+
+func TestBothMulticastStrategies(t *testing.T) {
+	for _, s := range []transport.BcastStrategy{transport.BcastSequential, transport.BcastBinomialTree} {
+		cfg := Config{K: 6, R: 3, Rows: 3000, Seed: 99, Strategy: s}
+		results := runAll(t, cfg)
+		in := verify.DescribeGenerated(kv.NewGenerator(99, kv.DistUniform), cfg.Rows)
+		if err := verify.SortedOutput(outputs(results), partition.NewUniform(6), in); err != nil {
+			t.Fatalf("strategy %v: %v", s, err)
+		}
+	}
+}
+
+func TestEmptyAndTinyInputs(t *testing.T) {
+	for _, rows := range []int64{0, 1, 5} {
+		cfg := Config{K: 4, R: 2, Rows: rows, Seed: 3}
+		results := runAll(t, cfg)
+		in := verify.DescribeGenerated(kv.NewGenerator(3, kv.DistUniform), rows)
+		if err := verify.SortedOutput(outputs(results), partition.NewUniform(4), in); err != nil {
+			t.Fatalf("rows=%d: %v", rows, err)
+		}
+	}
+}
+
+func TestSkewedInputWithSampledPartitioner(t *testing.T) {
+	const k, r, rows = 4, 2, 4000
+	sample := kv.NewGenerator(9, kv.DistSkewed).Generate(0, 400)
+	part, err := partition.FromSample(sample, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{K: k, R: r, Rows: rows, Seed: 9, Dist: kv.DistSkewed, Part: part}
+	results := runAll(t, cfg)
+	in := verify.DescribeGenerated(kv.NewGenerator(9, kv.DistSkewed), rows)
+	if err := verify.SortedOutput(outputs(results), part, in); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGroupCount(t *testing.T) {
+	// Each node belongs to C(K-1, r) multicast groups.
+	cfg := Config{K: 6, R: 2, Rows: 600, Seed: 1}
+	results := runAll(t, cfg)
+	want := int(combin.Binomial(5, 2))
+	for rank, res := range results {
+		if res.Groups != want {
+			t.Fatalf("rank %d in %d groups, want %d", rank, res.Groups, want)
+		}
+		if res.MulticastOps != int64(want) {
+			t.Fatalf("rank %d multicast %d packets, want %d", rank, res.MulticastOps, want)
+		}
+	}
+}
+
+func TestMulticastLoadBeatsUncodedByR(t *testing.T) {
+	// The headline result: total multicast payload (counted once per
+	// packet) is ~1/r of what TeraSort-style unicast would move for the
+	// same placement-adjusted demand: D*(1-r/K)/r vs D*(K-1)/K.
+	const k, rows, seed = 6, 12000, 5
+	dataBytes := int64(rows * kv.RecordSize)
+	teraBytes := dataBytes * int64(k-1) / int64(k)
+	for r := 2; r <= 4; r++ {
+		results := runAll(t, Config{K: k, R: r, Rows: rows, Seed: seed})
+		var coded int64
+		for _, res := range results {
+			coded += res.MulticastBytes
+		}
+		wantLoad := float64(dataBytes) * (1 - float64(r)/float64(k)) / float64(r)
+		if f := float64(coded); f < wantLoad*0.95 || f > wantLoad*1.15 {
+			t.Fatalf("r=%d: multicast bytes %d, theory %.0f", r, coded, wantLoad)
+		}
+		gain := float64(teraBytes) / float64(coded)
+		// Effective gain over TeraSort: r * ((K-1)/K) / (1-r/K); padding
+		// and headers erode it slightly.
+		wantGain := float64(r) * (float64(k-1) / float64(k)) / (1 - float64(r)/float64(k))
+		if gain < wantGain*0.85 || gain > wantGain*1.1 {
+			t.Fatalf("r=%d: load gain %.2f, want about %.2f", r, gain, wantGain)
+		}
+	}
+}
+
+func TestFig5RelevantIVFiltering(t *testing.T) {
+	// Paper Fig 5 (K=4, r=2), node 0 (paper's Node 1) maps file {0,1}:
+	// it keeps I^0, I^2, I^3 of that file and drops I^1, which node 1
+	// computes locally.
+	plan, err := placement.Redundant(4, 2, 1200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := kv.NewGenerator(4, kv.DistUniform)
+	store := MapFiles(plan, partition.NewUniform(4), gen, 0)
+	file := combin.NewSet(0, 1)
+	if store.IV(0, file).Len() == 0 && store.IV(2, file).Len() == 0 && store.IV(3, file).Len() == 0 {
+		t.Fatalf("expected kept IVs for file %v", file)
+	}
+	if _, dropped := store[codec.IVKey{Part: 1, File: file}]; dropped {
+		t.Fatalf("I^1_{0,1} should be dropped at node 0")
+	}
+	// Node 0 stores files {0,1},{0,2},{0,3} only.
+	for key := range store {
+		if !key.File.Contains(0) {
+			t.Fatalf("node 0 holds IV of foreign file %v", key.File)
+		}
+	}
+}
+
+func TestMapKeepsCompleteCoverage(t *testing.T) {
+	// Union over nodes of kept IVs must cover every (partition, file) pair
+	// needed in Reduce: for each file S and partition q, either q's node
+	// is in S (q's own Map kept it) or every node of S kept it for coding.
+	const k, r = 5, 2
+	plan, err := placement.Redundant(k, r, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part := partition.NewUniform(k)
+	stores := make([]codec.IVMap, k)
+	for rank := 0; rank < k; rank++ {
+		stores[rank] = MapFiles(plan, part, kv.NewGenerator(11, kv.DistUniform), rank)
+	}
+	for _, fileSet := range plan.Files {
+		for q := 0; q < k; q++ {
+			holders := 0
+			for _, rank := range fileSet.Members() {
+				if _, ok := stores[rank][codec.IVKey{Part: q, File: fileSet}]; ok {
+					holders++
+				}
+			}
+			if fileSet.Contains(q) {
+				// q's reducer keeps its own copy; others in S drop it.
+				if holders != 1 {
+					t.Fatalf("I^%d_%v held by %d nodes, want 1", q, fileSet, holders)
+				}
+			} else if holders != r {
+				t.Fatalf("I^%d_%v held by %d nodes, want %d", q, fileSet, holders, r)
+			}
+		}
+	}
+}
+
+func TestStageTimesPopulated(t *testing.T) {
+	cfg := Config{K: 4, R: 2, Rows: 2000, Seed: 2}
+	results := runAll(t, cfg)
+	for rank, res := range results {
+		if res.Times[stats.StageCodeGen] <= 0 {
+			t.Fatalf("rank %d CodeGen time missing", rank)
+		}
+		if res.Times[stats.StageReduce] <= 0 {
+			t.Fatalf("rank %d Reduce time missing", rank)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	mesh := memnet.NewMesh(2)
+	defer mesh.Close()
+	ep := transport.WithCollectives(mesh.Endpoint(0), transport.BcastSequential)
+	bad := []Config{
+		{K: 0, R: 1},
+		{K: 2, R: 0},
+		{K: 2, R: 3},
+		{K: 2, R: 1, Rows: -1},
+		{K: 3, R: 1, Rows: 10}, // world-size mismatch
+		{K: 2, R: 1, Part: partition.NewUniform(7)},
+	}
+	for i, cfg := range bad {
+		if _, err := Run(ep, cfg, nil); err == nil {
+			t.Fatalf("case %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestTransportFailureSurfaces(t *testing.T) {
+	const k = 4
+	mesh := memnet.NewMesh(k)
+	defer mesh.Close()
+	cfg := Config{K: k, R: 2, Rows: 400, Seed: 3}
+	rank0Err := make(chan error, 1)
+	var wg sync.WaitGroup
+	go func() {
+		conn := netem.Fail(mesh.Endpoint(0), 2, transport.ErrClosed)
+		ep := transport.WithCollectives(conn, transport.BcastSequential)
+		_, err := Run(ep, cfg, nil)
+		rank0Err <- err
+	}()
+	for r := 1; r < k; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			ep := transport.WithCollectives(mesh.Endpoint(rank), transport.BcastSequential)
+			_, _ = Run(ep, cfg, nil)
+		}(r)
+	}
+	err0 := <-rank0Err
+	mesh.Close()
+	wg.Wait()
+	if err0 == nil {
+		t.Fatalf("rank 0 should have failed")
+	}
+	if !strings.Contains(err0.Error(), "rank 0") {
+		t.Fatalf("error lacks context: %v", err0)
+	}
+}
+
+func TestLargerClusterSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	// K=8, r=3: 56 files, 70 groups — a mid-scale structural exercise.
+	cfg := Config{K: 8, R: 3, Rows: 8000, Seed: 17}
+	results := runAll(t, cfg)
+	in := verify.DescribeGenerated(kv.NewGenerator(17, kv.DistUniform), cfg.Rows)
+	if err := verify.SortedOutput(outputs(results), partition.NewUniform(8), in); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkCodedTeraSortK4R2(b *testing.B) {
+	cfg := Config{K: 4, R: 2, Rows: 20000, Seed: 1}
+	for i := 0; i < b.N; i++ {
+		mesh := memnet.NewMesh(cfg.K)
+		var wg sync.WaitGroup
+		for r := 0; r < cfg.K; r++ {
+			wg.Add(1)
+			go func(rank int) {
+				defer wg.Done()
+				ep := transport.WithCollectives(mesh.Endpoint(rank), cfg.Strategy)
+				if _, err := Run(ep, cfg, nil); err != nil {
+					b.Error(err)
+				}
+			}(r)
+		}
+		wg.Wait()
+		mesh.Close()
+	}
+}

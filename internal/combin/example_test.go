@@ -1,0 +1,44 @@
+package combin_test
+
+import (
+	"fmt"
+
+	"codedterasort/internal/combin"
+)
+
+// ExampleSubsets enumerates the file index sets of the paper's Fig 4
+// placement (K=4, r=2): every 2-subset of the nodes indexes one file.
+func ExampleSubsets() {
+	for _, s := range combin.Subsets(combin.Range(4), 2) {
+		fmt.Println(s)
+	}
+	// Output:
+	// {0,1}
+	// {0,2}
+	// {1,2}
+	// {0,3}
+	// {1,3}
+	// {2,3}
+}
+
+// ExampleBinomial shows the multicast-group counts behind the paper's
+// CodeGen measurements.
+func ExampleBinomial() {
+	fmt.Println(combin.Binomial(16, 4)) // K=16, r=3
+	fmt.Println(combin.Binomial(20, 6)) // K=20, r=5
+	// Output:
+	// 1820
+	// 38760
+}
+
+// ExampleSubsetsContaining lists the multicast groups node 0 joins at
+// K=4, r=2 (groups are the (r+1)-subsets containing the node).
+func ExampleSubsetsContaining() {
+	for _, g := range combin.SubsetsContaining(combin.Range(4), 3, 0) {
+		fmt.Println(g)
+	}
+	// Output:
+	// {0,1,2}
+	// {0,1,3}
+	// {0,2,3}
+}

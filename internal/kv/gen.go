@@ -1,0 +1,117 @@
+package kv
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Generator produces TeraGen-format records deterministically. Like Hadoop's
+// TeraGen, generation is addressable by row number: record i is a pure
+// function of (seed, i), so the coordinator can hand out disjoint row ranges
+// to K workers (or replicate the same range to r nodes for the coded
+// placement) and every party materializes identical bytes without any data
+// movement.
+//
+// Distribution of keys:
+//
+//   - DistUniform: keys are 10 i.i.d. uniform bytes, the TeraGen default the
+//     paper sorts. The key prefix is uniform on [0, 2^64), so the uniform
+//     range partitioner is balanced.
+//   - DistSkewed: the first key byte is drawn from a geometric-ish
+//     distribution, concentrating mass on low byte values. Used by the
+//     extension experiments to stress the sampling partitioner.
+type Generator struct {
+	seed uint64
+	dist Distribution
+}
+
+// Distribution selects the key distribution of a Generator.
+type Distribution int
+
+const (
+	// DistUniform matches TeraGen: uniform random keys.
+	DistUniform Distribution = iota
+	// DistSkewed concentrates keys at the low end of the key space.
+	DistSkewed
+)
+
+// String returns the distribution name.
+func (d Distribution) String() string {
+	switch d {
+	case DistUniform:
+		return "uniform"
+	case DistSkewed:
+		return "skewed"
+	default:
+		return fmt.Sprintf("Distribution(%d)", int(d))
+	}
+}
+
+// NewGenerator returns a generator for the given seed and key distribution.
+func NewGenerator(seed uint64, dist Distribution) *Generator {
+	return &Generator{seed: seed, dist: dist}
+}
+
+// Record writes record number row into dst, which must be RecordSize bytes.
+func (g *Generator) Record(dst []byte, row int64) {
+	if len(dst) != RecordSize {
+		panic(fmt.Sprintf("kv: Generator.Record dst of %d bytes", len(dst)))
+	}
+	// Two independent splitmix streams per row: one for the key material,
+	// one for the value filler.
+	s := mix64(g.seed ^ mix64(uint64(row)+0x9e3779b97f4a7c15))
+	var keyMat [16]byte
+	binary.BigEndian.PutUint64(keyMat[0:8], mix64(s+1))
+	binary.BigEndian.PutUint64(keyMat[8:16], mix64(s+2))
+	copy(dst[:KeySize], keyMat[:KeySize])
+	if g.dist == DistSkewed {
+		// Skew: fold the first byte towards zero. b -> b*b/255 keeps the
+		// full range but quadratically favors small values.
+		b := int(dst[0])
+		dst[0] = byte(b * b / 255)
+	}
+	// Value: row id in the first 8 bytes (mirrors TeraGen embedding the row
+	// number) then deterministic printable filler.
+	binary.BigEndian.PutUint64(dst[KeySize:KeySize+8], uint64(row))
+	v := mix64(s + 3)
+	for i := KeySize + 8; i < RecordSize; i++ {
+		v = v*6364136223846793005 + 1442695040888963407
+		dst[i] = 'A' + byte((v>>57)%26)
+	}
+}
+
+// Generate materializes rows [first, first+count) as a fresh buffer.
+func (g *Generator) Generate(first, count int64) Records {
+	buf := make([]byte, count*RecordSize)
+	for i := int64(0); i < count; i++ {
+		g.Record(buf[i*RecordSize:(i+1)*RecordSize], first+i)
+	}
+	return Records{buf: buf}
+}
+
+// GenerateInto appends rows [first, first+count) to dst and returns it.
+func (g *Generator) GenerateInto(dst Records, first, count int64) Records {
+	start := len(dst.buf)
+	dst.buf = append(dst.buf, make([]byte, count*RecordSize)...)
+	for i := int64(0); i < count; i++ {
+		off := start + int(i)*RecordSize
+		g.Record(dst.buf[off:off+RecordSize], first+i)
+	}
+	return dst
+}
+
+// SplitRows partitions total rows into n contiguous ranges that differ in
+// size by at most one record, returning the first row of each range plus a
+// final sentinel equal to total. Range i is [bounds[i], bounds[i+1]).
+// This is the File Placement split of both algorithms (Section III-A1 and
+// IV-A): TeraSort uses n = K, CodedTeraSort uses n = C(K, r).
+func SplitRows(total int64, n int) []int64 {
+	if n <= 0 {
+		panic("kv: SplitRows with non-positive n")
+	}
+	bounds := make([]int64, n+1)
+	for i := 0; i <= n; i++ {
+		bounds[i] = total * int64(i) / int64(n)
+	}
+	return bounds
+}

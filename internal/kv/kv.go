@@ -1,0 +1,239 @@
+// Package kv implements the TeraSort data substrate: fixed-width key-value
+// records in the Hadoop TeraGen format the paper sorts (a 10-byte unsigned
+// integer key followed by a 90-byte arbitrary value, Section V-A), flat
+// record buffers, in-place sorting, and the generator that replaces TeraGen.
+//
+// Records are stored back to back in a single []byte so that a file, an
+// intermediate value, a packed shuffle payload and a coded-packet segment
+// are all the same representation; Map, Pack, Encode and Reduce never copy
+// per-record headers around.
+package kv
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+const (
+	// KeySize is the width of a record key in bytes (paper: 10-byte key).
+	KeySize = 10
+	// ValueSize is the width of a record value in bytes (paper: 90-byte value).
+	ValueSize = 90
+	// RecordSize is the total width of one record.
+	RecordSize = KeySize + ValueSize
+)
+
+// Records is a flat buffer of fixed-width records. The byte length is always
+// a multiple of RecordSize. The zero value is an empty, ready-to-use buffer.
+type Records struct {
+	buf []byte
+}
+
+// NewRecords wraps buf as a record buffer. It returns an error if the
+// length is not a multiple of RecordSize. The buffer is aliased, not copied.
+func NewRecords(buf []byte) (Records, error) {
+	if len(buf)%RecordSize != 0 {
+		return Records{}, fmt.Errorf("kv: buffer length %d is not a multiple of %d", len(buf), RecordSize)
+	}
+	return Records{buf: buf}, nil
+}
+
+// MakeRecords allocates an empty buffer with capacity for n records.
+func MakeRecords(n int) Records {
+	return Records{buf: make([]byte, 0, n*RecordSize)}
+}
+
+// Len returns the number of records.
+func (r Records) Len() int { return len(r.buf) / RecordSize }
+
+// Bytes returns the underlying buffer. Callers must not change its length.
+func (r Records) Bytes() []byte { return r.buf }
+
+// Size returns the buffer length in bytes.
+func (r Records) Size() int { return len(r.buf) }
+
+// Record returns the i-th full record as a sub-slice (aliased, not copied).
+func (r Records) Record(i int) []byte {
+	return r.buf[i*RecordSize : (i+1)*RecordSize]
+}
+
+// Key returns the key of the i-th record as a sub-slice.
+func (r Records) Key(i int) []byte {
+	return r.buf[i*RecordSize : i*RecordSize+KeySize]
+}
+
+// Value returns the value of the i-th record as a sub-slice.
+func (r Records) Value(i int) []byte {
+	return r.buf[i*RecordSize+KeySize : (i+1)*RecordSize]
+}
+
+// KeyPrefix64 returns the first 8 key bytes of record i as a big-endian
+// uint64. Because keys compare lexicographically and are uniform in the
+// TeraGen distribution, this prefix is what range partitioners bucket on.
+func (r Records) KeyPrefix64(i int) uint64 {
+	return binary.BigEndian.Uint64(r.buf[i*RecordSize:])
+}
+
+// Append appends a copy of the record rec (which must be RecordSize bytes)
+// and returns the extended buffer.
+func (r Records) Append(rec []byte) Records {
+	if len(rec) != RecordSize {
+		panic(fmt.Sprintf("kv: Append record of %d bytes", len(rec)))
+	}
+	return Records{buf: append(r.buf, rec...)}
+}
+
+// AppendRecords appends a copy of all records in other.
+func (r Records) AppendRecords(other Records) Records {
+	return Records{buf: append(r.buf, other.buf...)}
+}
+
+// Slice returns the record range [i, j) as an aliased sub-buffer.
+func (r Records) Slice(i, j int) Records {
+	return Records{buf: r.buf[i*RecordSize : j*RecordSize]}
+}
+
+// Clone returns a deep copy.
+func (r Records) Clone() Records {
+	return Records{buf: append([]byte(nil), r.buf...)}
+}
+
+// Less reports whether record i's key sorts strictly before record j's.
+func (r Records) Less(i, j int) bool {
+	return bytes.Compare(r.Key(i), r.Key(j)) < 0
+}
+
+// Swap exchanges records i and j in place.
+func (r Records) Swap(i, j int) {
+	var tmp [RecordSize]byte
+	a, b := r.Record(i), r.Record(j)
+	copy(tmp[:], a)
+	copy(a, b)
+	copy(b, tmp[:])
+}
+
+var _ sort.Interface = Records{}
+
+// Sort sorts the records in place by key (ascending, lexicographic), the
+// Reduce-stage operation of both TeraSort and CodedTeraSort. The paper's
+// implementation uses std::sort; this uses the stdlib introsort equivalent.
+func (r Records) Sort() { sort.Sort(r) }
+
+// IsSorted reports whether the records are in non-decreasing key order.
+func (r Records) IsSorted() bool { return sort.IsSorted(r) }
+
+// Equal reports whether two buffers hold identical bytes.
+func (r Records) Equal(other Records) bool { return bytes.Equal(r.buf, other.buf) }
+
+// MinKey returns a copy of the smallest key, or nil for an empty buffer.
+// The receiver does not need to be sorted.
+func (r Records) MinKey() []byte {
+	if r.Len() == 0 {
+		return nil
+	}
+	min := r.Key(0)
+	for i := 1; i < r.Len(); i++ {
+		if bytes.Compare(r.Key(i), min) < 0 {
+			min = r.Key(i)
+		}
+	}
+	return append([]byte(nil), min...)
+}
+
+// MaxKey returns a copy of the largest key, or nil for an empty buffer.
+func (r Records) MaxKey() []byte {
+	if r.Len() == 0 {
+		return nil
+	}
+	max := r.Key(0)
+	for i := 1; i < r.Len(); i++ {
+		if bytes.Compare(r.Key(i), max) > 0 {
+			max = r.Key(i)
+		}
+	}
+	return append([]byte(nil), max...)
+}
+
+// Checksum returns an order-independent digest over the full records:
+// the sum (mod 2^64) of a 64-bit mix of every record. Two buffers that hold
+// the same multiset of records have the same checksum regardless of order,
+// which is exactly the invariant a distributed sort must preserve.
+func (r Records) Checksum() uint64 {
+	var sum uint64
+	for i := 0; i < r.Len(); i++ {
+		sum += mixRecord(r.Record(i))
+	}
+	return sum
+}
+
+// mixRecord hashes one record with an FNV-1a-style pass followed by a
+// splitmix finalizer, strong enough that dropped/duplicated/corrupted
+// records change the order-independent sum with overwhelming probability.
+func mixRecord(rec []byte) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for _, b := range rec {
+		h ^= uint64(b)
+		h *= prime
+	}
+	return mix64(h)
+}
+
+func mix64(z uint64) uint64 {
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
+// Concat concatenates any number of record buffers into one new buffer.
+func Concat(parts ...Records) Records {
+	total := 0
+	for _, p := range parts {
+		total += p.Size()
+	}
+	out := make([]byte, 0, total)
+	for _, p := range parts {
+		out = append(out, p.buf...)
+	}
+	return Records{buf: out}
+}
+
+// Merge merges already-sorted buffers into one sorted buffer. It is the
+// k-way merge a Reduce stage could use instead of re-sorting; both paths
+// are provided so benchmarks can ablate them.
+func Merge(parts ...Records) Records {
+	switch len(parts) {
+	case 0:
+		return Records{}
+	case 1:
+		return parts[0].Clone()
+	}
+	total := 0
+	for _, p := range parts {
+		total += p.Len()
+	}
+	out := MakeRecords(total)
+	idx := make([]int, len(parts))
+	for out.Len() < total {
+		best := -1
+		for p, i := range idx {
+			if i >= parts[p].Len() {
+				continue
+			}
+			if best == -1 || bytes.Compare(parts[p].Key(i), parts[best].Key(idx[best])) < 0 {
+				best = p
+			}
+		}
+		out = out.Append(parts[best].Record(idx[best]))
+		idx[best]++
+	}
+	return out
+}

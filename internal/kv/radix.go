@@ -1,0 +1,50 @@
+package kv
+
+// SortRadix sorts the records by key using a least-significant-byte radix
+// sort over the 10 key bytes: ten stable counting-sort passes with a
+// double buffer. For the uniform fixed-width TeraGen keys this replaces
+// O(n log n) comparisons and 100-byte swaps with 10 linear scatter passes;
+// the Reduce-stage ablation benchmarks compare it against the comparison
+// sort the paper's implementation uses (std::sort).
+func (r Records) SortRadix() {
+	n := r.Len()
+	if n < 2 {
+		return
+	}
+	// Small inputs: pass bookkeeping dominates; fall back.
+	if n < 64 {
+		r.Sort()
+		return
+	}
+	src := r.buf
+	scratch := make([]byte, len(src))
+	var counts [256]int
+	for b := KeySize - 1; b >= 0; b-- {
+		for i := range counts {
+			counts[i] = 0
+		}
+		for i := 0; i < n; i++ {
+			counts[src[i*RecordSize+b]]++
+		}
+		// Skip passes where every record shares the byte value.
+		if counts[src[b]] == n {
+			continue
+		}
+		offset := 0
+		for i := range counts {
+			c := counts[i]
+			counts[i] = offset
+			offset += c
+		}
+		for i := 0; i < n; i++ {
+			v := src[i*RecordSize+b]
+			dst := counts[v]
+			counts[v]++
+			copy(scratch[dst*RecordSize:(dst+1)*RecordSize], src[i*RecordSize:(i+1)*RecordSize])
+		}
+		src, scratch = scratch, src
+	}
+	if &src[0] != &r.buf[0] {
+		copy(r.buf, src)
+	}
+}

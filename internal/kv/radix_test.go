@@ -1,0 +1,79 @@
+package kv
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSortRadixMatchesComparisonSort(t *testing.T) {
+	for _, n := range []int64{0, 1, 2, 63, 64, 65, 1000, 10000} {
+		a := NewGenerator(uint64(n)+1, DistUniform).Generate(0, n)
+		b := a.Clone()
+		a.Sort()
+		b.SortRadix()
+		if !a.Equal(b) {
+			t.Fatalf("n=%d: radix order differs from comparison sort", n)
+		}
+	}
+}
+
+func TestSortRadixSkewedKeys(t *testing.T) {
+	a := NewGenerator(9, DistSkewed).Generate(0, 5000)
+	b := a.Clone()
+	a.Sort()
+	b.SortRadix()
+	if !a.Equal(b) {
+		t.Fatalf("radix order differs on skewed keys")
+	}
+}
+
+func TestSortRadixIsStablePreservingMultiset(t *testing.T) {
+	r := NewGenerator(4, DistUniform).Generate(0, 3000)
+	sum, n := r.Checksum(), r.Len()
+	r.SortRadix()
+	if !r.IsSorted() || r.Checksum() != sum || r.Len() != n {
+		t.Fatalf("radix sort corrupted the buffer")
+	}
+}
+
+func TestSortRadixDuplicateKeys(t *testing.T) {
+	// All-identical keys: the skip-pass optimization path.
+	rec := make([]byte, RecordSize)
+	rec[0] = 0x42
+	r := MakeRecords(200)
+	for i := 0; i < 200; i++ {
+		rec[KeySize] = byte(i) // distinct values, same key
+		r = r.Append(rec)
+	}
+	sum := r.Checksum()
+	r.SortRadix()
+	if !r.IsSorted() || r.Checksum() != sum {
+		t.Fatalf("radix sort broke on duplicate keys")
+	}
+}
+
+func TestSortRadixQuick(t *testing.T) {
+	f := func(seed uint64, nRaw uint16) bool {
+		n := int64(nRaw % 2000)
+		a := NewGenerator(seed, DistUniform).Generate(0, n)
+		b := a.Clone()
+		a.Sort()
+		b.SortRadix()
+		return a.Equal(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSortRadix100k(b *testing.B) {
+	base := NewGenerator(1, DistUniform).Generate(0, 100000)
+	b.SetBytes(int64(base.Size()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		r := base.Clone()
+		b.StartTimer()
+		r.SortRadix()
+	}
+}

@@ -1,0 +1,36 @@
+package model_test
+
+import (
+	"fmt"
+	"time"
+
+	"codedterasort/internal/model"
+)
+
+// ExampleTimeModel_RStar reproduces the paper's Section III-B analysis:
+// plugging the measured Table I stage times into Eq. 4 gives the optimal
+// redundancy r* = 23 and a ~10x theoretical speedup bound.
+func ExampleTimeModel_RStar() {
+	m := model.TimeModel{
+		TMap:     1860 * time.Millisecond,   // Table I Map
+		TShuffle: 945720 * time.Millisecond, // Table I Shuffle
+		TReduce:  10470 * time.Millisecond,  // Table I Reduce
+	}
+	fmt.Printf("r* = %d\n", m.RStar())
+	fmt.Printf("speedup bound = %.1fx\n", m.OptimalSpeedup())
+	// Output:
+	// r* = 23
+	// speedup bound = 10.2x
+}
+
+// ExampleCodedLoad shows the Eq. 2 tradeoff at the paper's evaluated
+// configurations.
+func ExampleCodedLoad() {
+	fmt.Printf("K=16 r=1 (TeraSort): %.4f\n", model.TeraSortLoad(16))
+	fmt.Printf("K=16 r=3 (coded):    %.4f\n", model.CodedLoad(16, 3))
+	fmt.Printf("K=16 r=5 (coded):    %.4f\n", model.CodedLoad(16, 5))
+	// Output:
+	// K=16 r=1 (TeraSort): 0.9375
+	// K=16 r=3 (coded):    0.2708
+	// K=16 r=5 (coded):    0.1375
+}

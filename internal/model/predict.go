@@ -1,0 +1,60 @@
+package model
+
+import (
+	"time"
+
+	"codedterasort/internal/stats"
+)
+
+// Overheads parametrizes the three coded-specific costs the evaluation
+// identifies on top of Eq. 4's idealized tradeoff.
+type Overheads struct {
+	// PerGroup is the CodeGen cost per multicast group.
+	PerGroup time.Duration
+	// Gamma is the logarithmic multicast penalty coefficient.
+	Gamma float64
+	// ReduceMemPenalty inflates coded Reduce by (1 + penalty*r).
+	ReduceMemPenalty float64
+}
+
+// DefaultOverheads matches the simnet calibration (DESIGN.md §5).
+func DefaultOverheads() Overheads {
+	return Overheads{PerGroup: 3400 * time.Microsecond, Gamma: 0.37, ReduceMemPenalty: 0.08}
+}
+
+// PredictCoded derives a full CodedTeraSort stage breakdown from a
+// *measured TeraSort baseline* using only closed-form theory — no
+// simulation, no data:
+//
+//   - CodeGen   = PerGroup * C(K, r+1)            (Section V-C scaling)
+//   - Map       = r * baseline Map                (r x more bytes hashed)
+//   - Encode    = baseline Pack * loadRatio * r   (XOR volume)
+//   - Shuffle   = baseline Shuffle * loadRatio * (1 + Gamma*log2 r)
+//   - Decode    = baseline Unpack * loadRatio * r
+//   - Reduce    = baseline Reduce * (1 + ReduceMemPenalty*r)
+//
+// where loadRatio = L_coded(r) / L_uncoded(1) is the Eq. 2 shuffle-byte
+// reduction. It is the back-of-envelope a practitioner would run before
+// deploying, and the tests check it lands within ~15% of all published
+// coded rows given only the published TeraSort rows.
+func PredictCoded(base stats.Breakdown, k, r int, ov Overheads) stats.Breakdown {
+	loadRatio := CodedLoad(k, float64(r)) / TeraSortLoad(k)
+	scale := func(d time.Duration, f float64) time.Duration {
+		return time.Duration(float64(d) * f)
+	}
+	var out stats.Breakdown
+	out[stats.StageCodeGen] = CodeGenTime(k, r, ov.PerGroup)
+	out[stats.StageMap] = scale(base[stats.StageMap], float64(r))
+	out[stats.StagePack] = scale(base[stats.StagePack], loadRatio*float64(r))
+	out[stats.StageShuffle] = scale(base[stats.StageShuffle], loadRatio*MulticastFactor(r, ov.Gamma))
+	out[stats.StageUnpack] = scale(base[stats.StageUnpack], loadRatio*float64(r))
+	out[stats.StageReduce] = scale(base[stats.StageReduce], 1+ov.ReduceMemPenalty*float64(r))
+	return out
+}
+
+// PredictSpeedup returns the end-to-end speedup PredictCoded implies over
+// the baseline.
+func PredictSpeedup(base stats.Breakdown, k, r int, ov Overheads) float64 {
+	pred := PredictCoded(base, k, r, ov)
+	return base.Total().Seconds() / pred.Total().Seconds()
+}

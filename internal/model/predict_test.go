@@ -1,0 +1,87 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"codedterasort/internal/stats"
+)
+
+// Published baselines (Tables II/III TeraSort rows).
+func baseK16() stats.Breakdown { return stats.Seconds(0, 1.86, 2.35, 945.72, 0.85, 10.47) }
+func baseK20() stats.Breakdown { return stats.Seconds(0, 1.47, 2.00, 960.07, 0.62, 8.29) }
+
+func TestPredictCodedMatchesPublishedRows(t *testing.T) {
+	// The closed-form prediction from the published TeraSort row alone
+	// lands within 20% of every published coded total and speedup.
+	cases := []struct {
+		base     stats.Breakdown
+		k, r     int
+		totalSec float64
+		speedup  float64
+	}{
+		{baseK16(), 16, 3, 445.56, 2.16},
+		{baseK16(), 16, 5, 283.33, 3.39},
+		{baseK20(), 20, 3, 493.86, 1.97},
+		{baseK20(), 20, 5, 441.10, 2.20},
+	}
+	ov := DefaultOverheads()
+	for _, c := range cases {
+		pred := PredictCoded(c.base, c.k, c.r, ov)
+		got := pred.Total().Seconds()
+		if math.Abs(got/c.totalSec-1) > 0.20 {
+			t.Fatalf("K=%d r=%d: predicted total %.1f vs paper %.1f", c.k, c.r, got, c.totalSec)
+		}
+		sp := PredictSpeedup(c.base, c.k, c.r, ov)
+		if math.Abs(sp/c.speedup-1) > 0.20 {
+			t.Fatalf("K=%d r=%d: predicted speedup %.2f vs paper %.2f", c.k, c.r, sp, c.speedup)
+		}
+	}
+}
+
+func TestPredictShuffleCellsClosely(t *testing.T) {
+	// The shuffle stage is pure theory (load ratio x multicast penalty)
+	// and lands within 16% of all four published shuffle cells (the K=16,
+	// r=5 cell is the worst: the paper's own shuffle gain there slightly
+	// exceeds what a single gamma fits).
+	cases := []struct {
+		base    stats.Breakdown
+		k, r    int
+		shuffle float64
+	}{
+		{baseK16(), 16, 3, 412.22},
+		{baseK16(), 16, 5, 222.83},
+		{baseK20(), 20, 3, 453.37},
+		{baseK20(), 20, 5, 269.42},
+	}
+	for _, c := range cases {
+		pred := PredictCoded(c.base, c.k, c.r, DefaultOverheads())
+		got := pred[stats.StageShuffle].Seconds()
+		if math.Abs(got/c.shuffle-1) > 0.16 {
+			t.Fatalf("K=%d r=%d: predicted shuffle %.1f vs paper %.1f", c.k, c.r, got, c.shuffle)
+		}
+	}
+}
+
+func TestPredictMonotoneInGamma(t *testing.T) {
+	ov := DefaultOverheads()
+	low := PredictCoded(baseK16(), 16, 3, ov)
+	ov.Gamma = 1.0
+	high := PredictCoded(baseK16(), 16, 3, ov)
+	if high[stats.StageShuffle] <= low[stats.StageShuffle] {
+		t.Fatalf("gamma penalty not monotone")
+	}
+}
+
+func TestPredictR1IsNearBaselinePlusCodeGen(t *testing.T) {
+	// r=1: no redundancy; prediction reduces to the baseline (up to the
+	// multicast factor being 1 and the small CodeGen/memory terms).
+	base := baseK16()
+	pred := PredictCoded(base, 16, 1, DefaultOverheads())
+	if pred[stats.StageMap] != base[stats.StageMap] {
+		t.Fatalf("map changed at r=1")
+	}
+	if pred[stats.StageShuffle] != base[stats.StageShuffle] {
+		t.Fatalf("shuffle changed at r=1: %v vs %v", pred[stats.StageShuffle], base[stats.StageShuffle])
+	}
+}

@@ -1,0 +1,197 @@
+// Package partition implements Key Domain Partitioning (paper Section
+// III-A2): the key space is split into K ordered partitions P_1 < ... < P_K
+// and node k reduces exactly the keys that fall in P_k. Both TeraSort and
+// CodedTeraSort hash every record through the same partitioner, so the
+// partitioner is the single component that determines reducer balance.
+//
+// Two strategies are provided:
+//
+//   - Uniform: partitions the 64-bit key prefix range evenly. Optimal for
+//     the TeraGen uniform distribution the paper evaluates.
+//   - Splitters: K-1 explicit boundary keys with binary search, built either
+//     directly or from a sorted sample of the input (the practical Hadoop
+//     TeraSort approach, used here for the skewed-input extension).
+package partition
+
+import (
+	"bytes"
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"codedterasort/internal/kv"
+)
+
+// Partitioner assigns records to one of K ordered key-range partitions.
+// Implementations must be pure and agree across nodes: every node hashes
+// with an identical partitioner built from coordinator-distributed state.
+type Partitioner interface {
+	// NumPartitions returns K.
+	NumPartitions() int
+	// Partition returns the partition index in [0, K) for a key.
+	// Keys must be kv.KeySize bytes.
+	Partition(key []byte) int
+}
+
+// Uniform divides the key prefix space [0, 2^64) into K equal ranges.
+// Partition(key) = floor(prefix * K / 2^64), computed with a 128-bit
+// multiply so there is no bias at the range edges.
+type Uniform struct {
+	k int
+}
+
+// NewUniform returns a Uniform partitioner over k partitions.
+// It panics if k is not positive.
+func NewUniform(k int) Uniform {
+	if k <= 0 {
+		panic(fmt.Sprintf("partition: NewUniform(%d)", k))
+	}
+	return Uniform{k: k}
+}
+
+// NumPartitions returns K.
+func (u Uniform) NumPartitions() int { return u.k }
+
+// Partition implements Partitioner.
+func (u Uniform) Partition(key []byte) int {
+	prefix := bePrefix64(key)
+	hi, _ := bits.Mul64(prefix, uint64(u.k))
+	return int(hi)
+}
+
+// bePrefix64 reads the first 8 bytes of key as a big-endian uint64,
+// zero-padding short keys (callers always pass kv.KeySize = 10 bytes).
+func bePrefix64(key []byte) uint64 {
+	var p uint64
+	n := len(key)
+	if n > 8 {
+		n = 8
+	}
+	for i := 0; i < n; i++ {
+		p |= uint64(key[i]) << uint(56-8*i)
+	}
+	return p
+}
+
+// Splitters partitions by K-1 ascending boundary keys: partition i holds
+// keys k with splitter[i-1] <= k < splitter[i] (lexicographic), partition 0
+// everything below splitter[0], partition K-1 everything at or above the
+// last splitter.
+type Splitters struct {
+	bounds [][]byte // len K-1, ascending, each kv.KeySize bytes
+}
+
+// NewSplitters builds a splitter partitioner. Boundaries must be ascending
+// (strictly, to avoid empty unreachable partitions) and kv.KeySize wide.
+func NewSplitters(bounds [][]byte) (Splitters, error) {
+	for i, b := range bounds {
+		if len(b) != kv.KeySize {
+			return Splitters{}, fmt.Errorf("partition: splitter %d has %d bytes, want %d", i, len(b), kv.KeySize)
+		}
+		if i > 0 && bytes.Compare(bounds[i-1], b) >= 0 {
+			return Splitters{}, fmt.Errorf("partition: splitters not strictly ascending at %d", i)
+		}
+	}
+	cp := make([][]byte, len(bounds))
+	for i, b := range bounds {
+		cp[i] = append([]byte(nil), b...)
+	}
+	return Splitters{bounds: cp}, nil
+}
+
+// NumPartitions returns K = len(splitters)+1.
+func (s Splitters) NumPartitions() int { return len(s.bounds) + 1 }
+
+// Partition implements Partitioner via binary search over the boundaries.
+func (s Splitters) Partition(key []byte) int {
+	return sort.Search(len(s.bounds), func(i int) bool {
+		return bytes.Compare(key, s.bounds[i]) < 0
+	})
+}
+
+// Bounds returns a deep copy of the boundary keys, for wire distribution.
+func (s Splitters) Bounds() [][]byte {
+	cp := make([][]byte, len(s.bounds))
+	for i, b := range s.bounds {
+		cp[i] = append([]byte(nil), b...)
+	}
+	return cp
+}
+
+// FromSample builds a Splitters partitioner with k partitions from a sample
+// of input records, the way production TeraSort picks balanced boundaries:
+// sort the sample and take the k-1 evenly spaced quantile keys. Duplicate
+// quantile keys are nudged upward to keep boundaries strictly ascending;
+// if the sample is too degenerate to produce k distinct boundaries the
+// error reports it and the caller should fall back to Uniform.
+func FromSample(sample kv.Records, k int) (Splitters, error) {
+	if k <= 0 {
+		return Splitters{}, fmt.Errorf("partition: FromSample k=%d", k)
+	}
+	if k == 1 {
+		return Splitters{}, nil
+	}
+	if sample.Len() < k {
+		return Splitters{}, fmt.Errorf("partition: sample of %d records cannot split %d ways", sample.Len(), k)
+	}
+	sorted := sample.Clone()
+	sorted.Sort()
+	bounds := make([][]byte, 0, k-1)
+	for i := 1; i < k; i++ {
+		idx := i * sorted.Len() / k
+		key := append([]byte(nil), sorted.Key(idx)...)
+		if len(bounds) > 0 && bytes.Compare(bounds[len(bounds)-1], key) >= 0 {
+			key = successor(bounds[len(bounds)-1])
+			if key == nil {
+				return Splitters{}, fmt.Errorf("partition: sample too skewed to build %d distinct splitters", k)
+			}
+		}
+		bounds = append(bounds, key)
+	}
+	return NewSplitters(bounds)
+}
+
+// successor returns the smallest key strictly greater than key, or nil if
+// key is the maximal key.
+func successor(key []byte) []byte {
+	out := append([]byte(nil), key...)
+	for i := len(out) - 1; i >= 0; i-- {
+		if out[i] != 0xFF {
+			out[i]++
+			return out
+		}
+		out[i] = 0
+	}
+	return nil
+}
+
+// Histogram counts how many of r's records fall in each partition.
+// It is the balance diagnostic used by tests and EXPERIMENTS.md.
+func Histogram(p Partitioner, r kv.Records) []int {
+	counts := make([]int, p.NumPartitions())
+	for i := 0; i < r.Len(); i++ {
+		counts[p.Partition(r.Key(i))]++
+	}
+	return counts
+}
+
+// Split scatters r's records into K per-partition buffers in one pass:
+// the Hash() operation of the Map stage (Section III-A3). Record order
+// within a partition preserves input order.
+func Split(p Partitioner, r kv.Records) []kv.Records {
+	k := p.NumPartitions()
+	// First pass: sizes, so each partition is one exact allocation.
+	counts := make([]int, k)
+	for i := 0; i < r.Len(); i++ {
+		counts[p.Partition(r.Key(i))]++
+	}
+	out := make([]kv.Records, k)
+	for j := 0; j < k; j++ {
+		out[j] = kv.MakeRecords(counts[j])
+	}
+	for i := 0; i < r.Len(); i++ {
+		j := p.Partition(r.Key(i))
+		out[j] = out[j].Append(r.Record(i))
+	}
+	return out
+}

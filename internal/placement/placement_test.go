@@ -1,0 +1,253 @@
+package placement
+
+import (
+	"testing"
+	"testing/quick"
+
+	"codedterasort/internal/combin"
+	"codedterasort/internal/kv"
+)
+
+func TestSingleIsOneFilePerNode(t *testing.T) {
+	p, err := Single(4, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.NumFiles() != 4 {
+		t.Fatalf("NumFiles = %d", p.NumFiles())
+	}
+	for node := 0; node < 4; node++ {
+		files := p.FilesOn(node)
+		if len(files) != 1 {
+			t.Fatalf("node %d stores %d files", node, len(files))
+		}
+		if p.Files[files[0]] != combin.NewSet(node) {
+			t.Fatalf("node %d file set %v", node, p.Files[files[0]])
+		}
+	}
+}
+
+func TestFig4Placement(t *testing.T) {
+	// Paper Fig 4: K=4, r=2 — six files {1,2},{1,3},{1,4},{2,3},{2,4},{3,4}
+	// (1-based). Node 2 (0-based node 1) stores F{1,2}, F{2,3}, F{2,4}.
+	p, err := Redundant(4, 2, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.NumFiles() != 6 {
+		t.Fatalf("NumFiles = %d, want C(4,2)=6", p.NumFiles())
+	}
+	wantSets := map[combin.Set]bool{
+		combin.NewSet(0, 1): true, combin.NewSet(0, 2): true, combin.NewSet(0, 3): true,
+		combin.NewSet(1, 2): true, combin.NewSet(1, 3): true, combin.NewSet(2, 3): true,
+	}
+	for _, f := range p.Files {
+		if !wantSets[f] {
+			t.Fatalf("unexpected file set %v", f)
+		}
+		delete(wantSets, f)
+	}
+	if len(wantSets) != 0 {
+		t.Fatalf("missing file sets: %v", wantSets)
+	}
+	// Node 1 stores exactly the files whose set contains it: C(3,1)=3 files.
+	files := p.FilesOn(1)
+	if len(files) != 3 {
+		t.Fatalf("node 1 stores %d files", len(files))
+	}
+	for _, i := range files {
+		if !p.Files[i].Contains(1) {
+			t.Fatalf("node 1 stores foreign file %v", p.Files[i])
+		}
+	}
+}
+
+func TestEveryRSubsetHasExactlyOneCommonFile(t *testing.T) {
+	// The key structural property of Section IV-A.
+	p, err := Redundant(6, 3, 6000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range combin.Subsets(combin.Range(6), 3) {
+		count := 0
+		for _, f := range p.Files {
+			if f == s {
+				count++
+			}
+		}
+		if count != 1 {
+			t.Fatalf("subset %v indexes %d files", s, count)
+		}
+		if i := p.FileIndex(s); i < 0 || p.Files[i] != s {
+			t.Fatalf("FileIndex(%v) = %d", s, i)
+		}
+	}
+}
+
+func TestFileIndexRejectsForeignSets(t *testing.T) {
+	p, err := Redundant(4, 2, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.FileIndex(combin.NewSet(0, 1, 2)) != -1 {
+		t.Fatalf("wrong-size set accepted")
+	}
+	if p.FileIndex(combin.NewSet(0, 5)) != -1 {
+		t.Fatalf("out-of-universe set accepted")
+	}
+}
+
+func TestBoundsCoverInputDisjointly(t *testing.T) {
+	p, err := Redundant(5, 2, 1234)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for i := 0; i < p.NumFiles(); i++ {
+		first, last := p.FileRows(i)
+		if first != p.Bounds[i] || last != p.Bounds[i+1] {
+			t.Fatalf("FileRows(%d) inconsistent", i)
+		}
+		total += p.FileRowCount(i)
+	}
+	if total != 1234 {
+		t.Fatalf("files cover %d rows, want 1234", total)
+	}
+}
+
+func TestStoredRowsMatchesRTimesTotal(t *testing.T) {
+	for _, tc := range []struct {
+		k, r int
+		rows int64
+	}{{4, 2, 999}, {8, 3, 12345}, {16, 5, 100000}, {6, 1, 60}} {
+		p, err := Redundant(tc.k, tc.r, tc.rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var stored int64
+		for node := 0; node < tc.k; node++ {
+			stored += p.StoredRows(node)
+		}
+		if stored != int64(tc.r)*tc.rows {
+			t.Fatalf("K=%d r=%d: stored %d rows, want %d", tc.k, tc.r, stored, int64(tc.r)*tc.rows)
+		}
+	}
+}
+
+func TestRedundantRejectsBadParameters(t *testing.T) {
+	if _, err := Redundant(0, 1, 10); err == nil {
+		t.Fatalf("K=0 accepted")
+	}
+	if _, err := Redundant(4, 0, 10); err == nil {
+		t.Fatalf("r=0 accepted")
+	}
+	if _, err := Redundant(4, 5, 10); err == nil {
+		t.Fatalf("r>K accepted")
+	}
+	if _, err := Redundant(4, 2, -1); err == nil {
+		t.Fatalf("negative rows accepted")
+	}
+	if _, err := Redundant(65, 2, 10); err == nil {
+		t.Fatalf("K>MaxNodes accepted")
+	}
+}
+
+func TestRIsKAllowed(t *testing.T) {
+	// r = K: one file on every node; shuffling becomes unnecessary.
+	p, err := Redundant(4, 4, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.NumFiles() != 1 {
+		t.Fatalf("NumFiles = %d", p.NumFiles())
+	}
+}
+
+func TestMaterializeIdenticalAcrossNodes(t *testing.T) {
+	// Every node materializing the same file gets identical bytes, the
+	// property that replaces the coordinator's physical file copies.
+	p, err := Redundant(5, 3, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gA := kv.NewGenerator(42, kv.DistUniform)
+	gB := kv.NewGenerator(42, kv.DistUniform)
+	for i := 0; i < p.NumFiles(); i++ {
+		if !p.Materialize(gA, i).Equal(p.Materialize(gB, i)) {
+			t.Fatalf("file %d differs across generators", i)
+		}
+	}
+}
+
+func TestMaterializeFilesPartitionTheInput(t *testing.T) {
+	p, err := Redundant(4, 2, 700)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := kv.NewGenerator(7, kv.DistUniform)
+	whole := g.Generate(0, 700)
+	var reassembled kv.Records
+	for i := 0; i < p.NumFiles(); i++ {
+		reassembled = reassembled.AppendRecords(p.Materialize(g, i))
+	}
+	if !reassembled.Equal(whole) {
+		t.Fatalf("concatenated files differ from the raw input")
+	}
+}
+
+func TestPlanInvariantsQuick(t *testing.T) {
+	f := func(kRaw, rRaw uint8, rowsRaw uint16) bool {
+		k := int(kRaw%12) + 1
+		r := int(rRaw%uint8(k)) + 1
+		p, err := Redundant(k, r, int64(rowsRaw))
+		if err != nil {
+			return false
+		}
+		return p.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPaperScaleCounts(t *testing.T) {
+	// The evaluation configurations: K=16/20, r=3/5 (Tables II & III).
+	for _, tc := range []struct {
+		k, r    int
+		files   int64
+		perNode int64
+	}{
+		{16, 3, 560, 105}, {16, 5, 4368, 1365},
+		{20, 3, 1140, 171}, {20, 5, 15504, 3876},
+	} {
+		p, err := Redundant(tc.k, tc.r, 1<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int64(p.NumFiles()) != tc.files {
+			t.Fatalf("K=%d r=%d: %d files, want %d", tc.k, tc.r, p.NumFiles(), tc.files)
+		}
+		if got := int64(len(p.FilesOn(0))); got != tc.perNode {
+			t.Fatalf("K=%d r=%d: node stores %d files, want %d", tc.k, tc.r, got, tc.perNode)
+		}
+	}
+}
+
+func BenchmarkRedundantPlan16x5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p, err := Redundant(16, 5, 1<<20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = p
+	}
+}

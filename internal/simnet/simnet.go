@@ -1,0 +1,228 @@
+package simnet
+
+import (
+	"fmt"
+	"time"
+
+	"codedterasort/internal/codec"
+	"codedterasort/internal/combin"
+	"codedterasort/internal/kv"
+	"codedterasort/internal/placement"
+	"codedterasort/internal/stats"
+)
+
+// Workload describes one simulated sorting job.
+type Workload struct {
+	// Rows is the full-scale input size in records (the paper: 120 M
+	// records = 12 GB).
+	Rows int64
+	// K is the number of worker nodes.
+	K int
+	// R is the redundancy parameter; ignored when Coded is false.
+	R int
+	// Coded selects CodedTeraSort; false simulates conventional TeraSort.
+	Coded bool
+	// ParallelShuffle models the paper's "Asynchronous Execution" future
+	// direction: all nodes transmit concurrently on their own links, so
+	// shuffle time is the maximum per-node egress occupancy instead of
+	// the serial global sum.
+	ParallelShuffle bool
+	// Seed is accepted for interface symmetry with the live engines; the
+	// simulator is distribution-exact (uniform keys), so the seed does not
+	// change its output.
+	Seed uint64
+}
+
+func (w Workload) normalize() (Workload, error) {
+	if w.K <= 0 || w.K > combin.MaxNodes {
+		return w, fmt.Errorf("simnet: K=%d out of range", w.K)
+	}
+	if !w.Coded {
+		w.R = 1
+	}
+	if w.R < 1 || w.R > w.K {
+		return w, fmt.Errorf("simnet: r=%d outside [1,%d]", w.R, w.K)
+	}
+	if w.Rows <= 0 {
+		return w, fmt.Errorf("simnet: Rows=%d", w.Rows)
+	}
+	return w, nil
+}
+
+// Report carries the exact counts behind a simulated breakdown.
+type Report struct {
+	// ShuffledBytes is the total payload crossing the network, counting
+	// each multicast packet once (the paper's communication load).
+	ShuffledBytes float64
+	// Messages is the number of unicast messages (TeraSort shuffle).
+	Messages int64
+	// Multicasts is the number of coded-packet multicasts.
+	Multicasts int64
+	// Groups is C(K, r+1), the multicast group count.
+	Groups int64
+}
+
+// Simulate computes the full-scale stage breakdown of the workload under
+// the cost model, plus the exact communication counts.
+//
+// The combinatorial structure is exact: the real placement plans supply
+// per-file row counts, and every unicast message and multicast group is
+// enumerated individually with the same colex ordering as the live
+// engines. Per-partition record counts use the uniform-hashing expectation
+// fileRows/K; at the paper's scale (hundreds of thousands of records per
+// file) the multinomial fluctuation around that expectation is below one
+// percent, far inside the cost model's own tolerance. The live engines in
+// internal/terasort and internal/coded validate the byte-level protocol on
+// real data; this simulator extrapolates its timing to EC2 scale.
+func Simulate(w Workload, cm CostModel) (stats.Breakdown, Report, error) {
+	w, err := w.normalize()
+	if err != nil {
+		return stats.Breakdown{}, Report{}, err
+	}
+	if w.Coded {
+		return simulateCoded(w, cm)
+	}
+	return simulateTeraSort(w, cm)
+}
+
+// simulateTeraSort models Section III's five stages over the exact
+// single-placement plan.
+func simulateTeraSort(w Workload, cm CostModel) (stats.Breakdown, Report, error) {
+	plan, err := placement.Single(w.K, w.Rows)
+	if err != nil {
+		return stats.Breakdown{}, Report{}, err
+	}
+	var rep Report
+	var b stats.Breakdown
+	recvBytes := make([]float64, w.K)
+	sendTime := make([]time.Duration, w.K)
+	var maxMap, maxPack time.Duration
+	for node := 0; node < w.K; node++ {
+		fileRows := float64(plan.FileRowCount(node))
+		fileBytes := fileRows * kv.RecordSize
+		if d := perGB(fileBytes, cm.MapSecPerGB); d > maxMap {
+			maxMap = d
+		}
+		ivBytes := fileBytes / float64(w.K) // per destination partition
+		var packBytes float64
+		for dst := 0; dst < w.K; dst++ {
+			if dst == node {
+				continue
+			}
+			msg := ivBytes + float64(codec.PackedSize(0))
+			packBytes += msg
+			sendTime[node] += cm.WireTime(msg)
+			rep.Messages++
+			rep.ShuffledBytes += msg
+			recvBytes[dst] += msg
+		}
+		if d := perGB(packBytes, cm.PackSecPerGB); d > maxPack {
+			maxPack = d
+		}
+	}
+	b[stats.StageShuffle] = scheduleTime(sendTime, w.ParallelShuffle)
+	b[stats.StageMap] = maxMap
+	b[stats.StagePack] = maxPack
+	reduceBytes := float64(w.Rows) * kv.RecordSize / float64(w.K)
+	for node := 0; node < w.K; node++ {
+		if d := perGB(recvBytes[node], cm.UnpackSecPerGB); d > b[stats.StageUnpack] {
+			b[stats.StageUnpack] = d
+		}
+	}
+	b[stats.StageReduce] = perGB(reduceBytes, cm.ReduceSecPerGB)
+	return b, rep, nil
+}
+
+// scheduleTime folds per-node egress occupancies into a stage time:
+// the serial schedule of Fig 9 transmits one message at a time cluster-wide
+// (sum); the asynchronous variant overlaps all egress links (max).
+func scheduleTime(sendTime []time.Duration, parallel bool) time.Duration {
+	var total, max time.Duration
+	for _, d := range sendTime {
+		total += d
+		if d > max {
+			max = d
+		}
+	}
+	if parallel {
+		return max
+	}
+	return total
+}
+
+// simulateCoded models Section IV's six stages over the exact redundant
+// placement plan and group enumeration.
+func simulateCoded(w Workload, cm CostModel) (stats.Breakdown, Report, error) {
+	plan, err := placement.Redundant(w.K, w.R, w.Rows)
+	if err != nil {
+		return stats.Breakdown{}, Report{}, err
+	}
+	var rep Report
+	rep.Groups = combin.Binomial(w.K, w.R+1)
+	var b stats.Breakdown
+
+	// CodeGen: per-group communicator setup (MPI_Comm_split equivalent).
+	b[stats.StageCodeGen] = time.Duration(rep.Groups) * cm.GroupSetup
+
+	// Map: every node hashes its C(K-1, r-1) files.
+	var maxMap time.Duration
+	for node := 0; node < w.K; node++ {
+		mapBytes := float64(plan.StoredRows(node) * kv.RecordSize)
+		if d := perGB(mapBytes, cm.MapSecPerGB); d > maxMap {
+			maxMap = d
+		}
+	}
+	b[stats.StageMap] = maxMap
+
+	// Encode, Multicast Shuffle and Decode: enumerate every group and
+	// every coded packet. The packet of root u in group M is padded to its
+	// widest contributing segment: max over t in M\{u} of the segment of
+	// I^t_{M\{t}} assigned to u, each IV being fileRows/K records split
+	// into r segments.
+	encodeVol := make([]float64, w.K)
+	decodeVol := make([]float64, w.K)
+	sendTime := make([]time.Duration, w.K)
+	r := float64(w.R)
+	combin.EachSubset(combin.Range(w.K), w.R+1, func(m combin.Set) bool {
+		for _, u := range m.Members() {
+			var maxSeg float64
+			for _, t := range m.Remove(u).Members() {
+				file := plan.FileIndex(m.Remove(t))
+				ivBytes := float64(plan.FileRowCount(file)) * kv.RecordSize / float64(w.K)
+				if seg := ivBytes / r; seg > maxSeg {
+					maxSeg = seg
+				}
+			}
+			width := maxSeg + float64(codec.FrameSize(0))
+			rep.Multicasts++
+			rep.ShuffledBytes += width
+			sendTime[u] += cm.MulticastTime(width, w.R)
+			encodeVol[u] += width * r
+			for _, k := range m.Members() {
+				if k != u {
+					decodeVol[k] += width * r
+				}
+			}
+		}
+		return true
+	})
+	b[stats.StageShuffle] = scheduleTime(sendTime, w.ParallelShuffle)
+	var maxEnc, maxDec time.Duration
+	for node := 0; node < w.K; node++ {
+		if d := perGB(encodeVol[node], cm.EncodeSecPerGB); d > maxEnc {
+			maxEnc = d
+		}
+		if d := perGB(decodeVol[node], cm.DecodeSecPerGB); d > maxDec {
+			maxDec = d
+		}
+	}
+	b[stats.StagePack] = maxEnc
+	b[stats.StageUnpack] = maxDec
+
+	// Reduce: every node sorts its full 1/K partition, inflated by the
+	// coded memory penalty (Section V-C).
+	penalty := 1 + cm.ReduceMemPenalty*r
+	reduceBytes := float64(w.Rows) * kv.RecordSize / float64(w.K)
+	b[stats.StageReduce] = time.Duration(float64(perGB(reduceBytes, cm.ReduceSecPerGB)) * penalty)
+	return b, rep, nil
+}

@@ -1,0 +1,111 @@
+package simnet
+
+import (
+	"fmt"
+	"strings"
+
+	"codedterasort/internal/stats"
+)
+
+// SweepPoint is one configuration of a parameter sweep at full 12 GB
+// scale: the simulated coded breakdown plus its speedup over the TeraSort
+// baseline at the same K.
+type SweepPoint struct {
+	K, R          int
+	Times         stats.Breakdown
+	BaselineTotal float64 // seconds
+	Speedup       float64
+	ShuffledGB    float64
+	Groups        int64
+}
+
+// sweepPoint simulates one (K, r) cell.
+func sweepPoint(k, r int, cm CostModel) (SweepPoint, error) {
+	base, _, err := Simulate(Workload{Rows: Rows12GB, K: k}, cm)
+	if err != nil {
+		return SweepPoint{}, err
+	}
+	b, rep, err := Simulate(Workload{Rows: Rows12GB, K: k, R: r, Coded: true}, cm)
+	if err != nil {
+		return SweepPoint{}, err
+	}
+	return SweepPoint{
+		K: k, R: r, Times: b,
+		BaselineTotal: base.Total().Seconds(),
+		Speedup:       base.Total().Seconds() / b.Total().Seconds(),
+		ShuffledGB:    rep.ShuffledBytes / 1e9,
+		Groups:        rep.Groups,
+	}, nil
+}
+
+// SweepR simulates the "impact of redundancy parameter r" trend of
+// Section V-C: coded runs at fixed K for every r in rs.
+func SweepR(k int, rs []int, cm CostModel) ([]SweepPoint, error) {
+	out := make([]SweepPoint, 0, len(rs))
+	for _, r := range rs {
+		p, err := sweepPoint(k, r, cm)
+		if err != nil {
+			return nil, fmt.Errorf("simnet: sweep r=%d: %w", r, err)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// SweepK simulates the "impact of worker number K" trend of Section V-C:
+// coded runs at fixed r for every k in ks.
+func SweepK(r int, ks []int, cm CostModel) ([]SweepPoint, error) {
+	out := make([]SweepPoint, 0, len(ks))
+	for _, k := range ks {
+		p, err := sweepPoint(k, r, cm)
+		if err != nil {
+			return nil, fmt.Errorf("simnet: sweep K=%d: %w", k, err)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// RenderSweep formats sweep points as a text table.
+func RenderSweep(title string, pts []SweepPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%4s %4s  %10s %10s %10s %10s  %9s %8s %8s\n",
+		"K", "r", "CodeGen(s)", "Map(s)", "Shuffle(s)", "Total(s)", "Shuffle GB", "Groups", "Speedup")
+	fmt.Fprintf(&b, "%s\n", strings.Repeat("-", 96))
+	for _, p := range pts {
+		fmt.Fprintf(&b, "%4d %4d  %10.2f %10.2f %10.2f %10.2f  %9.2f %8d %7.2fx\n",
+			p.K, p.R,
+			p.Times[stats.StageCodeGen].Seconds(),
+			p.Times[stats.StageMap].Seconds(),
+			p.Times[stats.StageShuffle].Seconds(),
+			p.Times.Total().Seconds(),
+			p.ShuffledGB, p.Groups, p.Speedup)
+	}
+	return b.String()
+}
+
+// OptimalR returns the r in [1, min(maxR, K)] with the highest simulated
+// speedup. maxR encodes the storage constraint of the paper's footnote 6:
+// redundancy r stores the input r times across the cluster, so r cannot
+// exceed total worker storage divided by input size (the paper caps its
+// evaluation at r=5). Without that cap the degenerate r=K point — the
+// whole input replicated everywhere, no shuffle at all — wins trivially.
+// Within the feasible range the speedup peaks at moderate r before the
+// C(K, r+1) CodeGen cost takes over, the Section V-C observation.
+func OptimalR(k, maxR int, cm CostModel) (int, float64, error) {
+	if maxR < 1 || maxR > k {
+		maxR = k
+	}
+	bestR, bestS := 1, 0.0
+	for r := 1; r <= maxR; r++ {
+		p, err := sweepPoint(k, r, cm)
+		if err != nil {
+			return 0, 0, err
+		}
+		if p.Speedup > bestS {
+			bestR, bestS = r, p.Speedup
+		}
+	}
+	return bestR, bestS, nil
+}

@@ -1,0 +1,95 @@
+package simnet
+
+import (
+	"strings"
+	"testing"
+
+	"codedterasort/internal/stats"
+)
+
+func TestSweepRTrends(t *testing.T) {
+	pts, err := SweepR(16, []int{1, 2, 3, 4, 5, 6, 7}, Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 7 {
+		t.Fatalf("%d points", len(pts))
+	}
+	for i, p := range pts {
+		if i == 0 {
+			continue
+		}
+		prev := pts[i-1]
+		// Section V-C: shuffle time falls with r; Map rises ~linearly;
+		// CodeGen rises with C(K, r+1).
+		if p.Times[stats.StageShuffle] >= prev.Times[stats.StageShuffle] {
+			t.Fatalf("shuffle not decreasing at r=%d", p.R)
+		}
+		if p.Times[stats.StageMap] <= prev.Times[stats.StageMap] {
+			t.Fatalf("map not increasing at r=%d", p.R)
+		}
+		if p.R <= 7 && p.Times[stats.StageCodeGen] <= prev.Times[stats.StageCodeGen] {
+			t.Fatalf("codegen not increasing at r=%d (groups %d vs %d)", p.R, p.Groups, prev.Groups)
+		}
+	}
+}
+
+func TestSweepRSpeedupPeaksAtModerateR(t *testing.T) {
+	// "for small values of r (r < 6) we observe overall reduction in
+	// execution time... as we further increase r, the CodeGen time will
+	// dominate... and the speedup decreases" (Section V-C). At K=20 the
+	// C(20, r+1) group count makes CodeGen dominate within the
+	// storage-feasible range (paper footnote 6 caps r), so the peak is
+	// interior.
+	const maxR = 8
+	bestR, bestS, err := OptimalR(20, maxR, Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bestR < 3 || bestR > 6 {
+		t.Fatalf("optimal r=%d (speedup %.2f), expected a moderate interior value", bestR, bestS)
+	}
+	// Speedup at the peak beats both ends of the feasible range.
+	ends, err := SweepR(20, []int{1, bestR, maxR}, Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ends[1].Speedup <= ends[0].Speedup || ends[1].Speedup <= ends[2].Speedup {
+		t.Fatalf("peak not interior: %v", []float64{ends[0].Speedup, ends[1].Speedup, ends[2].Speedup})
+	}
+}
+
+func TestSweepKSpeedupDecreases(t *testing.T) {
+	pts, err := SweepK(3, []int{8, 12, 16, 20, 24}, Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Speedup >= pts[i-1].Speedup {
+			t.Fatalf("speedup not decreasing at K=%d: %.3f >= %.3f",
+				pts[i].K, pts[i].Speedup, pts[i-1].Speedup)
+		}
+	}
+}
+
+func TestSweepErrors(t *testing.T) {
+	if _, err := SweepR(16, []int{0}, Default()); err == nil {
+		t.Fatalf("r=0 accepted")
+	}
+	if _, err := SweepK(3, []int{2}, Default()); err == nil {
+		t.Fatalf("K<r accepted")
+	}
+}
+
+func TestRenderSweep(t *testing.T) {
+	pts, err := SweepR(8, []int{1, 2}, Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RenderSweep("r sweep", pts)
+	for _, want := range []string{"r sweep", "Speedup", "Groups"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package simnet
+
+import (
+	"fmt"
+	"strings"
+
+	"codedterasort/internal/stats"
+)
+
+// TableSpec selects one of the paper's evaluation tables.
+type TableSpec struct {
+	Title string
+	K     int
+	Rs    []int // coded rows to include; the TeraSort baseline is implicit
+}
+
+// Table1Spec is Table I: TeraSort alone at K=16.
+func Table1Spec() TableSpec {
+	return TableSpec{Title: "Table I: TeraSort, 12 GB, K=16 workers, 100 Mbps", K: 16}
+}
+
+// Table2Spec is Table II: K=16 with r in {3,5}.
+func Table2Spec() TableSpec {
+	return TableSpec{Title: "Table II: 12 GB, K=16 workers, 100 Mbps", K: 16, Rs: []int{3, 5}}
+}
+
+// Table3Spec is Table III: K=20 with r in {3,5}.
+func Table3Spec() TableSpec {
+	return TableSpec{Title: "Table III: 12 GB, K=20 workers, 100 Mbps", K: 20, Rs: []int{3, 5}}
+}
+
+// GenerateTable simulates every row of the spec at full 12 GB scale and
+// returns renderable rows.
+func GenerateTable(spec TableSpec, cm CostModel) ([]stats.Row, error) {
+	base, _, err := Simulate(Workload{Rows: Rows12GB, K: spec.K, Seed: 2017}, cm)
+	if err != nil {
+		return nil, err
+	}
+	rows := []stats.Row{{Label: "TeraSort", Times: base}}
+	for _, r := range spec.Rs {
+		b, _, err := Simulate(Workload{Rows: Rows12GB, K: spec.K, R: r, Coded: true, Seed: 2017}, cm)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, stats.Row{
+			Label:   fmt.Sprintf("CodedTeraSort: r=%d", r),
+			Times:   b,
+			Speedup: base.Total().Seconds() / b.Total().Seconds(),
+		})
+	}
+	return rows, nil
+}
+
+// CompareCell is one paper-vs-simulated comparison.
+type CompareCell struct {
+	Row      string
+	Stage    string
+	PaperSec float64
+	SimSec   float64
+}
+
+// Ratio returns simulated / paper.
+func (c CompareCell) Ratio() float64 {
+	if c.PaperSec == 0 {
+		return 1
+	}
+	return c.SimSec / c.PaperSec
+}
+
+// Compare simulates all published rows and pairs every stage cell with the
+// paper's measurement — the data behind EXPERIMENTS.md and the calibration
+// report of cmd/tables.
+func Compare(cm CostModel) ([]CompareCell, error) {
+	var out []CompareCell
+	for _, pr := range PaperRows12GB {
+		b, _, err := Simulate(Workload{Rows: Rows12GB, K: pr.K, R: pr.R, Coded: pr.Coded, Seed: 2017}, cm)
+		if err != nil {
+			return nil, err
+		}
+		label := fmt.Sprintf("K=%d %s", pr.K, pr.Label)
+		for s := stats.StageCodeGen; s < stats.NumStages; s++ {
+			if !pr.Coded && s == stats.StageCodeGen {
+				continue
+			}
+			out = append(out, CompareCell{
+				Row:      label,
+				Stage:    s.String(),
+				PaperSec: pr.Times[s].Seconds(),
+				SimSec:   b[s].Seconds(),
+			})
+		}
+		out = append(out, CompareCell{
+			Row: label, Stage: "Total",
+			PaperSec: pr.Times.Total().Seconds(),
+			SimSec:   b.Total().Seconds(),
+		})
+	}
+	return out, nil
+}
+
+// RenderComparison formats Compare output as a text report.
+func RenderComparison(cells []CompareCell) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-28s  %-14s  %10s  %10s  %7s\n", "Row", "Stage", "Paper (s)", "Sim (s)", "Ratio")
+	fmt.Fprintf(&b, "%s\n", strings.Repeat("-", 78))
+	for _, c := range cells {
+		fmt.Fprintf(&b, "%-28s  %-14s  %10.2f  %10.2f  %6.2fx\n",
+			c.Row, c.Stage, c.PaperSec, c.SimSec, c.Ratio())
+	}
+	return b.String()
+}

@@ -1,0 +1,95 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Row is one line of a result table: an algorithm label, its stage
+// breakdown, and an optional speedup against the table's baseline.
+type Row struct {
+	Label string
+	Times Breakdown
+	// Speedup of the baseline total over this row's total; 0 hides the cell.
+	Speedup float64
+}
+
+// RenderTable formats rows in the layout of the paper's Tables I-III:
+//
+//	                    CodeGen     Map  Pack/Encode  Shuffle  ...  Total  Speedup
+//	TeraSort                  -    1.86         2.35   945.72  ...
+//
+// Durations print as seconds with two decimals; zero CodeGen renders as "-"
+// (TeraSort has no CodeGen stage).
+func RenderTable(title string, rows []Row) string {
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	labelWidth := len("Algorithm")
+	for _, r := range rows {
+		if len(r.Label) > labelWidth {
+			labelWidth = len(r.Label)
+		}
+	}
+	cols := []string{"CodeGen", "Map", "Pack/Encode", "Shuffle", "Unpack/Decode", "Reduce", "Total", "Speedup"}
+	widths := make([]int, len(cols))
+	for i, c := range cols {
+		widths[i] = len(c)
+		if widths[i] < 8 {
+			widths[i] = 8
+		}
+	}
+	fmt.Fprintf(&b, "%-*s", labelWidth, "Algorithm")
+	for i, c := range cols {
+		fmt.Fprintf(&b, "  %*s", widths[i], c)
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "%s\n", strings.Repeat("-", labelWidth+2*len(cols)+sum(widths)))
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-*s", labelWidth, r.Label)
+		for i := StageCodeGen; i < NumStages; i++ {
+			cell := formatSeconds(r.Times[i])
+			if i == StageCodeGen && r.Times[i] == 0 {
+				cell = "-"
+			}
+			fmt.Fprintf(&b, "  %*s", widths[i], cell)
+		}
+		fmt.Fprintf(&b, "  %*s", widths[NumStages], formatSeconds(r.Times.Total()))
+		if r.Speedup > 0 {
+			fmt.Fprintf(&b, "  %*s", widths[NumStages+1], fmt.Sprintf("%.2fx", r.Speedup))
+		} else {
+			fmt.Fprintf(&b, "  %*s", widths[NumStages+1], "")
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func formatSeconds(d time.Duration) string {
+	return fmt.Sprintf("%.2f", d.Seconds())
+}
+
+func sum(xs []int) int {
+	t := 0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+
+// Seconds builds a Breakdown from per-stage second values in stage order
+// (CodeGen, Map, Pack, Shuffle, Unpack, Reduce) — convenient for encoding
+// the paper's published numbers in tests and EXPERIMENTS.md generators.
+func Seconds(codegen, mapS, pack, shuffle, unpack, reduce float64) Breakdown {
+	toDur := func(s float64) time.Duration { return time.Duration(s * float64(time.Second)) }
+	return Breakdown{
+		StageCodeGen: toDur(codegen),
+		StageMap:     toDur(mapS),
+		StagePack:    toDur(pack),
+		StageShuffle: toDur(shuffle),
+		StageUnpack:  toDur(unpack),
+		StageReduce:  toDur(reduce),
+	}
+}

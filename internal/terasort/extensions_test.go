@@ -1,0 +1,77 @@
+package terasort
+
+import (
+	"bytes"
+	"testing"
+
+	"codedterasort/internal/kv"
+)
+
+func TestParallelShuffleMatchesSerial(t *testing.T) {
+	base := Config{K: 5, Rows: 2500, Seed: 41}
+	serial := runAll(t, base)
+	par := base
+	par.Parallel = true
+	parallel := runAll(t, par)
+	for rank := range serial {
+		if !serial[rank].Output.Equal(parallel[rank].Output) {
+			t.Fatalf("rank %d differs between schedules", rank)
+		}
+	}
+}
+
+func TestFilterGrep(t *testing.T) {
+	// The "Beyond Sorting" hook on the baseline: uncoded grep.
+	const k, rows, seed = 4, 4000, 42
+	pattern := []byte("XY")
+	match := func(rec []byte) bool { return bytes.Contains(rec[kv.KeySize:], pattern) }
+	results := runAll(t, Config{K: k, Rows: rows, Seed: seed, Filter: match})
+	got := kv.Concat(outputs(results)...)
+
+	data := kv.NewGenerator(seed, kv.DistUniform).Generate(0, rows)
+	want := kv.MakeRecords(0)
+	for i := 0; i < data.Len(); i++ {
+		if match(data.Record(i)) {
+			want = want.Append(data.Record(i))
+		}
+	}
+	want.Sort()
+	if !got.Equal(want) {
+		t.Fatalf("grep output: %d records, want %d", got.Len(), want.Len())
+	}
+	if want.Len() == 0 {
+		t.Fatalf("degenerate test: no matches")
+	}
+}
+
+func TestFilterShrinksShuffle(t *testing.T) {
+	const k, rows, seed = 4, 4000, 43
+	full := runAll(t, Config{K: k, Rows: rows, Seed: seed})
+	filtered := runAll(t, Config{K: k, Rows: rows, Seed: seed,
+		Filter: func(rec []byte) bool { return rec[0] < 0x20 }}) // ~1/8 of records
+	var fullBytes, filteredBytes int64
+	for i := range full {
+		fullBytes += full[i].ShuffleBytes
+		filteredBytes += filtered[i].ShuffleBytes
+	}
+	if filteredBytes*4 >= fullBytes {
+		t.Fatalf("filtered shuffle %d not much smaller than full %d", filteredBytes, fullBytes)
+	}
+}
+
+func TestInjectedInputMatchesGenerated(t *testing.T) {
+	const k, rows, seed = 3, 900, 44
+	gen := kv.NewGenerator(seed, kv.DistUniform)
+	bounds := kv.SplitRows(rows, k)
+	input := make([]kv.Records, k)
+	for i := range input {
+		input[i] = gen.Generate(bounds[i], bounds[i+1]-bounds[i])
+	}
+	genResults := runAll(t, Config{K: k, Rows: rows, Seed: seed})
+	injResults := runAll(t, Config{K: k, Rows: rows, Seed: seed, Input: input})
+	for rank := range genResults {
+		if !genResults[rank].Output.Equal(injResults[rank].Output) {
+			t.Fatalf("rank %d differs between generated and injected input", rank)
+		}
+	}
+}

@@ -1,0 +1,271 @@
+// Package terasort implements the conventional TeraSort baseline of the
+// paper's Section III: K nodes, one input file per node, uniform key-domain
+// partitioning, and the five-stage pipeline Map, Pack, Shuffle (serial
+// unicast, Fig 9a), Unpack, Reduce. It is the comparison baseline for
+// CodedTeraSort and shares the kv/partition/codec/transport substrates, so
+// measured differences isolate the algorithmic change.
+package terasort
+
+import (
+	"fmt"
+
+	"codedterasort/internal/codec"
+	"codedterasort/internal/kv"
+	"codedterasort/internal/partition"
+	"codedterasort/internal/placement"
+	"codedterasort/internal/stats"
+	"codedterasort/internal/transport"
+)
+
+// Tag stages; disjoint from the coded package's tags.
+const (
+	tagShuffle uint8 = 0x10
+	tagToken   uint8 = 0x11
+)
+
+// Config describes one TeraSort run. All workers must hold identical
+// configurations (the coordinator distributes them in the cluster runtime).
+type Config struct {
+	// K is the number of worker nodes.
+	K int
+	// Rows is the total input size in records.
+	Rows int64
+	// Seed feeds the row-addressable input generator.
+	Seed uint64
+	// Dist selects the input key distribution.
+	Dist kv.Distribution
+	// Part maps keys to the K reducers. Nil selects uniform partitioning.
+	Part partition.Partitioner
+	// Input, when non-nil, supplies the K input files directly instead of
+	// generating them: file k is sorted from Input[k]. All workers must
+	// hold the same slice (in-process engines only). Rows and Seed are
+	// ignored for data placement when Input is set.
+	Input []kv.Records
+	// Parallel lifts the serial sender schedule of Fig 9(a): all nodes
+	// send concurrently. This is the paper's "Asynchronous Execution"
+	// future direction; with per-node egress shaping it shortens the
+	// shuffle wall time by up to K at unchanged total load.
+	Parallel bool
+	// Filter, when non-nil, keeps only records it accepts during the Map
+	// stage — the hook that turns the sorter into the other
+	// shuffle-limited applications the paper's conclusion names (Grep,
+	// SelfJoin): select in Map, shuffle only matches, reduce sorted
+	// matches. The function must be pure and identical on all workers.
+	Filter func(record []byte) bool
+}
+
+// normalize validates and fills defaults.
+func (c Config) normalize() (Config, error) {
+	if c.K <= 0 {
+		return c, fmt.Errorf("terasort: K=%d", c.K)
+	}
+	if c.Rows < 0 {
+		return c, fmt.Errorf("terasort: negative row count")
+	}
+	if c.Part == nil {
+		c.Part = partition.NewUniform(c.K)
+	}
+	if c.Part.NumPartitions() != c.K {
+		return c, fmt.Errorf("terasort: partitioner has %d partitions for K=%d", c.Part.NumPartitions(), c.K)
+	}
+	if c.Input != nil && len(c.Input) != c.K {
+		return c, fmt.Errorf("terasort: %d input files for K=%d", len(c.Input), c.K)
+	}
+	return c, nil
+}
+
+// Result is one worker's output.
+type Result struct {
+	// Output is the node's fully sorted partition.
+	Output kv.Records
+	// Times is the node's stage breakdown.
+	Times stats.Breakdown
+	// ShuffleBytes counts the unicast payload bytes this node sent during
+	// the Shuffle stage (the communication-load contribution).
+	ShuffleBytes int64
+}
+
+// Run executes the TeraSort worker for ep.Rank() and blocks until this
+// node's part of the job completes. Every rank of the endpoint's world must
+// call Run concurrently with an identical configuration. The timeline may
+// be nil, in which case a wall-clock timeline is used internally.
+func Run(ep transport.Endpoint, cfg Config, tl *stats.Timeline) (Result, error) {
+	cfg, err := cfg.normalize()
+	if err != nil {
+		return Result{}, err
+	}
+	if ep.Size() != cfg.K {
+		return Result{}, fmt.Errorf("terasort: endpoint world %d != K %d", ep.Size(), cfg.K)
+	}
+	if tl == nil {
+		tl = stats.NewTimeline(stats.NewWallClock())
+	}
+	w := &worker{ep: ep, cfg: cfg, tl: tl, rank: ep.Rank()}
+	return w.run()
+}
+
+type worker struct {
+	ep   transport.Endpoint
+	cfg  Config
+	tl   *stats.Timeline
+	rank int
+
+	local    kv.Records   // this node's input file
+	hashed   []kv.Records // K intermediate values from the Map stage
+	packed   [][]byte     // serialized IVs, indexed by destination
+	received [][]byte     // packed IVs received, indexed by source
+	unpacked []kv.Records // deserialized IVs, indexed by source
+	result   Result
+}
+
+func (w *worker) run() (Result, error) {
+	if w.cfg.Input != nil {
+		// Directly supplied input files.
+		w.local = w.cfg.Input[w.rank]
+	} else {
+		plan, err := placement.Single(w.cfg.K, w.cfg.Rows)
+		if err != nil {
+			return Result{}, err
+		}
+		// File Placement: file k lives on node k; the row-addressable
+		// generator stands in for the coordinator's disk placement.
+		gen := kv.NewGenerator(w.cfg.Seed, w.cfg.Dist)
+		w.local = plan.Materialize(gen, w.rank)
+	}
+
+	steps := []struct {
+		stage stats.Stage
+		fn    func() error
+	}{
+		{stats.StageMap, w.mapStage},
+		{stats.StagePack, w.packStage},
+		{stats.StageShuffle, w.shuffleStage},
+		{stats.StageUnpack, w.unpackStage},
+		{stats.StageReduce, w.reduceStage},
+	}
+	for _, s := range steps {
+		if err := w.tl.Measure(s.stage, s.fn); err != nil {
+			return Result{}, fmt.Errorf("terasort: rank %d %v stage: %w", w.rank, s.stage, err)
+		}
+		// Stages execute synchronously across the cluster (Section V-A);
+		// the barrier also keeps per-stage times comparable across nodes.
+		if err := w.ep.Barrier(transport.MakeTag(tagToken, uint16(s.stage), 0xFFFF)); err != nil {
+			return Result{}, fmt.Errorf("terasort: rank %d barrier after %v: %w", w.rank, s.stage, err)
+		}
+	}
+	w.result.Times = w.tl.Breakdown()
+	return w.result, nil
+}
+
+// mapStage hashes every local record into one of the K partitions
+// (Section III-A3), applying the optional record filter first.
+func (w *worker) mapStage() error {
+	w.hashed = partition.Split(w.cfg.Part, filterRecords(w.local, w.cfg.Filter))
+	return nil
+}
+
+// filterRecords returns r unchanged for a nil filter, else the accepted
+// subset.
+func filterRecords(r kv.Records, keep func([]byte) bool) kv.Records {
+	if keep == nil {
+		return r
+	}
+	out := kv.MakeRecords(r.Len())
+	for i := 0; i < r.Len(); i++ {
+		if keep(r.Record(i)) {
+			out = out.Append(r.Record(i))
+		}
+	}
+	return out
+}
+
+// packStage serializes each remote-bound intermediate value into one
+// contiguous payload so the shuffle pushes a single framed message per IV
+// (Section V-A's rationale: one TCP flow per intermediate value).
+func (w *worker) packStage() error {
+	w.packed = make([][]byte, w.cfg.K)
+	for dst := 0; dst < w.cfg.K; dst++ {
+		if dst == w.rank {
+			continue
+		}
+		w.packed[dst] = codec.PackIV(w.hashed[dst])
+	}
+	return nil
+}
+
+// shuffleStage runs the serial unicast schedule of Fig 9(a): node 0 sends
+// its K-1 intermediate values back-to-back, then node 1, and so on.
+// Receives are posted up front so the single active sender never blocks.
+func (w *worker) shuffleStage() error {
+	recvErr := make(chan error, 1)
+	w.received = make([][]byte, w.cfg.K)
+	go func() {
+		for src := 0; src < w.cfg.K; src++ {
+			if src == w.rank {
+				continue
+			}
+			p, err := w.ep.Recv(src, transport.MakeTag(tagShuffle, uint16(src), uint16(w.rank)))
+			if err != nil {
+				recvErr <- err
+				return
+			}
+			w.received[src] = p
+		}
+		recvErr <- nil
+	}()
+	send := func() error {
+		for dst := 0; dst < w.cfg.K; dst++ {
+			if dst == w.rank {
+				continue
+			}
+			if err := w.ep.Send(dst, transport.MakeTag(tagShuffle, uint16(w.rank), uint16(dst)), w.packed[dst]); err != nil {
+				return err
+			}
+			w.result.ShuffleBytes += int64(len(w.packed[dst]))
+		}
+		return nil
+	}
+	var sendErr error
+	if w.cfg.Parallel {
+		sendErr = send()
+	} else {
+		sendErr = transport.SerialOrder(w.ep, transport.MakeTag(tagToken, 0, 0), send)
+	}
+	if sendErr != nil {
+		return sendErr
+	}
+	return <-recvErr
+}
+
+// unpackStage deserializes the received payloads back to record buffers.
+func (w *worker) unpackStage() error {
+	w.unpacked = make([]kv.Records, w.cfg.K)
+	for src, p := range w.received {
+		if src == w.rank || p == nil {
+			continue
+		}
+		iv, err := codec.UnpackIV(p)
+		if err != nil {
+			return fmt.Errorf("from rank %d: %w", src, err)
+		}
+		w.unpacked[src] = iv
+	}
+	return nil
+}
+
+// reduceStage concatenates the node's own partition-k records with the
+// K-1 received intermediate values and sorts them (Section III-A5).
+func (w *worker) reduceStage() error {
+	parts := make([]kv.Records, 0, w.cfg.K)
+	parts = append(parts, w.hashed[w.rank])
+	for src, iv := range w.unpacked {
+		if src == w.rank {
+			continue
+		}
+		parts = append(parts, iv)
+	}
+	out := kv.Concat(parts...)
+	out.Sort()
+	w.result.Output = out
+	return nil
+}

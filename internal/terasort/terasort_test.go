@@ -1,0 +1,223 @@
+package terasort
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"codedterasort/internal/kv"
+	"codedterasort/internal/partition"
+	"codedterasort/internal/stats"
+	"codedterasort/internal/transport"
+	"codedterasort/internal/transport/memnet"
+	"codedterasort/internal/transport/netem"
+	"codedterasort/internal/verify"
+)
+
+// runAll executes a full TeraSort over an in-memory mesh and returns all
+// worker results.
+func runAll(t *testing.T, cfg Config) []Result {
+	t.Helper()
+	mesh := memnet.NewMesh(cfg.K)
+	defer mesh.Close()
+	results := make([]Result, cfg.K)
+	errs := make([]error, cfg.K)
+	var wg sync.WaitGroup
+	for r := 0; r < cfg.K; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			ep := transport.WithCollectives(mesh.Endpoint(rank), transport.BcastSequential)
+			results[rank], errs[rank] = Run(ep, cfg, nil)
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+	return results
+}
+
+func outputs(results []Result) []kv.Records {
+	out := make([]kv.Records, len(results))
+	for i, r := range results {
+		out[i] = r.Output
+	}
+	return out
+}
+
+func TestEndToEndSortsCorrectly(t *testing.T) {
+	cfg := Config{K: 4, Rows: 4000, Seed: 1}
+	results := runAll(t, cfg)
+	in := verify.DescribeGenerated(kv.NewGenerator(1, kv.DistUniform), 4000)
+	if err := verify.SortedOutput(outputs(results), partition.NewUniform(4), in); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatchesSequentialSort(t *testing.T) {
+	cfg := Config{K: 3, Rows: 900, Seed: 7}
+	results := runAll(t, cfg)
+	all := kv.Concat(outputs(results)...)
+	want := kv.NewGenerator(7, kv.DistUniform).Generate(0, 900)
+	want.Sort()
+	if !all.Equal(want) {
+		t.Fatalf("distributed output != sequential sort")
+	}
+}
+
+func TestVariousClusterSizes(t *testing.T) {
+	for _, k := range []int{1, 2, 5, 8, 16} {
+		cfg := Config{K: k, Rows: int64(200 * k), Seed: uint64(k)}
+		results := runAll(t, cfg)
+		in := verify.DescribeGenerated(kv.NewGenerator(uint64(k), kv.DistUniform), cfg.Rows)
+		if err := verify.SortedOutput(outputs(results), partition.NewUniform(k), in); err != nil {
+			t.Fatalf("K=%d: %v", k, err)
+		}
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	cfg := Config{K: 3, Rows: 0, Seed: 1}
+	results := runAll(t, cfg)
+	for r, res := range results {
+		if res.Output.Len() != 0 {
+			t.Fatalf("rank %d produced %d records from empty input", r, res.Output.Len())
+		}
+	}
+}
+
+func TestTinyInputFewerRowsThanNodes(t *testing.T) {
+	cfg := Config{K: 8, Rows: 3, Seed: 5}
+	results := runAll(t, cfg)
+	in := verify.DescribeGenerated(kv.NewGenerator(5, kv.DistUniform), 3)
+	if err := verify.SortedOutput(outputs(results), partition.NewUniform(8), in); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSkewedInputWithSampledPartitioner(t *testing.T) {
+	// Production TeraSort practice: sample, then range-partition. The run
+	// must stay correct under heavy key skew.
+	const k, rows = 4, 4000
+	sample := kv.NewGenerator(9, kv.DistSkewed).Generate(0, 400)
+	part, err := partition.FromSample(sample, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{K: k, Rows: rows, Seed: 9, Dist: kv.DistSkewed, Part: part}
+	results := runAll(t, cfg)
+	in := verify.DescribeGenerated(kv.NewGenerator(9, kv.DistSkewed), rows)
+	if err := verify.SortedOutput(outputs(results), part, in); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShuffleBytesMatchTheory(t *testing.T) {
+	// Total shuffled payload ~ (K-1)/K of the input bytes plus the 4-byte
+	// pack headers (the paper's communication load at r=1).
+	cfg := Config{K: 4, Rows: 4000, Seed: 11}
+	results := runAll(t, cfg)
+	var total int64
+	for _, r := range results {
+		total += r.ShuffleBytes
+	}
+	inputBytes := int64(4000 * kv.RecordSize)
+	want := inputBytes * 3 / 4
+	headers := int64(4 * 3 * 4) // K*(K-1) packed IVs, 4-byte headers
+	if total < want-inputBytes/10 || total > want+inputBytes/10+headers {
+		t.Fatalf("shuffled %d bytes, want about %d", total, want)
+	}
+}
+
+func TestStageTimesPopulated(t *testing.T) {
+	cfg := Config{K: 3, Rows: 3000, Seed: 2}
+	results := runAll(t, cfg)
+	for r, res := range results {
+		if res.Times[stats.StageCodeGen] != 0 {
+			t.Fatalf("rank %d has CodeGen time in TeraSort", r)
+		}
+		if res.Times[stats.StageReduce] <= 0 {
+			t.Fatalf("rank %d Reduce time not recorded", r)
+		}
+		if res.Times.Total() <= 0 {
+			t.Fatalf("rank %d empty breakdown", r)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	mesh := memnet.NewMesh(2)
+	defer mesh.Close()
+	ep := transport.WithCollectives(mesh.Endpoint(0), transport.BcastSequential)
+	if _, err := Run(ep, Config{K: 0}, nil); err == nil {
+		t.Fatalf("K=0 accepted")
+	}
+	if _, err := Run(ep, Config{K: 3, Rows: 10}, nil); err == nil {
+		t.Fatalf("world-size mismatch accepted")
+	}
+	if _, err := Run(ep, Config{K: 2, Rows: -5}, nil); err == nil {
+		t.Fatalf("negative rows accepted")
+	}
+	if _, err := Run(ep, Config{K: 2, Part: partition.NewUniform(5)}, nil); err == nil {
+		t.Fatalf("partitioner/K mismatch accepted")
+	}
+}
+
+func TestTransportFailureSurfaces(t *testing.T) {
+	// A send failure mid-shuffle must produce an error mentioning the
+	// stage, not a hang or silent corruption.
+	const k = 3
+	mesh := memnet.NewMesh(k)
+	defer mesh.Close()
+	cfg := Config{K: k, Rows: 300, Seed: 3}
+	rank0Err := make(chan error, 1)
+	var wg sync.WaitGroup
+	go func() {
+		conn := netem.Fail(mesh.Endpoint(0), 3, transport.ErrClosed)
+		ep := transport.WithCollectives(conn, transport.BcastSequential)
+		_, err := Run(ep, cfg, nil)
+		rank0Err <- err
+	}()
+	for r := 1; r < k; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			ep := transport.WithCollectives(mesh.Endpoint(rank), transport.BcastSequential)
+			// Errors here are expected: the cluster is going down.
+			_, _ = Run(ep, cfg, nil)
+		}(r)
+	}
+	err0 := <-rank0Err
+	// Tear the mesh down to release peers blocked on the dead rank.
+	mesh.Close()
+	wg.Wait()
+	if err0 == nil {
+		t.Fatalf("rank 0 should have failed")
+	}
+	if !strings.Contains(err0.Error(), "rank 0") {
+		t.Fatalf("error lacks context: %v", err0)
+	}
+}
+
+func BenchmarkTeraSortK4(b *testing.B) {
+	cfg := Config{K: 4, Rows: 20000, Seed: 1}
+	for i := 0; i < b.N; i++ {
+		mesh := memnet.NewMesh(cfg.K)
+		var wg sync.WaitGroup
+		for r := 0; r < cfg.K; r++ {
+			wg.Add(1)
+			go func(rank int) {
+				defer wg.Done()
+				ep := transport.WithCollectives(mesh.Endpoint(rank), transport.BcastSequential)
+				if _, err := Run(ep, cfg, nil); err != nil {
+					b.Error(err)
+				}
+			}(r)
+		}
+		wg.Wait()
+		mesh.Close()
+	}
+}

@@ -1,0 +1,208 @@
+package transport
+
+import (
+	"fmt"
+	"sort"
+)
+
+// groupIndex returns the position of rank within the ascending-sorted group
+// and the sorted copy, or an error if rank is absent or the group invalid.
+func groupIndex(group []int, rank int) ([]int, int, error) {
+	if len(group) == 0 {
+		return nil, -1, fmt.Errorf("transport: empty group")
+	}
+	sorted := append([]int(nil), group...)
+	sort.Ints(sorted)
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i] == sorted[i-1] {
+			return nil, -1, fmt.Errorf("transport: duplicate rank %d in group", sorted[i])
+		}
+	}
+	for i, r := range sorted {
+		if r == rank {
+			return sorted, i, nil
+		}
+	}
+	return nil, -1, fmt.Errorf("transport: rank %d not in group %v", rank, group)
+}
+
+// SeqBcast is the serial application-layer multicast of the paper's
+// Fig 9(b): the root sends the payload to every other group member
+// back-to-back in ascending rank order; each member posts one Recv.
+// All group members must call it with identical group/root/tag.
+func SeqBcast(c Conn, group []int, root int, tag Tag, payload []byte) ([]byte, error) {
+	sorted, _, err := groupIndex(group, c.Rank())
+	if err != nil {
+		return nil, err
+	}
+	if _, _, err := groupIndex(group, root); err != nil {
+		return nil, err
+	}
+	if c.Rank() == root {
+		for _, m := range sorted {
+			if m == root {
+				continue
+			}
+			if err := c.Send(m, tag, payload); err != nil {
+				return nil, err
+			}
+		}
+		return payload, nil
+	}
+	return c.Recv(root, tag)
+}
+
+// TreeBcast relays the payload along a binomial tree rooted at root, the
+// algorithm MPI_Bcast uses for small clusters: in round j, every node that
+// already has the payload forwards it to the node 2^j positions away in
+// root-relative group order. It completes in ceil(log2(n)) rounds.
+// All group members must call it with identical group/root/tag.
+func TreeBcast(c Conn, group []int, root int, tag Tag, payload []byte) ([]byte, error) {
+	sorted, selfIdx, err := groupIndex(group, c.Rank())
+	if err != nil {
+		return nil, err
+	}
+	_, rootIdx, err := groupIndex(group, root)
+	if err != nil {
+		return nil, err
+	}
+	n := len(sorted)
+	// Virtual rank: position relative to the root, so the root is vrank 0.
+	vrank := (selfIdx - rootIdx + n) % n
+	data := payload
+	if vrank != 0 {
+		// Receive from the parent: clear the lowest set bit of vrank.
+		parentV := vrank &^ (vrank & -vrank)
+		parent := sorted[(parentV+rootIdx)%n]
+		data, err = c.Recv(parent, tag)
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Forward to children: vrank + 2^j for each j above our lowest set bit
+	// (for the root: all powers of two below n), descending so the farthest
+	// subtree starts first — the standard binomial schedule.
+	lowBit := n
+	if vrank != 0 {
+		lowBit = vrank & -vrank
+	}
+	for step := largestPow2Below(n); step >= 1; step >>= 1 {
+		if step >= lowBit {
+			continue
+		}
+		childV := vrank + step
+		if childV >= n {
+			continue
+		}
+		child := sorted[(childV+rootIdx)%n]
+		if err := c.Send(child, tag, data); err != nil {
+			return nil, err
+		}
+	}
+	return data, nil
+}
+
+func largestPow2Below(n int) int {
+	p := 1
+	for p*2 < n {
+		p *= 2
+	}
+	if n == 1 {
+		return 0
+	}
+	return p
+}
+
+// CentralBarrier blocks until every node of the Conn has entered the
+// barrier with this tag: all ranks report to rank 0, which then releases
+// everyone. Two sub-tags keep arrival and release traffic distinct.
+func CentralBarrier(c Conn, tag Tag) error {
+	const (
+		arrive  = Tag(1) << 62
+		release = Tag(1) << 63
+	)
+	if c.Rank() == 0 {
+		for r := 1; r < c.Size(); r++ {
+			if _, err := c.Recv(r, tag|arrive); err != nil {
+				return err
+			}
+		}
+		for r := 1; r < c.Size(); r++ {
+			if err := c.Send(r, tag|release, nil); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := c.Send(0, tag|arrive, nil); err != nil {
+		return err
+	}
+	_, err := c.Recv(0, tag|release)
+	return err
+}
+
+// SerialOrder coordinates the serial communication schedule of the paper's
+// Fig 9: every rank calls it, rank 0's fn runs immediately, and rank r's fn
+// runs only after rank r-1 has finished (a token passes down the rank
+// chain). All ranks must call it with the same tag; fn errors propagate to
+// the caller and stop the token.
+func SerialOrder(c Conn, tag Tag, fn func() error) error {
+	if c.Rank() > 0 {
+		if _, err := c.Recv(c.Rank()-1, tag); err != nil {
+			return err
+		}
+	}
+	if err := fn(); err != nil {
+		return err
+	}
+	if c.Rank() < c.Size()-1 {
+		return c.Send(c.Rank()+1, tag, nil)
+	}
+	return nil
+}
+
+// Gather collects one payload from every rank at root. Root receives the
+// payloads indexed by rank (its own entry is its local payload); non-roots
+// receive nil. All nodes must call it with identical root/tag.
+func Gather(c Conn, root int, tag Tag, payload []byte) ([][]byte, error) {
+	if root < 0 || root >= c.Size() {
+		return nil, fmt.Errorf("transport: gather root %d out of range", root)
+	}
+	if c.Rank() != root {
+		return nil, c.Send(root, tag, payload)
+	}
+	out := make([][]byte, c.Size())
+	out[root] = payload
+	for r := 0; r < c.Size(); r++ {
+		if r == root {
+			continue
+		}
+		p, err := c.Recv(r, tag)
+		if err != nil {
+			return nil, err
+		}
+		out[r] = p
+	}
+	return out, nil
+}
+
+// Scatter delivers payloads[r] from root to every rank r and returns the
+// local slice. Non-roots pass nil payloads. All nodes call it with
+// identical root/tag.
+func Scatter(c Conn, root int, tag Tag, payloads [][]byte) ([]byte, error) {
+	if c.Rank() == root {
+		if len(payloads) != c.Size() {
+			return nil, fmt.Errorf("transport: scatter needs %d payloads, got %d", c.Size(), len(payloads))
+		}
+		for r := 0; r < c.Size(); r++ {
+			if r == root {
+				continue
+			}
+			if err := c.Send(r, tag, payloads[r]); err != nil {
+				return nil, err
+			}
+		}
+		return payloads[root], nil
+	}
+	return c.Recv(root, tag)
+}

@@ -1,0 +1,274 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// fakeConn is a minimal in-package mesh for testing the collective
+// algorithms without importing the memnet package (which would create an
+// import cycle in tests).
+type fakeMesh struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queues map[string][][]byte // key: "src>dst:tag"
+	size   int
+	log    []string // send log for schedule-shape assertions
+}
+
+func newFakeMesh(size int) *fakeMesh {
+	m := &fakeMesh{queues: map[string][][]byte{}, size: size}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+func (m *fakeMesh) conn(rank int) *fakeConn { return &fakeConn{mesh: m, rank: rank} }
+
+type fakeConn struct {
+	mesh *fakeMesh
+	rank int
+}
+
+func key(src, dst int, tag Tag) string { return fmt.Sprintf("%d>%d:%d", src, dst, tag) }
+
+func (c *fakeConn) Rank() int { return c.rank }
+func (c *fakeConn) Size() int { return c.mesh.size }
+
+func (c *fakeConn) Send(to int, tag Tag, payload []byte) error {
+	m := c.mesh
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	k := key(c.rank, to, tag)
+	m.queues[k] = append(m.queues[k], append([]byte(nil), payload...))
+	m.log = append(m.log, fmt.Sprintf("%d->%d", c.rank, to))
+	m.cond.Broadcast()
+	return nil
+}
+
+func (c *fakeConn) Recv(from int, tag Tag) ([]byte, error) {
+	m := c.mesh
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	k := key(from, c.rank, tag)
+	for len(m.queues[k]) == 0 {
+		m.cond.Wait()
+	}
+	p := m.queues[k][0]
+	m.queues[k] = m.queues[k][1:]
+	return p, nil
+}
+
+func (c *fakeConn) Close() error { return nil }
+
+func (m *fakeMesh) sendLog() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]string(nil), m.log...)
+}
+
+func TestMakeTagDisjointness(t *testing.T) {
+	seen := map[Tag]bool{}
+	for stage := uint8(0); stage < 4; stage++ {
+		for a := uint16(0); a < 8; a++ {
+			for b := uint16(0); b < 8; b++ {
+				tag := MakeTag(stage, a, b)
+				if seen[tag] {
+					t.Fatalf("collision at stage=%d a=%d b=%d", stage, a, b)
+				}
+				seen[tag] = true
+			}
+		}
+	}
+}
+
+func TestGroupIndexValidation(t *testing.T) {
+	if _, _, err := groupIndex(nil, 0); err == nil {
+		t.Fatalf("empty group accepted")
+	}
+	if _, _, err := groupIndex([]int{1, 1, 2}, 1); err == nil {
+		t.Fatalf("duplicate accepted")
+	}
+	if _, _, err := groupIndex([]int{1, 2}, 3); err == nil {
+		t.Fatalf("non-member accepted")
+	}
+	sorted, idx, err := groupIndex([]int{5, 1, 3}, 3)
+	if err != nil || idx != 1 || sorted[0] != 1 || sorted[2] != 5 {
+		t.Fatalf("groupIndex = %v, %d, %v", sorted, idx, err)
+	}
+}
+
+// runGroup executes fn concurrently for each rank of group and waits.
+func runGroup(t *testing.T, mesh *fakeMesh, group []int, fn func(c Conn) error) {
+	t.Helper()
+	var wg sync.WaitGroup
+	errs := make([]error, len(group))
+	for i, rank := range group {
+		wg.Add(1)
+		go func(i, rank int) {
+			defer wg.Done()
+			errs[i] = fn(mesh.conn(rank))
+		}(i, rank)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", group[i], err)
+		}
+	}
+}
+
+func TestSeqBcastSendPattern(t *testing.T) {
+	// The root of a sequential bcast sends one copy per receiver, in
+	// ascending rank order, and nobody else sends anything.
+	mesh := newFakeMesh(5)
+	group := []int{0, 2, 4}
+	runGroup(t, mesh, group, func(c Conn) error {
+		var p []byte
+		if c.Rank() == 2 {
+			p = []byte("x")
+		}
+		_, err := SeqBcast(c, group, 2, 7, p)
+		return err
+	})
+	want := []string{"2->0", "2->4"}
+	got := mesh.sendLog()
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("send log %v, want %v", got, want)
+	}
+}
+
+func TestTreeBcastSendPattern(t *testing.T) {
+	// Binomial tree over 4 members rooted at the first: root sends 2
+	// copies (to vranks 2 and 1), the vrank-2 node relays once. Total
+	// sends = n-1 = 3 and no node sends more than ceil(log2 n) times.
+	mesh := newFakeMesh(4)
+	group := []int{0, 1, 2, 3}
+	runGroup(t, mesh, group, func(c Conn) error {
+		var p []byte
+		if c.Rank() == 0 {
+			p = []byte("pkt")
+		}
+		_, err := TreeBcast(c, group, 0, 9, p)
+		return err
+	})
+	log := mesh.sendLog()
+	if len(log) != 3 {
+		t.Fatalf("tree bcast of 4 should send 3 messages, sent %v", log)
+	}
+	perSender := map[string]int{}
+	for _, s := range log {
+		perSender[s[:1]]++
+	}
+	if perSender["0"] != 2 || perSender["2"] != 1 {
+		t.Fatalf("unexpected tree shape: %v", log)
+	}
+}
+
+func TestTreeBcastAllRootsAllSizes(t *testing.T) {
+	for size := 1; size <= 9; size++ {
+		group := make([]int, size)
+		for i := range group {
+			group[i] = i
+		}
+		for root := 0; root < size; root++ {
+			mesh := newFakeMesh(size)
+			payload := []byte{byte(root), byte(size)}
+			var wg sync.WaitGroup
+			errs := make([]error, size)
+			got := make([][]byte, size)
+			for i := 0; i < size; i++ {
+				wg.Add(1)
+				go func(rank int) {
+					defer wg.Done()
+					var p []byte
+					if rank == root {
+						p = payload
+					}
+					got[rank], errs[rank] = TreeBcast(mesh.conn(rank), group, root, 3, p)
+				}(i)
+			}
+			wg.Wait()
+			for rank := 0; rank < size; rank++ {
+				if errs[rank] != nil {
+					t.Fatalf("size=%d root=%d rank=%d: %v", size, root, rank, errs[rank])
+				}
+				if string(got[rank]) != string(payload) {
+					t.Fatalf("size=%d root=%d rank=%d: got %v", size, root, rank, got[rank])
+				}
+			}
+			// Exactly n-1 sends.
+			if n := len(mesh.sendLog()); n != size-1 {
+				t.Fatalf("size=%d root=%d: %d sends", size, root, n)
+			}
+		}
+	}
+}
+
+func TestSerialOrderRunsInRankOrder(t *testing.T) {
+	const k = 5
+	mesh := newFakeMesh(k)
+	var mu sync.Mutex
+	var order []int
+	var wg sync.WaitGroup
+	for r := 0; r < k; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			err := SerialOrder(mesh.conn(rank), 11, func() error {
+				mu.Lock()
+				order = append(order, rank)
+				mu.Unlock()
+				return nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+		}(r)
+	}
+	wg.Wait()
+	for i, rank := range order {
+		if rank != i {
+			t.Fatalf("execution order %v", order)
+		}
+	}
+}
+
+func TestSerialOrderStopsOnError(t *testing.T) {
+	// An error at rank 0 must propagate to the caller and never release
+	// the token, so rank 1 stays blocked (released via a second token sent
+	// manually here).
+	mesh := newFakeMesh(2)
+	boom := fmt.Errorf("boom")
+	err := SerialOrder(mesh.conn(0), 12, func() error { return boom })
+	if err != boom {
+		t.Fatalf("err = %v", err)
+	}
+	if n := len(mesh.sendLog()); n != 0 {
+		t.Fatalf("token passed after error: %v", mesh.sendLog())
+	}
+}
+
+func TestGatherAndScatterValidation(t *testing.T) {
+	mesh := newFakeMesh(2)
+	if _, err := Gather(mesh.conn(0), 9, 1, nil); err == nil {
+		t.Fatalf("out-of-range gather root accepted")
+	}
+	if _, err := Scatter(mesh.conn(0), 0, 1, [][]byte{{1}}); err == nil {
+		t.Fatalf("wrong scatter payload count accepted")
+	}
+}
+
+func TestWithCollectivesUnknownStrategy(t *testing.T) {
+	mesh := newFakeMesh(2)
+	ep := WithCollectives(mesh.conn(0), BcastStrategy(99))
+	if _, err := ep.Bcast([]int{0, 1}, 0, 1, []byte("x")); err == nil {
+		t.Fatalf("unknown strategy accepted")
+	}
+	if BcastStrategy(99).String() == "" {
+		t.Fatalf("strategy String empty")
+	}
+	if BcastSequential.String() != "sequential" || BcastBinomialTree.String() != "binomial-tree" {
+		t.Fatalf("strategy names wrong")
+	}
+}

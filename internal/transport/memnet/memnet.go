@@ -1,0 +1,98 @@
+// Package memnet is the in-process transport: K endpoints connected by an
+// in-memory mesh. Sends are buffered and never block (MPI eager mode);
+// receives block until a matching message arrives. It is the substrate for
+// unit and integration tests and for the metered single-machine engine —
+// the algorithms cannot tell it apart from the TCP transport.
+package memnet
+
+import (
+	"fmt"
+	"sync"
+
+	"codedterasort/internal/transport"
+	"codedterasort/internal/transport/inbox"
+)
+
+// Mesh is a set of Size connected endpoints sharing in-memory mailboxes.
+type Mesh struct {
+	size int
+	eps  []*Endpoint
+}
+
+// Endpoint is one node's connection to the mesh.
+type Endpoint struct {
+	mesh *Mesh
+	rank int
+	// inboxes[src] holds messages sent by src to this endpoint.
+	inboxes []*inbox.Box
+	once    sync.Once
+}
+
+// NewMesh creates a connected mesh of size endpoints.
+func NewMesh(size int) *Mesh {
+	if size <= 0 {
+		panic("memnet: non-positive mesh size")
+	}
+	m := &Mesh{size: size, eps: make([]*Endpoint, size)}
+	for r := 0; r < size; r++ {
+		ep := &Endpoint{mesh: m, rank: r, inboxes: make([]*inbox.Box, size)}
+		for s := 0; s < size; s++ {
+			ep.inboxes[s] = inbox.New()
+		}
+		m.eps[r] = ep
+	}
+	return m
+}
+
+// Endpoint returns the endpoint for the given rank.
+func (m *Mesh) Endpoint(rank int) *Endpoint { return m.eps[rank] }
+
+// Size returns the number of endpoints.
+func (m *Mesh) Size() int { return m.size }
+
+// Close closes every endpoint.
+func (m *Mesh) Close() {
+	for _, ep := range m.eps {
+		ep.Close()
+	}
+}
+
+// Rank implements transport.Conn.
+func (e *Endpoint) Rank() int { return e.rank }
+
+// Size implements transport.Conn.
+func (e *Endpoint) Size() int { return e.mesh.size }
+
+// Send implements transport.Conn. Sending to self is allowed and loops
+// back through the self mailbox.
+func (e *Endpoint) Send(to int, tag transport.Tag, payload []byte) error {
+	if to < 0 || to >= e.mesh.size {
+		return errRank(to, e.mesh.size)
+	}
+	// Copy: the contract says the sender may reuse its buffer.
+	cp := append([]byte(nil), payload...)
+	return e.mesh.eps[to].inboxes[e.rank].Put(tag, cp)
+}
+
+// Recv implements transport.Conn.
+func (e *Endpoint) Recv(from int, tag transport.Tag) ([]byte, error) {
+	if from < 0 || from >= e.mesh.size {
+		return nil, errRank(from, e.mesh.size)
+	}
+	return e.inboxes[from].Take(tag)
+}
+
+// Close implements transport.Conn: it wakes all receivers blocked on this
+// endpoint's inboxes.
+func (e *Endpoint) Close() error {
+	e.once.Do(func() {
+		for _, b := range e.inboxes {
+			b.Close()
+		}
+	})
+	return nil
+}
+
+func errRank(r, size int) error {
+	return fmt.Errorf("memnet: rank %d out of range [0,%d)", r, size)
+}

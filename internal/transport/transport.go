@@ -1,0 +1,121 @@
+// Package transport defines the communication substrate that replaces Open
+// MPI in the paper's implementation (Section V-A). The paper uses MPI_Send
+// for TeraSort's unicast shuffle, MPI_Bcast for CodedTeraSort's
+// application-layer multicast, and MPI_Comm_split to set up one
+// communicator per multicast group. Here the same roles are played by:
+//
+//   - Conn: tagged point-to-point messaging between K ranked nodes
+//     (implemented over in-process channels by memnet, real TCP by tcpnet,
+//     and a virtual-time network by simnet).
+//   - Collectives: Bcast (serial or binomial-tree application-layer
+//     multicast), Barrier and Gather built generically on any Conn.
+//   - Meter: byte and message accounting used to measure communication
+//     load, counting multicast payloads once (the paper's load metric) and
+//     wire bytes separately.
+package transport
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Tag disambiguates message flows between the same pair of nodes. Stages
+// allocate disjoint tag ranges so interleaved traffic (barriers, shuffle
+// rounds, stat gathering) never cross-matches.
+type Tag uint64
+
+// MakeTag packs a stage identifier and two 16-bit operands (typically a
+// group rank and a sequence number) into a Tag.
+func MakeTag(stage uint8, a, b uint16) Tag {
+	return Tag(uint64(stage)<<32 | uint64(a)<<16 | uint64(b))
+}
+
+// ErrClosed is returned by operations on a closed endpoint.
+var ErrClosed = errors.New("transport: endpoint closed")
+
+// Conn is tagged point-to-point messaging among Size() ranked nodes.
+// Send is asynchronous (buffered, like MPI eager mode): it may return
+// before the peer receives. Recv blocks until a message with the exact
+// (from, tag) pair arrives or the endpoint closes. Messages between one
+// (src, dst, tag) triple arrive in send order.
+//
+// Implementations must allow concurrent calls from multiple goroutines.
+type Conn interface {
+	// Rank returns this node's rank in [0, Size()).
+	Rank() int
+	// Size returns the number of nodes, K.
+	Size() int
+	// Send delivers payload to node `to` under the given tag. The payload
+	// is not aliased after Send returns.
+	Send(to int, tag Tag, payload []byte) error
+	// Recv blocks for the next message from node `from` with the tag.
+	Recv(from int, tag Tag) ([]byte, error)
+	// Close releases resources and unblocks pending Recv calls with
+	// ErrClosed.
+	Close() error
+}
+
+// Endpoint extends Conn with the collective operations the sorting
+// algorithms need.
+type Endpoint interface {
+	Conn
+	// Bcast is a collective: every member of group calls it with the same
+	// group, root and tag. The root's payload is returned at every member.
+	// Non-root callers pass nil payload.
+	Bcast(group []int, root int, tag Tag, payload []byte) ([]byte, error)
+	// Barrier blocks until all Size() nodes have entered it with this tag.
+	Barrier(tag Tag) error
+}
+
+// BcastStrategy selects how a Bcast collective moves bytes.
+type BcastStrategy int
+
+const (
+	// BcastSequential sends the payload from the root to each other group
+	// member one after another — the serial application-layer multicast of
+	// the paper's Fig 9(b).
+	BcastSequential BcastStrategy = iota
+	// BcastBinomialTree relays the payload along a binomial tree, the
+	// strategy MPI_Bcast uses; latency grows as log2(group size).
+	BcastBinomialTree
+)
+
+// String names the strategy.
+func (s BcastStrategy) String() string {
+	switch s {
+	case BcastSequential:
+		return "sequential"
+	case BcastBinomialTree:
+		return "binomial-tree"
+	default:
+		return fmt.Sprintf("BcastStrategy(%d)", int(s))
+	}
+}
+
+// withCollectives upgrades a Conn to an Endpoint using the generic
+// collective algorithms in this package.
+type withCollectives struct {
+	Conn
+	strategy BcastStrategy
+}
+
+// WithCollectives returns an Endpoint that runs the generic collectives
+// over the given point-to-point Conn with the chosen multicast strategy.
+func WithCollectives(c Conn, strategy BcastStrategy) Endpoint {
+	return &withCollectives{Conn: c, strategy: strategy}
+}
+
+func (w *withCollectives) Bcast(group []int, root int, tag Tag, payload []byte) ([]byte, error) {
+	switch w.strategy {
+	case BcastSequential:
+		return SeqBcast(w.Conn, group, root, tag, payload)
+	case BcastBinomialTree:
+		return TreeBcast(w.Conn, group, root, tag, payload)
+	default:
+		return nil, fmt.Errorf("transport: unknown bcast strategy %v", w.strategy)
+	}
+}
+
+func (w *withCollectives) Barrier(tag Tag) error {
+	return CentralBarrier(w.Conn, tag)
+}

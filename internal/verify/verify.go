@@ -1,0 +1,80 @@
+// Package verify checks the correctness of a distributed sort's output:
+// every node's partition must be internally sorted, contain only keys of
+// that partition, and the concatenation across nodes (in partition order)
+// must be a permutation of the input and globally sorted. These are the
+// invariants that make (Q_1, ..., Q_K) "the final sorted list of the entire
+// input data" (paper Section III-A5).
+package verify
+
+import (
+	"bytes"
+	"fmt"
+
+	"codedterasort/internal/kv"
+	"codedterasort/internal/partition"
+)
+
+// Input summarizes the input against which an output is checked.
+type Input struct {
+	Rows     int64
+	Checksum uint64
+}
+
+// Describe computes the Input summary of a record buffer.
+func Describe(r kv.Records) Input {
+	return Input{Rows: int64(r.Len()), Checksum: r.Checksum()}
+}
+
+// DescribeGenerated computes the Input summary for generated data without
+// holding it all in memory at once.
+func DescribeGenerated(g *kv.Generator, rows int64) Input {
+	const chunk = 1 << 16
+	var in Input
+	for first := int64(0); first < rows; first += chunk {
+		n := rows - first
+		if n > chunk {
+			n = chunk
+		}
+		r := g.Generate(first, n)
+		in.Rows += int64(r.Len())
+		in.Checksum += r.Checksum()
+	}
+	return in
+}
+
+// SortedOutput validates per-node outputs of a K-way distributed sort.
+// outputs[k] must be node k's reduced partition; p is the partitioner all
+// nodes hashed with.
+func SortedOutput(outputs []kv.Records, p partition.Partitioner, in Input) error {
+	if len(outputs) != p.NumPartitions() {
+		return fmt.Errorf("verify: %d outputs for %d partitions", len(outputs), p.NumPartitions())
+	}
+	var rows int64
+	var sum uint64
+	var prevMax []byte
+	for k, out := range outputs {
+		if !out.IsSorted() {
+			return fmt.Errorf("verify: partition %d output not sorted", k)
+		}
+		for i := 0; i < out.Len(); i++ {
+			if got := p.Partition(out.Key(i)); got != k {
+				return fmt.Errorf("verify: record %d of partition %d belongs to partition %d", i, k, got)
+			}
+		}
+		if out.Len() > 0 {
+			if prevMax != nil && bytes.Compare(out.MinKey(), prevMax) < 0 {
+				return fmt.Errorf("verify: partition %d starts below partition max of its predecessor", k)
+			}
+			prevMax = out.MaxKey()
+		}
+		rows += int64(out.Len())
+		sum += out.Checksum()
+	}
+	if rows != in.Rows {
+		return fmt.Errorf("verify: output has %d rows, input had %d", rows, in.Rows)
+	}
+	if sum != in.Checksum {
+		return fmt.Errorf("verify: output checksum %#x != input checksum %#x", sum, in.Checksum)
+	}
+	return nil
+}

@@ -1,0 +1,113 @@
+package verify
+
+import (
+	"strings"
+	"testing"
+
+	"codedterasort/internal/kv"
+	"codedterasort/internal/partition"
+)
+
+// makeOutputs builds a correct K-way sorted output for generated input.
+func makeOutputs(t *testing.T, seed uint64, rows int64, k int) ([]kv.Records, partition.Partitioner, Input) {
+	t.Helper()
+	p := partition.NewUniform(k)
+	data := kv.NewGenerator(seed, kv.DistUniform).Generate(0, rows)
+	parts := partition.Split(p, data)
+	for i := range parts {
+		parts[i].Sort()
+	}
+	return parts, p, Describe(data)
+}
+
+func TestSortedOutputAcceptsCorrect(t *testing.T) {
+	outs, p, in := makeOutputs(t, 1, 2000, 4)
+	if err := SortedOutput(outs, p, in); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDetectsUnsortedPartition(t *testing.T) {
+	outs, p, in := makeOutputs(t, 2, 2000, 4)
+	outs[1].Swap(0, outs[1].Len()-1)
+	err := SortedOutput(outs, p, in)
+	if err == nil || !strings.Contains(err.Error(), "not sorted") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDetectsMisplacedRecord(t *testing.T) {
+	outs, p, in := makeOutputs(t, 3, 2000, 4)
+	// Move a record from partition 0 into partition 3's output (keeping
+	// both sorted within themselves is unnecessary — membership fails
+	// first on the foreign key).
+	stolen := outs[0].Slice(0, 1).Clone()
+	outs[3] = stolen.AppendRecords(outs[3])
+	outs[0] = outs[0].Slice(1, outs[0].Len())
+	err := SortedOutput(outs, p, in)
+	if err == nil || !strings.Contains(err.Error(), "belongs to partition") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDetectsLostRecords(t *testing.T) {
+	outs, p, in := makeOutputs(t, 4, 2000, 4)
+	outs[2] = outs[2].Slice(0, outs[2].Len()-1)
+	err := SortedOutput(outs, p, in)
+	if err == nil || !strings.Contains(err.Error(), "rows") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDetectsCorruptedValue(t *testing.T) {
+	outs, p, in := makeOutputs(t, 5, 2000, 4)
+	// Flip one byte in a value: row count and order still hold; only the
+	// multiset checksum catches it.
+	outs[0].Value(0)[5] ^= 0xFF
+	err := SortedOutput(outs, p, in)
+	if err == nil || !strings.Contains(err.Error(), "checksum") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDetectsWrongPartitionCount(t *testing.T) {
+	outs, p, in := makeOutputs(t, 6, 500, 4)
+	err := SortedOutput(outs[:3], p, in)
+	if err == nil || !strings.Contains(err.Error(), "outputs") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestEmptyPartitionsAllowed(t *testing.T) {
+	// K larger than the record count leaves some partitions empty; that
+	// is legal.
+	outs, p, in := makeOutputs(t, 7, 3, 8)
+	if err := SortedOutput(outs, p, in); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllEmptyOutput(t *testing.T) {
+	outs, p, in := makeOutputs(t, 8, 0, 4)
+	if err := SortedOutput(outs, p, in); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDescribeGeneratedMatchesDescribe(t *testing.T) {
+	g1 := kv.NewGenerator(9, kv.DistUniform)
+	g2 := kv.NewGenerator(9, kv.DistUniform)
+	whole := g1.Generate(0, 100000)
+	chunked := DescribeGenerated(g2, 100000)
+	direct := Describe(whole)
+	if chunked != direct {
+		t.Fatalf("chunked %+v != direct %+v", chunked, direct)
+	}
+}
+
+func TestDescribeGeneratedEmpty(t *testing.T) {
+	in := DescribeGenerated(kv.NewGenerator(1, kv.DistUniform), 0)
+	if in.Rows != 0 || in.Checksum != 0 {
+		t.Fatalf("empty description %+v", in)
+	}
+}
