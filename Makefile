@@ -1,0 +1,32 @@
+GO ?= go
+
+.PHONY: all build vet test race fuzz bench ci
+
+all: ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The race wall: the pipelined engines are concurrent by construction
+# (per-source receive goroutines, windowed senders), so the race detector
+# is part of the standard gate, not an optional extra.
+race:
+	$(GO) test -race ./...
+
+# Short fuzz smoke over the wire-facing surfaces (chunk framing, packed
+# IVs, coded packets). CI-friendly: seconds, not hours.
+fuzz:
+	$(GO) test -run=Fuzz -fuzz=FuzzOpenChunk -fuzztime=5s ./internal/codec/
+	$(GO) test -run=Fuzz -fuzz=FuzzChunkStream -fuzztime=5s ./internal/codec/
+	$(GO) test -run=Fuzz -fuzz=FuzzUnpackIV -fuzztime=5s ./internal/codec/
+
+bench:
+	$(GO) test -run=XXX -bench=. -benchmem ./...
+
+ci: build vet race

@@ -402,6 +402,64 @@ func BenchmarkAblationStraggler(b *testing.B) {
 	}
 }
 
+// Streaming pipelined shuffle (the paper's Section VII "Asynchronous
+// Execution" direction): the same netem-shaped job with the monolithic
+// stage-by-stage schedule vs the chunked pipeline that overlaps
+// Pack/Encode, the wire, and Unpack/Decode. total_s is end-to-end
+// wall time; shuffle_s is the (overlapped) shuffle stage.
+func benchPipelined(b *testing.B, spec cluster.Spec) {
+	b.Helper()
+	var total, shuffle float64
+	for i := 0; i < b.N; i++ {
+		job, err := cluster.RunLocal(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		total = job.Total()
+		shuffle = job.Times[stats.StageShuffle].Seconds()
+	}
+	b.ReportMetric(total, "total_s")
+	b.ReportMetric(shuffle, "shuffle_s")
+}
+
+func pipelineSpec(alg cluster.Algorithm, r, chunkRows int, parallel bool) cluster.Spec {
+	return cluster.Spec{
+		Algorithm: alg, K: 4, R: r, Rows: 200000, Seed: 11,
+		RateMbps: 1000, ParallelShuffle: parallel,
+		ChunkRows: chunkRows, Window: 8,
+	}
+}
+
+// The schedule progression per engine: the paper's serial one-sender
+// schedule, the asynchronous all-senders schedule, and the full streaming
+// pipeline (asynchronous + chunked, stages overlapped). Chunk sizes give
+// each stream ~5-8 chunks of pipeline depth: TeraSort streams are
+// Rows/K^2 rows, coded streams are segments of one file's IVs (r x C(K,r)/K
+// times smaller), so the tuned sizes differ.
+func BenchmarkPipelineTeraSortSerial(b *testing.B) {
+	benchPipelined(b, pipelineSpec(cluster.AlgTeraSort, 0, 0, false))
+}
+
+func BenchmarkPipelineTeraSortParallel(b *testing.B) {
+	benchPipelined(b, pipelineSpec(cluster.AlgTeraSort, 0, 0, true))
+}
+
+func BenchmarkPipelineTeraSortChunked(b *testing.B) {
+	benchPipelined(b, pipelineSpec(cluster.AlgTeraSort, 0, 2000, true))
+}
+
+func BenchmarkPipelineCodedSerial(b *testing.B) {
+	benchPipelined(b, pipelineSpec(cluster.AlgCoded, 2, 0, false))
+}
+
+func BenchmarkPipelineCodedParallel(b *testing.B) {
+	benchPipelined(b, pipelineSpec(cluster.AlgCoded, 2, 0, true))
+}
+
+func BenchmarkPipelineCodedChunked(b *testing.B) {
+	benchPipelined(b, pipelineSpec(cluster.AlgCoded, 2, 800, true))
+}
+
 // Reduce-stage sort algorithm: stdlib comparison sort (the paper uses
 // std::sort) vs LSD radix on the fixed-width TeraGen keys.
 func BenchmarkAblationReduceComparisonSort(b *testing.B) {

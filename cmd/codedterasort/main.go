@@ -30,12 +30,15 @@ func main() {
 	rate := flag.Float64("rate", 0, "per-node egress cap in Mbps (0 = unlimited)")
 	perMsg := flag.Duration("permsg", 0, "fixed per-message overhead")
 	compare := flag.Bool("compare", false, "also run the TeraSort baseline and report speedup")
+	chunk := flag.Int("chunk", 0, "streaming pipelined shuffle chunk size in records (0 = monolithic stages)")
+	window := flag.Int("window", 0, "in-flight chunk window per stream (0 = engine default)")
 	flag.Parse()
 
 	spec := cluster.Spec{
 		Algorithm: cluster.AlgCoded,
 		K:         *k, R: *r, Rows: *rows, Seed: *seed, Skewed: *skewed,
 		TreeMulticast: *tree, RateMbps: *rate, PerMessage: *perMsg,
+		ChunkRows: *chunk, Window: *window,
 	}
 	start := time.Now()
 	job, err := cluster.RunLocal(spec)
@@ -72,4 +75,7 @@ func main() {
 	fmt.Print(stats.RenderTable("", rows_))
 	fmt.Printf("multicast payload: %.2f MB over %d groups\n",
 		float64(job.ShuffleLoadBytes)/1e6, combin.Binomial(*k, *r+1))
+	if job.ChunksShuffled > 0 {
+		fmt.Printf("pipelined shuffle: %d chunk packets of %d records\n", job.ChunksShuffled, *chunk)
+	}
 }

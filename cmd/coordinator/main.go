@@ -28,12 +28,15 @@ func main() {
 	skewed := flag.Bool("skewed", false, "skewed input keys")
 	tree := flag.Bool("tree", false, "binomial-tree multicast")
 	rate := flag.Float64("rate", 0, "per-node egress cap in Mbps")
+	chunk := flag.Int("chunk", 0, "streaming pipelined shuffle chunk size in records (0 = monolithic stages)")
+	window := flag.Int("window", 0, "in-flight chunk window per stream (0 = engine default)")
 	flag.Parse()
 
 	spec := cluster.Spec{
 		Algorithm: cluster.Algorithm(*alg),
 		K:         *k, R: *r, Rows: *rows, Seed: *seed,
 		Skewed: *skewed, TreeMulticast: *tree, RateMbps: *rate,
+		ChunkRows: *chunk, Window: *window,
 	}
 	if spec.Algorithm == cluster.AlgTeraSort {
 		spec.R = 0

@@ -26,12 +26,15 @@ func main() {
 	skewed := flag.Bool("skewed", false, "skewed input keys")
 	rate := flag.Float64("rate", 0, "per-node egress cap in Mbps (0 = unlimited)")
 	perMsg := flag.Duration("permsg", 0, "fixed per-message overhead")
+	chunk := flag.Int("chunk", 0, "streaming pipelined shuffle chunk size in records (0 = monolithic stages)")
+	window := flag.Int("window", 0, "in-flight chunk window per stream (0 = engine default)")
 	flag.Parse()
 
 	spec := cluster.Spec{
 		Algorithm: cluster.AlgTeraSort,
 		K:         *k, Rows: *rows, Seed: *seed, Skewed: *skewed,
 		RateMbps: *rate, PerMessage: *perMsg,
+		ChunkRows: *chunk, Window: *window,
 	}
 	start := time.Now()
 	job, err := cluster.RunLocal(spec)
@@ -44,4 +47,7 @@ func main() {
 	fmt.Print(stats.RenderTable("", []stats.Row{{Label: "TeraSort", Times: job.Times}}))
 	fmt.Printf("shuffle payload: %.2f MB (load %.3f of input)\n",
 		float64(job.ShuffleLoadBytes)/1e6, float64(job.ShuffleLoadBytes)/(float64(*rows)*100))
+	if job.ChunksShuffled > 0 {
+		fmt.Printf("pipelined shuffle: %d chunks of %d records\n", job.ChunksShuffled, *chunk)
+	}
 }

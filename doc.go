@@ -7,8 +7,9 @@
 // clusters.
 //
 // The implementation lives under internal/ (see DESIGN.md for the system
-// inventory), with runnable binaries under cmd/ and worked examples under
-// examples/. The benchmarks in bench_test.go regenerate every table and
-// figure of the paper's evaluation; EXPERIMENTS.md records paper-versus-
-// reproduced values for each.
+// inventory and the streaming-pipeline design notes), with runnable
+// binaries under cmd/ and worked examples under examples/. The benchmarks
+// in bench_test.go regenerate every table and figure of the paper's
+// evaluation; the tests in internal/simnet pin the reproduced values
+// against the paper's tables.
 package codedterasort

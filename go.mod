@@ -1,0 +1,3 @@
+module codedterasort
+
+go 1.24

@@ -96,6 +96,8 @@ func (c *Coordinator) RunJob(spec Spec) (*JobReport, error) {
 				SentPayloadBytes: rep.SentPayloadBytes,
 				MulticastOps:     rep.MulticastOps,
 				WireBytes:        rep.WireBytes,
+				ChunksSent:       rep.ChunksSent,
+				ChunksReceived:   rep.ChunksReceived,
 			}
 		}(rank, conn)
 	}

@@ -30,6 +30,10 @@ type WorkerReport struct {
 	// MulticastOps counts coded packets this worker multicast (0 for
 	// TeraSort).
 	MulticastOps int64
+	// ChunksSent and ChunksReceived count pipelined shuffle chunks this
+	// worker exchanged (0 when Spec.ChunkRows is unset).
+	ChunksSent     int64
+	ChunksReceived int64
 	// WireBytes counts bytes that actually crossed the transport,
 	// including the per-receiver copies of application-layer multicast
 	// and control traffic (tokens, barriers, handshakes).
@@ -48,6 +52,9 @@ type JobReport struct {
 	// ShuffleLoadBytes is the total shuffle payload (multicast counted
 	// once) — the communication load the theory bounds.
 	ShuffleLoadBytes int64
+	// ChunksShuffled is the total pipelined chunk count across workers
+	// (0 when Spec.ChunkRows is unset).
+	ChunksShuffled int64
 	// WireBytes is the total transport-level traffic.
 	WireBytes int64
 	// Validated is set when the job's output passed verification against
@@ -115,19 +122,23 @@ func runWorker(ep transport.Endpoint, spec Spec) (WorkerReport, kv.Records, erro
 	case AlgTeraSort:
 		res, err := terasort.Run(ep, terasort.Config{
 			K: spec.K, Rows: spec.Rows, Seed: spec.Seed, Dist: spec.Dist(),
-			Parallel: spec.ParallelShuffle,
+			Parallel:  spec.ParallelShuffle,
+			ChunkRows: spec.ChunkRows, Window: spec.Window,
 		}, nil)
 		if err != nil {
 			return rep, out, err
 		}
 		rep.Times = res.Times
 		rep.SentPayloadBytes = res.ShuffleBytes
+		rep.ChunksSent = res.ChunksSent
+		rep.ChunksReceived = res.ChunksReceived
 		out = res.Output
 	case AlgCoded:
 		res, err := coded.Run(ep, coded.Config{
 			K: spec.K, R: spec.R, Rows: spec.Rows, Seed: spec.Seed,
 			Dist: spec.Dist(), Strategy: spec.Strategy(),
-			Parallel: spec.ParallelShuffle,
+			Parallel:  spec.ParallelShuffle,
+			ChunkRows: spec.ChunkRows, Window: spec.Window,
 		}, nil)
 		if err != nil {
 			return rep, out, err
@@ -135,6 +146,8 @@ func runWorker(ep transport.Endpoint, spec Spec) (WorkerReport, kv.Records, erro
 		rep.Times = res.Times
 		rep.SentPayloadBytes = res.MulticastBytes
 		rep.MulticastOps = res.MulticastOps
+		rep.ChunksSent = res.ChunksSent
+		rep.ChunksReceived = res.ChunksReceived
 		out = res.Output
 	default:
 		return rep, out, fmt.Errorf("cluster: unknown algorithm %q", spec.Algorithm)
@@ -155,6 +168,7 @@ func assemble(spec Spec, reports []WorkerReport, outputs []kv.Records) (*JobRepo
 		job.Times = job.Times.Max(w.Times)
 		job.ShuffleLoadBytes += w.SentPayloadBytes
 		job.WireBytes += w.WireBytes
+		job.ChunksShuffled += w.ChunksSent
 	}
 	if outputs != nil {
 		in := verify.DescribeGenerated(kv.NewGenerator(spec.Seed, spec.Dist()), spec.Rows)

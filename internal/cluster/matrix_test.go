@@ -42,6 +42,122 @@ func TestEngineMatrix(t *testing.T) {
 	}
 }
 
+// TestPipelinedEngineMatrix runs the full (K, r, Dist, ChunkRows, Window)
+// grid through both pipelined engines and asserts every cell is
+// row-for-row and checksum-identical to the corresponding unchunked
+// engine (which TestEngineMatrix already ties to the TeraSort reference,
+// and RunLocal verifies against internal/verify's reference description
+// of the input). ChunkRows spans smaller-than, comparable-to and
+// larger-than stream sizes; Window spans stop-and-wait to effectively
+// unbounded.
+func TestPipelinedEngineMatrix(t *testing.T) {
+	const rows, seed = 2000, 83
+	for _, k := range []int{4, 5} {
+		for _, skewed := range []bool{false, true} {
+			base := Spec{Algorithm: AlgTeraSort, K: k, Rows: rows, Seed: seed, Skewed: skewed}
+			ref, err := RunLocal(base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			check := func(t *testing.T, spec Spec) {
+				t.Helper()
+				job, err := RunLocal(spec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !job.Validated {
+					t.Fatalf("not validated")
+				}
+				for rank := 0; rank < k; rank++ {
+					if job.Workers[rank].OutputRows != ref.Workers[rank].OutputRows ||
+						job.Workers[rank].OutputChecksum != ref.Workers[rank].OutputChecksum {
+						t.Fatalf("rank %d differs from unchunked reference", rank)
+					}
+				}
+				if spec.ChunkRows > 0 && job.ChunksShuffled == 0 {
+					t.Fatalf("pipelined job reported no chunks")
+				}
+				if spec.ChunkRows == 0 && job.ChunksShuffled != 0 {
+					t.Fatalf("unchunked job reported %d chunks", job.ChunksShuffled)
+				}
+			}
+			for _, chunkRows := range []int{0, 33, 512, 1 << 20} {
+				for _, window := range []int{0, 1, 2, 16} {
+					if chunkRows == 0 && window != 0 {
+						continue
+					}
+					tera := base
+					tera.ChunkRows, tera.Window = chunkRows, window
+					t.Run(fmt.Sprintf("tera/k=%d/skew=%v/chunk=%d/win=%d", k, skewed, chunkRows, window),
+						func(t *testing.T) { check(t, tera) })
+					for _, r := range []int{1, 2, k - 1} {
+						spec := Spec{Algorithm: AlgCoded, K: k, R: r, Rows: rows, Seed: seed,
+							Skewed: skewed, ChunkRows: chunkRows, Window: window}
+						t.Run(fmt.Sprintf("coded/k=%d/r=%d/skew=%v/chunk=%d/win=%d", k, r, skewed, chunkRows, window),
+							func(t *testing.T) { check(t, spec) })
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPipelinedScheduleMatrix covers the riskiest pipelined concurrency:
+// all senders streaming concurrently (ParallelShuffle) and per-chunk
+// binomial-tree multicast (TreeMulticast), alone and combined, against
+// the unchunked reference. This is what puts the concurrent credit-window
+// protocol under the race detector in the standard gate.
+func TestPipelinedScheduleMatrix(t *testing.T) {
+	const k, rows, seed = 5, 2000, 83
+	ref, err := RunLocal(Spec{Algorithm: AlgTeraSort, K: k, Rows: rows, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, parallel := range []bool{false, true} {
+		for _, tree := range []bool{false, true} {
+			for _, chunkRows := range []int{33, 512} {
+				specs := []Spec{
+					{Algorithm: AlgTeraSort, K: k, Rows: rows, Seed: seed,
+						ParallelShuffle: parallel, ChunkRows: chunkRows, Window: 2},
+					{Algorithm: AlgCoded, K: k, R: 2, Rows: rows, Seed: seed,
+						ParallelShuffle: parallel, TreeMulticast: tree,
+						ChunkRows: chunkRows, Window: 2},
+				}
+				if tree {
+					specs = specs[1:] // tree multicast is a coded-only knob
+				}
+				for _, spec := range specs {
+					t.Run(fmt.Sprintf("%s/parallel=%v/tree=%v/chunk=%d",
+						spec.Algorithm, parallel, tree, chunkRows), func(t *testing.T) {
+						job, err := RunLocal(spec)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if !job.Validated {
+							t.Fatalf("not validated")
+						}
+						for rank := 0; rank < k; rank++ {
+							if job.Workers[rank].OutputChecksum != ref.Workers[rank].OutputChecksum {
+								t.Fatalf("rank %d differs from unchunked reference", rank)
+							}
+						}
+					})
+				}
+			}
+		}
+	}
+}
+
+// TestPipelinedSpecValidation: negative pipeline knobs are rejected.
+func TestPipelinedSpecValidation(t *testing.T) {
+	if err := (Spec{Algorithm: AlgTeraSort, K: 2, Rows: 10, ChunkRows: -1}).Validate(); err == nil {
+		t.Fatalf("negative chunk rows accepted")
+	}
+	if err := (Spec{Algorithm: AlgTeraSort, K: 2, Rows: 10, Window: -1}).Validate(); err == nil {
+		t.Fatalf("negative window accepted")
+	}
+}
+
 // TestLoadGainMatrix checks the Eq. 2 load prediction across a (K, r)
 // grid on the live engine: measured multicast load within 15% of
 // D*(1-r/K)/r for every cell.

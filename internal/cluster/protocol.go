@@ -41,6 +41,8 @@ type reportMsg struct {
 	SentPayloadBytes int64           `json:"sent_payload_bytes"`
 	MulticastOps     int64           `json:"multicast_ops"`
 	WireBytes        int64           `json:"wire_bytes"`
+	ChunksSent       int64           `json:"chunks_sent,omitempty"`
+	ChunksReceived   int64           `json:"chunks_received,omitempty"`
 }
 
 // writeFrame sends one length-prefixed JSON message.

@@ -67,6 +67,15 @@ type Spec struct {
 	// KeepOutput retains each worker's sorted partition in its report
 	// (memory-heavy; tests and examples only).
 	KeepOutput bool `json:"keep_output,omitempty"`
+	// ChunkRows, when positive, enables the streaming pipelined shuffle:
+	// intermediate data travels in ChunkRows-record chunks with
+	// Pack/Encode, Shuffle and Unpack/Decode overlapped, so peak worker
+	// memory stops scaling with Rows/K. Zero keeps the monolithic
+	// stage-by-stage schedule.
+	ChunkRows int `json:"chunk_rows,omitempty"`
+	// Window bounds unacknowledged in-flight chunks per stream when
+	// pipelining (0 = engine default).
+	Window int `json:"window,omitempty"`
 }
 
 // Validate checks the spec's internal consistency.
@@ -84,6 +93,12 @@ func (s Spec) Validate() error {
 	}
 	if s.Rows < 0 {
 		return fmt.Errorf("cluster: negative rows")
+	}
+	if s.ChunkRows < 0 {
+		return fmt.Errorf("cluster: negative chunk rows")
+	}
+	if s.Window < 0 {
+		return fmt.Errorf("cluster: negative window")
 	}
 	return nil
 }

@@ -88,6 +88,8 @@ func RunWorker(coordAddr string, opts WorkerOptions) error {
 		SentPayloadBytes: rep.SentPayloadBytes,
 		MulticastOps:     rep.MulticastOps,
 		WireBytes:        rep.WireBytes,
+		ChunksSent:       rep.ChunksSent,
+		ChunksReceived:   rep.ChunksReceived,
 	})
 }
 

@@ -1,0 +1,206 @@
+package codec
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"codedterasort/internal/combin"
+	"codedterasort/internal/kv"
+)
+
+// Chunk framing for the streaming pipelined shuffle. A monolithic shuffle
+// payload (a packed intermediate value, or one coded packet) is split into
+// fixed-row chunks so the sender can overlap Pack/Encode of chunk n+1 with
+// the flight of chunk n, and the receiver can Unpack/Decode each chunk as it
+// arrives instead of buffering the whole stream. Each chunk travels as
+//
+//	[uint32 seq][uint8 flags][uint32 payload len][payload]
+//
+// The sequence number starts at 0 per stream and increments by one; the
+// explicit length lets the receiver reject truncated frames; flag bit 0
+// marks the final chunk of the stream, so the receiver never needs to know
+// the chunk count in advance (for coded packets it cannot: the width of the
+// segment it is decoding is exactly what it does not know yet).
+const (
+	chunkHeaderSize = 9
+	chunkFlagLast   = 0x01
+)
+
+// FrameChunk wraps payload in a chunk frame carrying seq and the last-chunk
+// flag.
+func FrameChunk(seq uint32, last bool, payload []byte) []byte {
+	out := make([]byte, chunkHeaderSize+len(payload))
+	binary.BigEndian.PutUint32(out, seq)
+	if last {
+		out[4] = chunkFlagLast
+	}
+	binary.BigEndian.PutUint32(out[5:], uint32(len(payload)))
+	copy(out[chunkHeaderSize:], payload)
+	return out
+}
+
+// OpenChunk validates and strips a chunk frame, returning its sequence
+// number, last-chunk flag and payload (aliased, not copied).
+func OpenChunk(frame []byte) (seq uint32, last bool, payload []byte, err error) {
+	if len(frame) < chunkHeaderSize {
+		return 0, false, nil, fmt.Errorf("codec: chunk frame of %d bytes lacks header", len(frame))
+	}
+	seq = binary.BigEndian.Uint32(frame)
+	flags := frame[4]
+	if flags&^chunkFlagLast != 0 {
+		return 0, false, nil, fmt.Errorf("codec: chunk frame with unknown flags %#x", flags)
+	}
+	n := int(binary.BigEndian.Uint32(frame[5:]))
+	if n != len(frame)-chunkHeaderSize {
+		return 0, false, nil, fmt.Errorf("codec: chunk frame declares %d payload bytes but carries %d",
+			n, len(frame)-chunkHeaderSize)
+	}
+	return seq, flags&chunkFlagLast != 0, frame[chunkHeaderSize:], nil
+}
+
+// ChunkFrameSize returns the wire size of a chunk frame with payloadBytes of
+// payload.
+func ChunkFrameSize(payloadBytes int) int { return chunkHeaderSize + payloadBytes }
+
+// ChunkStream validates the arrival order of one chunk stream: sequence
+// numbers must run 0,1,2,... and nothing may follow the last-flagged chunk.
+// The transport delivers one (src,dst,tag) flow in order, so a gap or
+// repeat means corruption or a protocol bug, never legitimate reordering.
+type ChunkStream struct {
+	next uint32
+	done bool
+}
+
+// Accept opens frame and checks it is the next chunk of the stream.
+func (s *ChunkStream) Accept(frame []byte) (payload []byte, last bool, err error) {
+	seq, last, payload, err := OpenChunk(frame)
+	if err != nil {
+		return nil, false, err
+	}
+	if s.done {
+		return nil, false, fmt.Errorf("codec: chunk %d after final chunk of stream", seq)
+	}
+	if seq != s.next {
+		return nil, false, fmt.Errorf("codec: chunk out of order: got seq %d, want %d", seq, s.next)
+	}
+	s.next++
+	s.done = last
+	return payload, last, nil
+}
+
+// Done reports whether the stream has accepted its last chunk.
+func (s *ChunkStream) Done() bool { return s.done }
+
+// NumChunks returns the number of ChunkRows-sized chunks covering n records:
+// at least one, so empty streams still carry a (last-flagged) chunk that
+// closes them.
+func NumChunks(n, chunkRows int) int {
+	if chunkRows <= 0 {
+		panic(fmt.Sprintf("codec: NumChunks chunkRows=%d", chunkRows))
+	}
+	c := (n + chunkRows - 1) / chunkRows
+	if c == 0 {
+		c = 1
+	}
+	return c
+}
+
+// ChunkSpan returns the record range [lo,hi) of chunk c in a stream of n
+// records split every chunkRows rows. Chunks past the end are empty.
+func ChunkSpan(n, chunkRows, c int) (lo, hi int) {
+	lo = c * chunkRows
+	if lo > n {
+		lo = n
+	}
+	hi = lo + chunkRows
+	if hi > n {
+		hi = n
+	}
+	return lo, hi
+}
+
+// chunkOf returns chunk c of a segment: its records [c*chunkRows,
+// (c+1)*chunkRows) clipped to the segment length. Every node derives the
+// identical chunking locally, which is what keeps the XOR cancellation
+// aligned chunk by chunk.
+func chunkOf(seg kv.Records, chunkRows, c int) kv.Records {
+	lo, hi := ChunkSpan(seg.Len(), chunkRows, c)
+	return seg.Slice(lo, hi)
+}
+
+// PacketChunkCount returns how many chunk packets node k multicasts in
+// group m when streaming with the given chunk size: enough to cover its
+// widest contributing segment, and at least one so every stream closes.
+func PacketChunkCount(store IVStore, m combin.Set, k int, chunkRows int) int {
+	r := m.Size() - 1
+	max := 0
+	for _, t := range m.Remove(k).Members() {
+		file := m.Remove(t)
+		if n := Segment(store.IV(t, file), r, file.Index(k)).Len(); n > max {
+			max = n
+		}
+	}
+	return NumChunks(max, chunkRows)
+}
+
+// EncodePacketChunk builds chunk c of the coded packet E_{M,k} (the chunked
+// Algorithm 1): the XOR of chunk c of each of the r contributing segments,
+// each wrapped in a length-headed frame padded to the widest chunk. The
+// concatenation of all chunks' decoded payloads equals the monolithic
+// packet's decoded segment.
+func EncodePacketChunk(store IVStore, m combin.Set, k int, chunkRows, c int) ([]byte, error) {
+	if !m.Contains(k) {
+		return nil, fmt.Errorf("codec: encoder node %d not in group %v", k, m)
+	}
+	r := m.Size() - 1
+	if r < 1 {
+		return nil, fmt.Errorf("codec: group %v too small", m)
+	}
+	if chunkRows <= 0 || c < 0 {
+		return nil, fmt.Errorf("codec: chunk encode with chunkRows=%d chunk=%d", chunkRows, c)
+	}
+	width := frameHeader
+	others := m.Remove(k).Members()
+	for _, t := range others {
+		file := m.Remove(t)
+		seg := chunkOf(Segment(store.IV(t, file), r, file.Index(k)), chunkRows, c)
+		if w := FrameSize(seg.Size()); w > width {
+			width = w
+		}
+	}
+	packet := make([]byte, width)
+	for _, t := range others {
+		file := m.Remove(t)
+		seg := chunkOf(Segment(store.IV(t, file), r, file.Index(k)), chunkRows, c)
+		xorFrameInto(packet, seg.Bytes())
+	}
+	return packet, nil
+}
+
+// DecodePacketChunk recovers node k's chunk c from the chunked coded packet
+// received from node u in group m (the chunked Algorithm 2): it cancels
+// chunk c of every side-information segment and opens the remaining frame.
+func DecodePacketChunk(store IVStore, m combin.Set, k, u int, chunkRows, c int, packet []byte) (kv.Records, error) {
+	if !m.Contains(k) || !m.Contains(u) || k == u {
+		return kv.Records{}, fmt.Errorf("codec: decode with k=%d u=%d not distinct members of %v", k, u, m)
+	}
+	if chunkRows <= 0 || c < 0 {
+		return kv.Records{}, fmt.Errorf("codec: chunk decode with chunkRows=%d chunk=%d", chunkRows, c)
+	}
+	r := m.Size() - 1
+	acc := append([]byte(nil), packet...)
+	for _, t := range m.Minus(combin.NewSet(k, u)).Members() {
+		file := m.Remove(t)
+		seg := chunkOf(Segment(store.IV(t, file), r, file.Index(u)), chunkRows, c)
+		if FrameSize(seg.Size()) > len(acc) {
+			return kv.Records{}, fmt.Errorf("codec: side-information chunk (%d bytes) wider than packet (%d)",
+				seg.Size(), len(acc))
+		}
+		xorFrameInto(acc, seg.Bytes())
+	}
+	segBytes, err := openFrame(acc)
+	if err != nil {
+		return kv.Records{}, err
+	}
+	return kv.NewRecords(append([]byte(nil), segBytes...))
+}

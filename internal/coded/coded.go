@@ -18,6 +18,7 @@ package coded
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"codedterasort/internal/codec"
 	"codedterasort/internal/combin"
@@ -34,7 +35,12 @@ const (
 	tagMulticast uint8 = 0x21
 	tagToken     uint8 = 0x22
 	tagBarrier   uint8 = 0x23
+	tagChunkAck  uint8 = 0x24
 )
+
+// DefaultWindow is the in-flight chunk window used when pipelining is
+// enabled without an explicit Window.
+const DefaultWindow = 4
 
 // groupTag builds the unique tag of group-scoped traffic: the group's
 // colexicographic rank (up to C(64,k), needs up to 32+ bits) plus the
@@ -79,6 +85,20 @@ type Config struct {
 	// file must produce identical intermediate values for the XOR
 	// cancellation to hold.
 	Filter func(record []byte) bool
+	// ChunkRows, when positive, enables the streaming pipelined shuffle
+	// (Section VII's "Asynchronous Execution" direction): every coded
+	// packet is built and multicast as a stream of chunk packets, each the
+	// XOR of ChunkRows-record chunk slices of its contributing segments.
+	// Encode of chunk n+1 overlaps the flight of chunk n and members
+	// decode each chunk on arrival. Zero keeps the monolithic schedule
+	// bit-identical to the paper's.
+	ChunkRows int
+	// Window bounds unacknowledged in-flight chunk packets per group
+	// stream when pipelining (credits return from every group member), so
+	// peak buffered memory is O(ChunkRows x Window x r) rather than
+	// O(segment bytes). Zero selects DefaultWindow. Ignored when ChunkRows
+	// is zero.
+	Window int
 }
 
 func (c Config) normalize() (Config, error) {
@@ -102,6 +122,15 @@ func (c Config) normalize() (Config, error) {
 			return c, fmt.Errorf("coded: %d input files, want C(%d,%d)=%d", len(c.Input), c.K, c.R, want)
 		}
 	}
+	if c.ChunkRows < 0 {
+		return c, fmt.Errorf("coded: negative ChunkRows")
+	}
+	if c.Window < 0 {
+		return c, fmt.Errorf("coded: negative Window")
+	}
+	if c.ChunkRows > 0 && c.Window == 0 {
+		c.Window = DefaultWindow
+	}
 	return c, nil
 }
 
@@ -114,13 +143,20 @@ type Result struct {
 	Times stats.Breakdown
 	// MulticastBytes counts coded-packet payload bytes this node
 	// multicast, each packet counted once — the paper's communication-load
-	// metric, under which coding wins by a factor r.
+	// metric, under which coding wins by a factor r. In pipelined mode
+	// this includes the per-chunk framing overhead (one chunk header and
+	// one inner frame header per chunk instead of one frame header per
+	// packet).
 	MulticastBytes int64
 	// MulticastOps counts coded packets this node multicast.
 	MulticastOps int64
 	// Groups is the number of multicast groups this node belongs to,
 	// C(K-1, r).
 	Groups int
+	// ChunksSent and ChunksReceived count pipelined chunk packets this
+	// node multicast and received (zero when ChunkRows is unset).
+	ChunksSent     int64
+	ChunksReceived int64
 }
 
 // group is the node-local state of one multicast group established during
@@ -163,8 +199,12 @@ type worker struct {
 	// received[gi][u] is the packet E_{M,u} received from root u in group
 	// myGroups[gi].
 	received []map[int][]byte
-	decoded  []kv.Records
-	result   Result
+	// streamSegs[gi][u] is the chunk-decoded segment from root u in group
+	// myGroups[gi] (pipelined mode: chunks are decoded on arrival, so only
+	// recovered records are retained, never raw packets).
+	streamSegs []map[int]kv.Records
+	decoded    []kv.Records
+	result     Result
 }
 
 func (w *worker) run() (Result, error) {
@@ -178,6 +218,21 @@ func (w *worker) run() (Result, error) {
 		{stats.StageShuffle, w.multicastStage},
 		{stats.StageUnpack, w.decodeStage},
 		{stats.StageReduce, w.reduceStage},
+	}
+	if w.cfg.ChunkRows > 0 {
+		// Pipelined schedule: Encode, Multicast and per-chunk Decode
+		// collapse into one overlapped streaming stage charged to Shuffle;
+		// Unpack keeps only the cheap segment merge.
+		steps = []struct {
+			stage stats.Stage
+			fn    func() error
+		}{
+			{stats.StageCodeGen, w.codeGenStage},
+			{stats.StageMap, w.mapStage},
+			{stats.StageShuffle, w.streamMulticastStage},
+			{stats.StageUnpack, w.mergeStage},
+			{stats.StageReduce, w.reduceStage},
+		}
 	}
 	for _, s := range steps {
 		if err := w.tl.Measure(s.stage, s.fn); err != nil {
@@ -362,6 +417,147 @@ func (w *worker) multicastStage() error {
 		return sendErr
 	}
 	return <-recvErr
+}
+
+// streamMulticastStage is the pipelined replacement for Encode+Multicast+
+// Decode: every coded packet travels as a stream of chunk packets, each the
+// XOR of aligned ChunkRows-record chunk slices of its contributing segments
+// (chunked Algorithms 1 and 2). The root encodes chunk n+1 while chunk n is
+// in flight, every member decodes each chunk on arrival — retaining only
+// recovered records, never whole packets — and per-chunk credits from all
+// group members bound the root's run-ahead to Window chunks.
+func (w *worker) streamMulticastStage() error {
+	w.streamSegs = make([]map[int]kv.Records, len(w.myGroups))
+	for i := range w.streamSegs {
+		w.streamSegs[i] = make(map[int]kv.Records, w.cfg.R)
+	}
+	groupIdx := make(map[combin.Set]int, len(w.myGroups))
+	for i, g := range w.myGroups {
+		groupIdx[g.set] = i
+	}
+
+	var chunksRecv atomic.Int64
+	recvErr := make(chan error, 1)
+	go func() {
+		universe := combin.Range(w.cfg.K)
+		for u := 0; u < w.cfg.K; u++ {
+			if u == w.rank {
+				continue
+			}
+			for _, m := range combin.SubsetsContaining(universe, w.cfg.R+1, u) {
+				if !m.Contains(w.rank) {
+					continue
+				}
+				gi := groupIdx[m]
+				g := w.myGroups[gi]
+				var stream codec.ChunkStream
+				seg := kv.MakeRecords(0)
+				for c := 0; !stream.Done(); c++ {
+					frame, err := w.ep.Bcast(g.members, u, groupTag(tagMulticast, g.rank, u), nil)
+					if err != nil {
+						recvErr <- fmt.Errorf("bcast recv in %v from %d: %w", m, u, err)
+						return
+					}
+					if err := transport.StreamAck(w.ep, u, groupTag(tagChunkAck, g.rank, u)); err != nil {
+						recvErr <- err
+						return
+					}
+					payload, _, err := stream.Accept(frame)
+					if err != nil {
+						recvErr <- fmt.Errorf("chunk stream in %v from %d: %w", m, u, err)
+						return
+					}
+					part, err := codec.DecodePacketChunk(w.store, g.set, w.rank, u, w.cfg.ChunkRows, c, payload)
+					if err != nil {
+						recvErr <- fmt.Errorf("decode chunk %d in %v from %d: %w", c, m, u, err)
+						return
+					}
+					seg = seg.AppendRecords(part)
+					chunksRecv.Add(1)
+				}
+				w.streamSegs[gi][u] = seg
+			}
+		}
+		recvErr <- nil
+	}()
+
+	send := func() error {
+		for _, g := range w.myGroups {
+			others := g.set.Remove(w.rank).Members()
+			ackTag := groupTag(tagChunkAck, g.rank, w.rank)
+			count := codec.PacketChunkCount(w.store, g.set, w.rank, w.cfg.ChunkRows)
+			inflight := 0
+			awaitCredits := func() error {
+				for _, m := range others {
+					if _, err := w.ep.Recv(m, ackTag); err != nil {
+						return err
+					}
+				}
+				inflight--
+				return nil
+			}
+			for c := 0; c < count; c++ {
+				pkt, err := codec.EncodePacketChunk(w.store, g.set, w.rank, w.cfg.ChunkRows, c)
+				if err != nil {
+					return fmt.Errorf("encode chunk %d in %v: %w", c, g.set, err)
+				}
+				frame := codec.FrameChunk(uint32(c), c == count-1, pkt)
+				if inflight >= w.cfg.Window {
+					if err := awaitCredits(); err != nil {
+						return err
+					}
+				}
+				if _, err := w.ep.Bcast(g.members, w.rank, groupTag(tagMulticast, g.rank, w.rank), frame); err != nil {
+					return fmt.Errorf("bcast send in %v: %w", g.set, err)
+				}
+				inflight++
+				w.result.MulticastBytes += int64(len(frame))
+				w.result.MulticastOps++
+				w.result.ChunksSent++
+			}
+			for inflight > 0 {
+				if err := awaitCredits(); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	var sendErr error
+	if w.cfg.Parallel {
+		sendErr = send()
+	} else {
+		sendErr = transport.SerialOrder(w.ep, transport.MakeTag(tagToken, 0, 0), send)
+	}
+	if sendErr != nil {
+		return sendErr
+	}
+	if err := <-recvErr; err != nil {
+		return err
+	}
+	w.result.ChunksReceived = chunksRecv.Load()
+	return nil
+}
+
+// mergeStage assembles the chunk-decoded segments into the intermediate
+// values the Reduce stage needs (the pipelined remainder of Algorithm 2:
+// decoding happened chunk by chunk during the shuffle, so only the ordered
+// merge across senders is left).
+func (w *worker) mergeStage() error {
+	w.decoded = make([]kv.Records, 0, len(w.myGroups))
+	for gi, g := range w.myGroups {
+		file := g.set.Remove(w.rank)
+		segs := make([]kv.Records, 0, w.cfg.R)
+		for _, u := range file.Members() {
+			seg, ok := w.streamSegs[gi][u]
+			if !ok {
+				return fmt.Errorf("missing streamed segment from %d in group %v", u, g.set)
+			}
+			segs = append(segs, seg)
+		}
+		w.decoded = append(w.decoded, codec.MergeSegments(segs))
+	}
+	return nil
 }
 
 // decodeStage recovers, for every group M containing this node, the

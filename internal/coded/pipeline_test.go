@@ -1,0 +1,90 @@
+package coded
+
+import (
+	"testing"
+
+	"codedterasort/internal/kv"
+	"codedterasort/internal/partition"
+	"codedterasort/internal/transport"
+	"codedterasort/internal/verify"
+)
+
+// TestPipelinedMatchesMonolithic: the chunked streaming multicast shuffle
+// must produce exactly the per-rank partitions of the stage-by-stage
+// engine across redundancy, chunk size, window, multicast strategy and
+// schedule.
+func TestPipelinedMatchesMonolithic(t *testing.T) {
+	const k, rows, seed = 5, 2500, 31
+	for _, r := range []int{1, 2, 4} {
+		ref := runAll(t, Config{K: k, R: r, Rows: rows, Seed: seed})
+		for _, chunkRows := range []int{1, 50, 100000} {
+			for _, window := range []int{1, 3} {
+				for _, strategy := range []transport.BcastStrategy{transport.BcastSequential, transport.BcastBinomialTree} {
+					for _, parallel := range []bool{false, true} {
+						cfg := Config{K: k, R: r, Rows: rows, Seed: seed,
+							Strategy: strategy, Parallel: parallel,
+							ChunkRows: chunkRows, Window: window}
+						results := runAll(t, cfg)
+						for rank := range results {
+							if !results[rank].Output.Equal(ref[rank].Output) {
+								t.Fatalf("r=%d chunkRows=%d window=%d strategy=%v parallel=%v rank %d: output differs",
+									r, chunkRows, window, strategy, parallel, rank)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPipelinedValidatesAgainstReference: pipelined output also passes the
+// full ordering/partition/multiset verification against the input.
+func TestPipelinedValidatesAgainstReference(t *testing.T) {
+	cfg := Config{K: 4, R: 2, Rows: 3000, Seed: 9, ChunkRows: 64}
+	results := runAll(t, cfg)
+	in := verify.DescribeGenerated(kv.NewGenerator(9, kv.DistUniform), cfg.Rows)
+	if err := verify.SortedOutput(outputs(results), partition.NewUniform(4), in); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPipelinedChunkAccounting: every group stream carries at least one
+// chunk (empty streams close with a last-flagged chunk), the cluster-wide
+// sent count matches r x received (each multicast chunk is received by r
+// members), and MulticastOps tracks chunk packets.
+func TestPipelinedChunkAccounting(t *testing.T) {
+	cfg := Config{K: 5, R: 2, Rows: 2000, Seed: 13, ChunkRows: 40}
+	results := runAll(t, cfg)
+	var sent, recv int64
+	for rank, res := range results {
+		if res.ChunksSent < int64(res.Groups) {
+			t.Fatalf("rank %d sent %d chunks over %d groups", rank, res.ChunksSent, res.Groups)
+		}
+		if res.MulticastOps != res.ChunksSent {
+			t.Fatalf("rank %d: %d multicast ops != %d chunks", rank, res.MulticastOps, res.ChunksSent)
+		}
+		sent += res.ChunksSent
+		recv += res.ChunksReceived
+	}
+	if recv != sent*int64(cfg.R) {
+		t.Fatalf("chunks received %d != r x sent = %d", recv, sent*int64(cfg.R))
+	}
+}
+
+// TestPipelinedConfigValidation mirrors the terasort knob validation.
+func TestPipelinedConfigValidation(t *testing.T) {
+	if _, err := (Config{K: 3, R: 2, Rows: 10, ChunkRows: -1}).normalize(); err == nil {
+		t.Fatalf("negative ChunkRows accepted")
+	}
+	if _, err := (Config{K: 3, R: 2, Rows: 10, Window: -1}).normalize(); err == nil {
+		t.Fatalf("negative Window accepted")
+	}
+	c, err := (Config{K: 3, R: 2, Rows: 10, ChunkRows: 5}).normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Window != DefaultWindow {
+		t.Fatalf("window defaulted to %d, want %d", c.Window, DefaultWindow)
+	}
+}

@@ -1,0 +1,113 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+
+	"codedterasort/internal/stats"
+)
+
+// TestPipelinedSimUnchangedWhenOff: ChunkRows=0 must leave the simulated
+// breakdown and counts bit-identical to the pre-pipeline model.
+func TestPipelinedSimUnchangedWhenOff(t *testing.T) {
+	cm := Default()
+	for _, coded := range []bool{false, true} {
+		base, baseRep, err := Simulate(Workload{Rows: 1 << 20, K: 8, R: 3, Coded: coded}, cm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		again, againRep, err := Simulate(Workload{Rows: 1 << 20, K: 8, R: 3, Coded: coded, ChunkRows: 0}, cm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if base != again || baseRep != againRep {
+			t.Fatalf("coded=%v: ChunkRows=0 changed the simulation", coded)
+		}
+	}
+}
+
+// TestPipelinedSimOverlaps: with chunking on, Pack and Unpack fold into
+// the Shuffle stage, the combined time undercuts the serial sum of the
+// three, and total wall time improves for both engines. The paper's
+// calibrated model (100 Mbps, 190 ms per message) leaves almost nothing
+// for overlap to hide — serialization is ~0.3% of the shuffle — so this
+// uses a fast-fabric model where pack/unpack are a real fraction of the
+// wall time, the regime the pipelined mode exists for.
+func TestPipelinedSimOverlaps(t *testing.T) {
+	cm := Default()
+	cm.RateMbps = 1000
+	cm.UnicastOverhead = 500 * time.Microsecond
+	cm.PackSecPerGB = 20
+	cm.UnpackSecPerGB = 15
+	cm.EncodeSecPerGB = 40
+	cm.DecodeSecPerGB = 15
+	for _, coded := range []bool{false, true} {
+		// Enough pipeline depth (10+ chunks per stream) to hide the
+		// fill/drain residue without per-message overhead taking over.
+		// Coded streams are segments of one file's IVs — r x C(K,r)/K
+		// times smaller than TeraSort's per-destination streams — so the
+		// tuned chunk size differs accordingly.
+		chunkRows := 1 << 15
+		if coded {
+			chunkRows = 1 << 8
+		}
+		w := Workload{Rows: Rows12GB, K: 16, R: 3, Coded: coded}
+		serial, _, err := Simulate(w, cm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.ChunkRows = chunkRows
+		piped, _, err := Simulate(w, cm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if piped[stats.StagePack] != 0 || piped[stats.StageUnpack] != 0 {
+			t.Fatalf("coded=%v: pipelined Pack/Unpack not folded: %v / %v",
+				coded, piped[stats.StagePack], piped[stats.StageUnpack])
+		}
+		serialPSU := serial[stats.StagePack] + serial[stats.StageShuffle] + serial[stats.StageUnpack]
+		if piped[stats.StageShuffle] >= serialPSU {
+			t.Fatalf("coded=%v: overlapped %v not below serial Pack+Shuffle+Unpack %v",
+				coded, piped[stats.StageShuffle], serialPSU)
+		}
+		if piped.Total() >= serial.Total() {
+			t.Fatalf("coded=%v: pipelined total %v not below serial %v",
+				coded, piped.Total(), serial.Total())
+		}
+		// The overlapped stage can never beat its longest constituent.
+		floor := serial[stats.StageShuffle]
+		if piped[stats.StageShuffle] < floor/2 {
+			t.Fatalf("coded=%v: overlapped %v implausibly below the wire floor %v",
+				coded, piped[stats.StageShuffle], floor)
+		}
+	}
+}
+
+// TestPipelinedSimChunkOverheadVisible: tiny chunks multiply the message
+// count and per-message overhead, so the model must show chunking too fine
+// costs time — the tradeoff the Window/ChunkRows knobs exist to tune.
+func TestPipelinedSimChunkOverheadVisible(t *testing.T) {
+	cm := Default()
+	coarse, coarseRep, err := Simulate(Workload{Rows: Rows12GB, K: 16, ChunkRows: 1 << 18}, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fine, fineRep, err := Simulate(Workload{Rows: Rows12GB, K: 16, ChunkRows: 1 << 10}, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fineRep.Messages <= coarseRep.Messages {
+		t.Fatalf("chunk message counts: fine %d <= coarse %d", fineRep.Messages, coarseRep.Messages)
+	}
+	if fine[stats.StageShuffle] <= coarse[stats.StageShuffle] {
+		t.Fatalf("fine chunking %v not costlier than coarse %v",
+			fine[stats.StageShuffle], coarse[stats.StageShuffle])
+	}
+}
+
+// TestPipelinedSimRejectsNegativeChunkRows covers workload validation.
+func TestPipelinedSimRejectsNegativeChunkRows(t *testing.T) {
+	if _, _, err := Simulate(Workload{Rows: 1000, K: 4, ChunkRows: -1}, Default()); err == nil {
+		t.Fatalf("negative ChunkRows accepted")
+	}
+}

@@ -1,0 +1,67 @@
+package terasort
+
+import (
+	"runtime"
+	"runtime/debug"
+	"testing"
+	"time"
+)
+
+// TestPipelinedBoundsPeakMemory is the bounded-memory regression test for
+// the streaming pipeline: at equal Rows, the chunked engine must hold a
+// clearly smaller peak live heap than the monolithic one. The monolithic
+// engine retains three extra full-size copies of the remote-bound data on
+// every worker (the packed send buffers, the received packed payloads, and
+// it peaks while all of them plus the unpacked records are live); the
+// pipelined engine's transient state is O(ChunkRows x Window) per stream.
+//
+// Peak measurement: a sampler goroutine polls runtime.MemStats.HeapAlloc
+// while the cluster runs, with GC pressure turned up so HeapAlloc tracks
+// the live set closely. The engines retain their buffers on the worker
+// structs until Run returns, so the peak is a plateau, not a spike — easy
+// to catch by sampling.
+func TestPipelinedBoundsPeakMemory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("memory regression test is slow under -short")
+	}
+	defer debug.SetGCPercent(debug.SetGCPercent(10))
+
+	const k, rows = 4, 160000 // 16 MB of records cluster-wide
+
+	measure := func(chunkRows int) uint64 {
+		runtime.GC()
+		stop := make(chan struct{})
+		peakCh := make(chan uint64)
+		go func() {
+			var peak uint64
+			var m runtime.MemStats
+			for {
+				select {
+				case <-stop:
+					peakCh <- peak
+					return
+				default:
+					runtime.ReadMemStats(&m)
+					if m.HeapAlloc > peak {
+						peak = m.HeapAlloc
+					}
+					time.Sleep(200 * time.Microsecond)
+				}
+			}
+		}()
+		runAll(t, Config{K: k, Rows: rows, Seed: 77, ChunkRows: chunkRows, Window: 4})
+		close(stop)
+		return <-peakCh
+	}
+
+	monolithic := measure(0)
+	pipelined := measure(1000)
+	t.Logf("peak heap: monolithic %.1f MB, pipelined %.1f MB",
+		float64(monolithic)/1e6, float64(pipelined)/1e6)
+	// The structural saving is ~2 full copies of the shuffled data; demand
+	// at least a 15% drop so sampler and GC noise cannot fake a pass.
+	if float64(pipelined) > 0.85*float64(monolithic) {
+		t.Fatalf("pipelined peak heap %.1f MB not well below monolithic %.1f MB",
+			float64(pipelined)/1e6, float64(monolithic)/1e6)
+	}
+}

@@ -1,0 +1,101 @@
+package terasort
+
+import (
+	"testing"
+
+	"codedterasort/internal/kv"
+	"codedterasort/internal/partition"
+	"codedterasort/internal/verify"
+)
+
+// TestPipelinedMatchesMonolithic: the chunked streaming shuffle must
+// produce exactly the per-rank partitions of the stage-by-stage engine for
+// a grid of chunk sizes and windows, including chunk sizes larger than any
+// stream and the one-record degenerate case.
+func TestPipelinedMatchesMonolithic(t *testing.T) {
+	const k, rows, seed = 4, 3000, 21
+	ref := runAll(t, Config{K: k, Rows: rows, Seed: seed})
+	for _, chunkRows := range []int{1, 64, 500, 100000} {
+		for _, window := range []int{1, 2, 8} {
+			for _, parallel := range []bool{false, true} {
+				cfg := Config{K: k, Rows: rows, Seed: seed,
+					ChunkRows: chunkRows, Window: window, Parallel: parallel}
+				results := runAll(t, cfg)
+				for rank := range results {
+					if !results[rank].Output.Equal(ref[rank].Output) {
+						t.Fatalf("chunkRows=%d window=%d parallel=%v rank %d: output differs",
+							chunkRows, window, parallel, rank)
+					}
+				}
+				in := verify.DescribeGenerated(kv.NewGenerator(seed, kv.DistUniform), rows)
+				if err := verify.SortedOutput(outputs(results), partition.NewUniform(k), in); err != nil {
+					t.Fatalf("chunkRows=%d window=%d: %v", chunkRows, window, err)
+				}
+			}
+		}
+	}
+}
+
+// TestPipelinedChunkCounts: chunk counters reflect the expected stream
+// structure — every (src,dst) pair exchanges ceil(ivRows/ChunkRows) chunks
+// with a minimum of one per stream, and sent equals received cluster-wide.
+func TestPipelinedChunkCounts(t *testing.T) {
+	const k, rows = 3, 1200
+	results := runAll(t, Config{K: k, Rows: rows, Seed: 5, ChunkRows: 50})
+	var sent, recv int64
+	for rank, r := range results {
+		if r.ChunksSent < int64(k-1) {
+			t.Fatalf("rank %d sent %d chunks, want >= %d streams", rank, r.ChunksSent, k-1)
+		}
+		sent += r.ChunksSent
+		recv += r.ChunksReceived
+	}
+	if sent != recv {
+		t.Fatalf("chunks sent %d != received %d", sent, recv)
+	}
+	// ~400 rows per worker split over k=3 partitions at 50 rows/chunk:
+	// roughly 3 chunks per stream, 6 streams per node pair direction.
+	if sent < 12 {
+		t.Fatalf("implausibly few chunks: %d", sent)
+	}
+}
+
+// TestPipelinedEmptyStreams: zero-row inputs still close every stream via
+// the mandatory last-flagged empty chunk.
+func TestPipelinedEmptyStreams(t *testing.T) {
+	results := runAll(t, Config{K: 3, Rows: 0, Seed: 1, ChunkRows: 10})
+	for rank, r := range results {
+		if r.Output.Len() != 0 {
+			t.Fatalf("rank %d produced %d records from empty input", rank, r.Output.Len())
+		}
+		if r.ChunksSent != 2 || r.ChunksReceived != 2 {
+			t.Fatalf("rank %d: %d sent / %d received, want 2/2 empty closers",
+				rank, r.ChunksSent, r.ChunksReceived)
+		}
+	}
+}
+
+// TestPipelinedConfigValidation: negative knobs are rejected, and the
+// default window is applied only when pipelining is on.
+func TestPipelinedConfigValidation(t *testing.T) {
+	if _, err := (Config{K: 2, Rows: 10, ChunkRows: -1}).normalize(); err == nil {
+		t.Fatalf("negative ChunkRows accepted")
+	}
+	if _, err := (Config{K: 2, Rows: 10, Window: -2}).normalize(); err == nil {
+		t.Fatalf("negative Window accepted")
+	}
+	c, err := (Config{K: 2, Rows: 10, ChunkRows: 8}).normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Window != DefaultWindow {
+		t.Fatalf("window defaulted to %d, want %d", c.Window, DefaultWindow)
+	}
+	c, err = (Config{K: 2, Rows: 10}).normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Window != 0 {
+		t.Fatalf("window %d set without pipelining", c.Window)
+	}
+}

@@ -8,6 +8,8 @@ package terasort
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"codedterasort/internal/codec"
 	"codedterasort/internal/kv"
@@ -19,9 +21,15 @@ import (
 
 // Tag stages; disjoint from the coded package's tags.
 const (
-	tagShuffle uint8 = 0x10
-	tagToken   uint8 = 0x11
+	tagShuffle  uint8 = 0x10
+	tagToken    uint8 = 0x11
+	tagChunk    uint8 = 0x12
+	tagChunkAck uint8 = 0x13
 )
+
+// DefaultWindow is the in-flight chunk window used when pipelining is
+// enabled without an explicit Window.
+const DefaultWindow = 4
 
 // Config describes one TeraSort run. All workers must hold identical
 // configurations (the coordinator distributes them in the cluster runtime).
@@ -52,6 +60,18 @@ type Config struct {
 	// SelfJoin): select in Map, shuffle only matches, reduce sorted
 	// matches. The function must be pure and identical on all workers.
 	Filter func(record []byte) bool
+	// ChunkRows, when positive, enables the streaming pipelined shuffle
+	// (the paper's Section VII "Asynchronous Execution" direction): each
+	// per-destination intermediate value is packed and shipped in
+	// ChunkRows-record chunks, Pack of chunk n+1 overlaps the flight of
+	// chunk n, and receivers Unpack each chunk on arrival. Zero keeps the
+	// monolithic stage-by-stage schedule bit-identical to the paper's.
+	ChunkRows int
+	// Window bounds unacknowledged in-flight chunks per peer stream when
+	// pipelining, so peak buffered memory is O(ChunkRows x Window) rather
+	// than O(Rows/K). Zero selects DefaultWindow. Ignored when ChunkRows
+	// is zero.
+	Window int
 }
 
 // normalize validates and fills defaults.
@@ -71,6 +91,15 @@ func (c Config) normalize() (Config, error) {
 	if c.Input != nil && len(c.Input) != c.K {
 		return c, fmt.Errorf("terasort: %d input files for K=%d", len(c.Input), c.K)
 	}
+	if c.ChunkRows < 0 {
+		return c, fmt.Errorf("terasort: negative ChunkRows")
+	}
+	if c.Window < 0 {
+		return c, fmt.Errorf("terasort: negative Window")
+	}
+	if c.ChunkRows > 0 && c.Window == 0 {
+		c.Window = DefaultWindow
+	}
 	return c, nil
 }
 
@@ -81,8 +110,13 @@ type Result struct {
 	// Times is the node's stage breakdown.
 	Times stats.Breakdown
 	// ShuffleBytes counts the unicast payload bytes this node sent during
-	// the Shuffle stage (the communication-load contribution).
+	// the Shuffle stage (the communication-load contribution). In
+	// pipelined mode this includes the per-chunk framing overhead.
 	ShuffleBytes int64
+	// ChunksSent and ChunksReceived count pipelined shuffle chunks (zero
+	// when ChunkRows is unset).
+	ChunksSent     int64
+	ChunksReceived int64
 }
 
 // Run executes the TeraSort worker for ep.Rank() and blocks until this
@@ -142,6 +176,18 @@ func (w *worker) run() (Result, error) {
 		{stats.StageShuffle, w.shuffleStage},
 		{stats.StageUnpack, w.unpackStage},
 		{stats.StageReduce, w.reduceStage},
+	}
+	if w.cfg.ChunkRows > 0 {
+		// Pipelined schedule: Pack, Shuffle and Unpack collapse into one
+		// overlapped streaming stage, charged to Shuffle.
+		steps = []struct {
+			stage stats.Stage
+			fn    func() error
+		}{
+			{stats.StageMap, w.mapStage},
+			{stats.StageShuffle, w.streamStage},
+			{stats.StageReduce, w.reduceStage},
+		}
 	}
 	for _, s := range steps {
 		if err := w.tl.Measure(s.stage, s.fn); err != nil {
@@ -235,6 +281,106 @@ func (w *worker) shuffleStage() error {
 		return sendErr
 	}
 	return <-recvErr
+}
+
+// streamStage is the pipelined replacement for Pack+Shuffle+Unpack: every
+// per-destination intermediate value travels as a stream of ChunkRows-record
+// chunks. Packing chunk n+1 overlaps the flight of chunk n (Send is
+// asynchronous), receivers unpack each chunk on arrival in per-source
+// goroutines, and the windowed credit protocol bounds in-flight chunks so
+// neither side ever materializes a monolithic packed copy of its data.
+func (w *worker) streamStage() error {
+	// Receive side: one goroutine per source, each consuming its chunk
+	// stream until the last flag, unpacking and appending records as they
+	// arrive, and returning one credit per chunk.
+	w.unpacked = make([]kv.Records, w.cfg.K)
+	recvErrs := make([]error, w.cfg.K)
+	var chunksRecv atomic.Int64
+	var wg sync.WaitGroup
+	for src := 0; src < w.cfg.K; src++ {
+		if src == w.rank {
+			continue
+		}
+		wg.Add(1)
+		go func(src int) {
+			defer wg.Done()
+			dataTag := transport.MakeTag(tagChunk, uint16(src), uint16(w.rank))
+			ackTag := transport.MakeTag(tagChunkAck, uint16(w.rank), uint16(src))
+			var stream codec.ChunkStream
+			out := kv.MakeRecords(0)
+			for !stream.Done() {
+				frame, err := w.ep.Recv(src, dataTag)
+				if err != nil {
+					recvErrs[src] = err
+					return
+				}
+				// Credit first: flow control is independent of validation,
+				// so a decode error here never wedges the sender.
+				if err := transport.StreamAck(w.ep, src, ackTag); err != nil {
+					recvErrs[src] = err
+					return
+				}
+				payload, _, err := stream.Accept(frame)
+				if err != nil {
+					recvErrs[src] = fmt.Errorf("chunk stream from rank %d: %w", src, err)
+					return
+				}
+				recs, err := codec.UnpackIV(payload)
+				if err != nil {
+					recvErrs[src] = fmt.Errorf("chunk from rank %d: %w", src, err)
+					return
+				}
+				out = out.AppendRecords(recs)
+				chunksRecv.Add(1)
+			}
+			w.unpacked[src] = out
+		}(src)
+	}
+
+	send := func() error {
+		for dst := 0; dst < w.cfg.K; dst++ {
+			if dst == w.rank {
+				continue
+			}
+			dataTag := transport.MakeTag(tagChunk, uint16(w.rank), uint16(dst))
+			ackTag := transport.MakeTag(tagChunkAck, uint16(dst), uint16(w.rank))
+			s := transport.NewStreamSender(w.ep, dst, dataTag, ackTag, w.cfg.Window)
+			iv := w.hashed[dst]
+			n := codec.NumChunks(iv.Len(), w.cfg.ChunkRows)
+			for c := 0; c < n; c++ {
+				lo, hi := codec.ChunkSpan(iv.Len(), w.cfg.ChunkRows, c)
+				frame := codec.FrameChunk(uint32(c), c == n-1, codec.PackIV(iv.Slice(lo, hi)))
+				if err := s.Send(frame); err != nil {
+					return err
+				}
+				w.result.ShuffleBytes += int64(len(frame))
+				w.result.ChunksSent++
+			}
+			if err := s.Drain(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var sendErr error
+	if w.cfg.Parallel {
+		sendErr = send()
+	} else {
+		sendErr = transport.SerialOrder(w.ep, transport.MakeTag(tagToken, 0, 0), send)
+	}
+	if sendErr != nil {
+		// Mirror shuffleStage: don't wait for receivers whose sources may
+		// be gone; they unblock with ErrClosed at teardown.
+		return sendErr
+	}
+	wg.Wait()
+	w.result.ChunksReceived = chunksRecv.Load()
+	for _, err := range recvErrs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // unpackStage deserializes the received payloads back to record buffers.
