@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race fuzz bench ci
+.PHONY: all build vet fmt-check test race fuzz bench cover ci
 
 all: ci
 
@@ -10,23 +10,40 @@ build:
 vet:
 	$(GO) vet ./...
 
+# Formatting is part of the gate: gofmt -l lists offenders, and any output
+# fails the target.
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
 test:
 	$(GO) test ./...
 
 # The race wall: the pipelined engines are concurrent by construction
-# (per-source receive goroutines, windowed senders), so the race detector
-# is part of the standard gate, not an optional extra.
+# (per-source receive goroutines, windowed senders, spilling receivers), so
+# the race detector is part of the standard gate, not an optional extra.
 race:
 	$(GO) test -race ./...
 
-# Short fuzz smoke over the wire-facing surfaces (chunk framing, packed
-# IVs, coded packets). CI-friendly: seconds, not hours.
+# Short fuzz smoke over the wire- and disk-facing surfaces (chunk framing,
+# packed IVs, coded packets, spill-file blocks). One shell with set -e so
+# the first failing fuzz target fails the whole recipe fast — no later
+# invocation can mask it. CI-friendly: seconds, not hours.
 fuzz:
-	$(GO) test -run=Fuzz -fuzz=FuzzOpenChunk -fuzztime=5s ./internal/codec/
-	$(GO) test -run=Fuzz -fuzz=FuzzChunkStream -fuzztime=5s ./internal/codec/
-	$(GO) test -run=Fuzz -fuzz=FuzzUnpackIV -fuzztime=5s ./internal/codec/
+	set -e; \
+	for target in FuzzOpenChunk FuzzChunkStream FuzzUnpackIV; do \
+		$(GO) test -run=Fuzz -fuzz=$$target -fuzztime=5s ./internal/codec/ || exit 1; \
+	done; \
+	$(GO) test -run=Fuzz -fuzz=FuzzRunReader -fuzztime=5s ./internal/extsort/
 
 bench:
 	$(GO) test -run=XXX -bench=. -benchmem ./...
+	$(GO) run ./cmd/benchjson -out BENCH_pipeline.json
 
-ci: build vet race
+# Coverage summary: per-function tail plus the total line, for the CI log
+# and local spot checks.
+cover:
+	$(GO) test -coverprofile=cover.out ./...
+	$(GO) tool cover -func=cover.out | tail -n 20
+
+ci: build vet fmt-check race

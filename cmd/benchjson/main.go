@@ -1,0 +1,168 @@
+// Command benchjson runs the pipeline benchmark workloads — the schedule
+// progression of both engines (serial, chunked-streaming, out-of-core) —
+// and writes a machine-readable JSON summary (ns/op, bytes shuffled, peak
+// live heap, spilled runs) so the performance trajectory is tracked across
+// PRs instead of living only in scrollback.
+//
+// Usage:
+//
+//	benchjson -out BENCH_pipeline.json
+//	benchjson -rows 500000 -benchtime 2s
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"codedterasort/internal/cluster"
+	"codedterasort/internal/kv"
+)
+
+// benchResult is one workload's measurement.
+type benchResult struct {
+	Name           string  `json:"name"`
+	Iterations     int     `json:"iterations"`
+	NsPerOp        float64 `json:"ns_per_op"`
+	MBPerSec       float64 `json:"mb_per_sec"`
+	Rows           int64   `json:"rows"`
+	BytesShuffled  int64   `json:"bytes_shuffled"`
+	ChunksShuffled int64   `json:"chunks_shuffled,omitempty"`
+	SpilledRuns    int64   `json:"spilled_runs,omitempty"`
+	PeakHeapBytes  uint64  `json:"peak_heap_bytes"`
+}
+
+// benchFile is the BENCH_pipeline.json document.
+type benchFile struct {
+	GoVersion string        `json:"go_version"`
+	Rows      int64         `json:"rows"`
+	Results   []benchResult `json:"results"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_pipeline.json", "output JSON path")
+	rows := flag.Int64("rows", 200000, "input size in records per workload")
+	benchtime := flag.Duration("benchtime", time.Second, "minimum measuring time per workload")
+	flag.Parse()
+
+	if err := run(*out, *rows, *benchtime); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// workloads returns the tracked pipeline configurations: each engine under
+// the paper's serial schedule, the chunked streaming pipeline, and the
+// out-of-core external sort (budget sized to force spilling at any -rows).
+func workloads(rows int64, spillDir string) []struct {
+	name string
+	spec cluster.Spec
+} {
+	budget := rows * kv.RecordSize / 16
+	if budget < 1<<16 {
+		budget = 1 << 16
+	}
+	return []struct {
+		name string
+		spec cluster.Spec
+	}{
+		{"terasort/serial", cluster.Spec{
+			Algorithm: cluster.AlgTeraSort, K: 4, Rows: rows, Seed: 11}},
+		{"terasort/chunked", cluster.Spec{
+			Algorithm: cluster.AlgTeraSort, K: 4, Rows: rows, Seed: 11,
+			ParallelShuffle: true, ChunkRows: 2000, Window: 8}},
+		{"terasort/extsort", cluster.Spec{
+			Algorithm: cluster.AlgTeraSort, K: 4, Rows: rows, Seed: 11,
+			ParallelShuffle: true, MemBudget: budget, SpillDir: spillDir}},
+		{"coded/serial", cluster.Spec{
+			Algorithm: cluster.AlgCoded, K: 4, R: 2, Rows: rows, Seed: 11}},
+		{"coded/chunked", cluster.Spec{
+			Algorithm: cluster.AlgCoded, K: 4, R: 2, Rows: rows, Seed: 11,
+			ParallelShuffle: true, ChunkRows: 800, Window: 8}},
+		{"coded/extsort", cluster.Spec{
+			Algorithm: cluster.AlgCoded, K: 4, R: 2, Rows: rows, Seed: 11,
+			ParallelShuffle: true, MemBudget: budget, SpillDir: spillDir}},
+	}
+}
+
+func run(out string, rows int64, benchtime time.Duration) error {
+	spillDir, err := os.MkdirTemp("", "benchjson-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(spillDir)
+
+	doc := benchFile{GoVersion: runtime.Version(), Rows: rows}
+	for _, w := range workloads(rows, spillDir) {
+		res, err := measure(w.name, w.spec, benchtime)
+		if err != nil {
+			return fmt.Errorf("%s: %w", w.name, err)
+		}
+		doc.Results = append(doc.Results, res)
+		fmt.Printf("%-20s %12.0f ns/op  %8.1f MB/s  peak heap %6.1f MB\n",
+			w.name, res.NsPerOp, res.MBPerSec, float64(res.PeakHeapBytes)/1e6)
+	}
+	p, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(out, append(p, '\n'), 0o644)
+}
+
+// measure runs one workload repeatedly for at least benchtime, sampling
+// the peak live heap throughout.
+func measure(name string, spec cluster.Spec, benchtime time.Duration) (benchResult, error) {
+	runtime.GC()
+	stop := make(chan struct{})
+	peakCh := make(chan uint64)
+	go func() {
+		var peak uint64
+		var m runtime.MemStats
+		for {
+			select {
+			case <-stop:
+				peakCh <- peak
+				return
+			default:
+				runtime.ReadMemStats(&m)
+				if m.HeapAlloc > peak {
+					peak = m.HeapAlloc
+				}
+				time.Sleep(500 * time.Microsecond)
+			}
+		}
+	}()
+
+	var job *cluster.JobReport
+	var err error
+	iters := 0
+	start := time.Now()
+	for elapsed := time.Duration(0); iters == 0 || elapsed < benchtime; elapsed = time.Since(start) {
+		job, err = cluster.RunLocal(spec)
+		if err != nil {
+			close(stop)
+			<-peakCh
+			return benchResult{}, err
+		}
+		iters++
+	}
+	total := time.Since(start)
+	close(stop)
+	peak := <-peakCh
+
+	nsPerOp := float64(total.Nanoseconds()) / float64(iters)
+	return benchResult{
+		Name:           name,
+		Iterations:     iters,
+		NsPerOp:        nsPerOp,
+		MBPerSec:       float64(spec.Rows*kv.RecordSize) / 1e6 / (nsPerOp / 1e9),
+		Rows:           spec.Rows,
+		BytesShuffled:  job.ShuffleLoadBytes,
+		ChunksShuffled: job.ChunksShuffled,
+		SpilledRuns:    job.SpilledRuns,
+		PeakHeapBytes:  peak,
+	}, nil
+}

@@ -1,0 +1,43 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestRunEmitsValidJSON: a fast run produces a parseable document with one
+// result per workload, each carrying the tracked metrics, and the extsort
+// workloads actually spilled.
+func TestRunEmitsValidJSON(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	if err := run(out, 4000, time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	buf, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc benchFile
+	if err := json.Unmarshal(buf, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if want := len(workloads(4000, "")); len(doc.Results) != want {
+		t.Fatalf("%d results, want %d", len(doc.Results), want)
+	}
+	for _, r := range doc.Results {
+		if r.NsPerOp <= 0 || r.Iterations <= 0 || r.PeakHeapBytes == 0 {
+			t.Fatalf("%s: degenerate metrics %+v", r.Name, r)
+		}
+		if r.BytesShuffled <= 0 {
+			t.Fatalf("%s: no shuffle bytes", r.Name)
+		}
+		if r.Name == "terasort/extsort" || r.Name == "coded/extsort" {
+			if r.SpilledRuns == 0 {
+				t.Fatalf("%s: spilled nothing", r.Name)
+			}
+		}
+	}
+}

@@ -32,6 +32,8 @@ func main() {
 	compare := flag.Bool("compare", false, "also run the TeraSort baseline and report speedup")
 	chunk := flag.Int("chunk", 0, "streaming pipelined shuffle chunk size in records (0 = monolithic stages)")
 	window := flag.Int("window", 0, "in-flight chunk window per stream (0 = engine default)")
+	memBudget := flag.Int64("membudget", 0, "per-worker memory budget in bytes: spill sorted runs to disk and merge-stream the reduce (0 = fully in-memory)")
+	spillDir := flag.String("spilldir", "", "parent directory for spill files (default system temp)")
 	flag.Parse()
 
 	spec := cluster.Spec{
@@ -39,6 +41,7 @@ func main() {
 		K:         *k, R: *r, Rows: *rows, Seed: *seed, Skewed: *skewed,
 		TreeMulticast: *tree, RateMbps: *rate, PerMessage: *perMsg,
 		ChunkRows: *chunk, Window: *window,
+		MemBudget: *memBudget, SpillDir: *spillDir,
 	}
 	start := time.Now()
 	job, err := cluster.RunLocal(spec)
@@ -76,6 +79,10 @@ func main() {
 	fmt.Printf("multicast payload: %.2f MB over %d groups\n",
 		float64(job.ShuffleLoadBytes)/1e6, combin.Binomial(*k, *r+1))
 	if job.ChunksShuffled > 0 {
-		fmt.Printf("pipelined shuffle: %d chunk packets of %d records\n", job.ChunksShuffled, *chunk)
+		fmt.Printf("pipelined shuffle: %d chunk packets\n", job.ChunksShuffled)
+	}
+	if *memBudget > 0 {
+		fmt.Printf("external sort: %d runs spilled under a %.1f MB/worker budget\n",
+			job.SpilledRuns, float64(*memBudget)/1e6)
 	}
 }

@@ -30,6 +30,8 @@ func main() {
 	rate := flag.Float64("rate", 0, "per-node egress cap in Mbps")
 	chunk := flag.Int("chunk", 0, "streaming pipelined shuffle chunk size in records (0 = monolithic stages)")
 	window := flag.Int("window", 0, "in-flight chunk window per stream (0 = engine default)")
+	memBudget := flag.Int64("membudget", 0, "per-worker memory budget in bytes: workers spill sorted runs to local disk (0 = fully in-memory)")
+	spillDir := flag.String("spilldir", "", "parent directory for worker spill files (default system temp)")
 	flag.Parse()
 
 	spec := cluster.Spec{
@@ -37,6 +39,7 @@ func main() {
 		K:         *k, R: *r, Rows: *rows, Seed: *seed,
 		Skewed: *skewed, TreeMulticast: *tree, RateMbps: *rate,
 		ChunkRows: *chunk, Window: *window,
+		MemBudget: *memBudget, SpillDir: *spillDir,
 	}
 	if spec.Algorithm == cluster.AlgTeraSort {
 		spec.R = 0
@@ -55,5 +58,9 @@ func main() {
 	}
 	fmt.Printf("job complete: validated=%v, shuffle load %.2f MB, wire %.2f MB\n",
 		job.Validated, float64(job.ShuffleLoadBytes)/1e6, float64(job.WireBytes)/1e6)
+	if *memBudget > 0 {
+		fmt.Printf("external sort: %d runs spilled under a %.1f MB/worker budget\n",
+			job.SpilledRuns, float64(*memBudget)/1e6)
+	}
 	fmt.Print(stats.RenderTable("", []stats.Row{{Label: string(spec.Algorithm), Times: job.Times}}))
 }

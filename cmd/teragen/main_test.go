@@ -5,6 +5,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"codedterasort/internal/extsort"
 	"codedterasort/internal/kv"
 )
 
@@ -43,6 +44,46 @@ func TestRunTextMode(t *testing.T) {
 
 func TestRunRejectsNegativeRows(t *testing.T) {
 	if err := run(-1, 1, false, "", false); err == nil {
+		t.Fatal("negative rows accepted")
+	}
+}
+
+// TestDiskModeWritesPartLayout: -disk writes K part files whose
+// concatenation is exactly the generated input, split at the File
+// Placement bounds.
+func TestDiskModeWritesPartLayout(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "input")
+	const rows, seed, k = 1003, 11, 4
+	if err := runDisk(rows, seed, false, dir, k); err != nil {
+		t.Fatal(err)
+	}
+	gen := kv.NewGenerator(seed, kv.DistUniform)
+	bounds := kv.SplitRows(rows, k)
+	for i := 0; i < k; i++ {
+		buf, err := os.ReadFile(extsort.PartFile(dir, i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := kv.NewRecords(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := gen.Generate(bounds[i], bounds[i+1]-bounds[i])
+		if !got.Equal(want) {
+			t.Fatalf("part %d differs from generator rows [%d,%d)", i, bounds[i], bounds[i+1])
+		}
+	}
+}
+
+// TestDiskModeValidation: bad -disk parameters are rejected.
+func TestDiskModeValidation(t *testing.T) {
+	if err := runDisk(10, 1, false, "", 4); err == nil {
+		t.Fatal("missing -out accepted")
+	}
+	if err := runDisk(10, 1, false, t.TempDir(), 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if err := runDisk(-1, 1, false, t.TempDir(), 2); err == nil {
 		t.Fatal("negative rows accepted")
 	}
 }

@@ -7,6 +7,7 @@
 //
 //	terasort -k 8 -rows 1000000
 //	terasort -k 16 -rows 1200000 -rate 100 -permsg 5ms
+//	terasort -k 8 -indir /data/input -membudget 67108864
 package main
 
 import (
@@ -28,6 +29,9 @@ func main() {
 	perMsg := flag.Duration("permsg", 0, "fixed per-message overhead")
 	chunk := flag.Int("chunk", 0, "streaming pipelined shuffle chunk size in records (0 = monolithic stages)")
 	window := flag.Int("window", 0, "in-flight chunk window per stream (0 = engine default)")
+	memBudget := flag.Int64("membudget", 0, "per-worker memory budget in bytes: spill sorted runs to disk and merge-stream the reduce (0 = fully in-memory)")
+	spillDir := flag.String("spilldir", "", "parent directory for spill files (default system temp)")
+	inDir := flag.String("indir", "", "read input from the part files teragen -disk wrote here instead of generating it")
 	flag.Parse()
 
 	spec := cluster.Spec{
@@ -35,6 +39,7 @@ func main() {
 		K:         *k, Rows: *rows, Seed: *seed, Skewed: *skewed,
 		RateMbps: *rate, PerMessage: *perMsg,
 		ChunkRows: *chunk, Window: *window,
+		MemBudget: *memBudget, SpillDir: *spillDir, InputDir: *inDir,
 	}
 	start := time.Now()
 	job, err := cluster.RunLocal(spec)
@@ -42,12 +47,24 @@ func main() {
 		fmt.Fprintln(os.Stderr, "terasort:", err)
 		os.Exit(1)
 	}
+	totalRows := *rows
+	if *inDir != "" {
+		// File-backed input: the part files, not -rows, define the size.
+		totalRows = 0
+		for _, w := range job.Workers {
+			totalRows += w.OutputRows
+		}
+	}
 	fmt.Printf("TeraSort: K=%d, %d records (%.1f MB), validated=%v, wall time %.2fs\n",
-		*k, *rows, float64(*rows)*100/1e6, job.Validated, time.Since(start).Seconds())
+		*k, totalRows, float64(totalRows)*100/1e6, job.Validated, time.Since(start).Seconds())
 	fmt.Print(stats.RenderTable("", []stats.Row{{Label: "TeraSort", Times: job.Times}}))
 	fmt.Printf("shuffle payload: %.2f MB (load %.3f of input)\n",
-		float64(job.ShuffleLoadBytes)/1e6, float64(job.ShuffleLoadBytes)/(float64(*rows)*100))
+		float64(job.ShuffleLoadBytes)/1e6, float64(job.ShuffleLoadBytes)/(float64(totalRows)*100))
 	if job.ChunksShuffled > 0 {
-		fmt.Printf("pipelined shuffle: %d chunks of %d records\n", job.ChunksShuffled, *chunk)
+		fmt.Printf("pipelined shuffle: %d chunks\n", job.ChunksShuffled)
+	}
+	if *memBudget > 0 {
+		fmt.Printf("external sort: %d runs spilled under a %.1f MB/worker budget\n",
+			job.SpilledRuns, float64(*memBudget)/1e6)
 	}
 }

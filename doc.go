@@ -7,9 +7,12 @@
 // clusters.
 //
 // The implementation lives under internal/ (see DESIGN.md for the system
-// inventory and the streaming-pipeline design notes), with runnable
-// binaries under cmd/ and worked examples under examples/. The benchmarks
-// in bench_test.go regenerate every table and figure of the paper's
-// evaluation; the tests in internal/simnet pin the reproduced values
-// against the paper's tables.
+// inventory, the streaming-pipeline design notes, and the out-of-core
+// external sort: internal/extsort provides spill-to-disk run generation
+// and the loser-tree merge behind the MemBudget knob of both engines),
+// with runnable binaries under cmd/ and worked examples under examples/.
+// The benchmarks in bench_test.go regenerate every table and figure of
+// the paper's evaluation; the tests in internal/simnet pin the reproduced
+// values against the paper's tables; cmd/benchjson tracks the pipeline
+// performance trajectory as machine-readable JSON.
 package codedterasort

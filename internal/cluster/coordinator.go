@@ -4,9 +4,6 @@ import (
 	"fmt"
 	"net"
 	"sync"
-
-	"codedterasort/internal/kv"
-	"codedterasort/internal/verify"
 )
 
 // Coordinator is the Fig 8 control node: it accepts worker registrations,
@@ -98,6 +95,7 @@ func (c *Coordinator) RunJob(spec Spec) (*JobReport, error) {
 				WireBytes:        rep.WireBytes,
 				ChunksSent:       rep.ChunksSent,
 				ChunksReceived:   rep.ChunksReceived,
+				SpilledRuns:      rep.SpilledRuns,
 			}
 		}(rank, conn)
 	}
@@ -107,12 +105,17 @@ func (c *Coordinator) RunJob(spec Spec) (*JobReport, error) {
 			return nil, fmt.Errorf("cluster: worker %d: %w", rank, err)
 		}
 	}
-	job, err := assemble(spec, reports, nil)
+	job, err := assemble(spec, reports, nil, nil)
 	if err != nil {
 		return nil, err
 	}
 	// Multiset integrity: partition checksums must sum to the input's.
-	in := verify.DescribeGenerated(kv.NewGenerator(spec.Seed, spec.Dist()), spec.Rows)
+	// (With Spec.InputDir the coordinator scans the same part files the
+	// workers read — the single-machine deployment this runtime targets.)
+	in, err := describeInput(spec)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: describing input: %w", err)
+	}
 	var rows int64
 	var sum uint64
 	for _, w := range reports {

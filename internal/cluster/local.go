@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"codedterasort/internal/coded"
+	"codedterasort/internal/extsort"
 	"codedterasort/internal/kv"
 	"codedterasort/internal/partition"
 	"codedterasort/internal/stats"
@@ -34,6 +35,9 @@ type WorkerReport struct {
 	// worker exchanged (0 when Spec.ChunkRows is unset).
 	ChunksSent     int64
 	ChunksReceived int64
+	// SpilledRuns counts the sorted runs this worker spilled to disk
+	// (0 unless Spec.MemBudget forced it out of core).
+	SpilledRuns int64
 	// WireBytes counts bytes that actually crossed the transport,
 	// including the per-receiver copies of application-layer multicast
 	// and control traffic (tokens, barriers, handshakes).
@@ -55,6 +59,8 @@ type JobReport struct {
 	// ChunksShuffled is the total pipelined chunk count across workers
 	// (0 when Spec.ChunkRows is unset).
 	ChunksShuffled int64
+	// SpilledRuns is the total external-sort runs spilled across workers.
+	SpilledRuns int64
 	// WireBytes is the total transport-level traffic.
 	WireBytes int64
 	// Validated is set when the job's output passed verification against
@@ -68,13 +74,27 @@ func (j JobReport) Total() float64 { return j.Times.Total().Seconds() }
 // RunLocal executes the job with all K workers in this process over the
 // in-memory transport, optionally traffic-shaped per the spec. Outputs are
 // verified against the input (order, partition membership, multiset
-// equality) before the report is returned.
+// equality) before the report is returned. With MemBudget set (and
+// KeepOutput unset, which defeats the point of a budget) the sorted
+// partitions are never materialized: each worker streams its output blocks
+// into a verify.PartitionChecker, so verification itself runs in O(block)
+// memory.
 func RunLocal(spec Spec) (*JobReport, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
 	mesh := memnet.NewMesh(spec.K)
 	defer mesh.Close()
+
+	streaming := spec.MemBudget > 0 && !spec.KeepOutput
+	var checkers []*verify.PartitionChecker
+	if streaming {
+		checkers = make([]*verify.PartitionChecker, spec.K)
+		p := partition.NewUniform(spec.K)
+		for r := 0; r < spec.K; r++ {
+			checkers[r] = verify.NewPartitionChecker(p, r)
+		}
+	}
 
 	reports := make([]WorkerReport, spec.K)
 	errs := make([]error, spec.K)
@@ -94,7 +114,11 @@ func RunLocal(spec Spec) (*JobReport, error) {
 			}
 			meter := transport.NewMeter(conn)
 			ep := transport.WithCollectives(meter, spec.Strategy())
-			rep, out, err := runWorker(ep, spec)
+			var sink func(kv.Records) error
+			if streaming {
+				sink = checkers[rank].Feed
+			}
+			rep, out, err := runWorker(ep, spec, sink)
 			if err != nil {
 				errs[rank] = err
 				return
@@ -111,20 +135,64 @@ func RunLocal(spec Spec) (*JobReport, error) {
 			return nil, fmt.Errorf("cluster: worker %d: %w", r, err)
 		}
 	}
-	return assemble(spec, reports, outputs)
+	if streaming {
+		sums := make([]verify.Summary, spec.K)
+		for r, c := range checkers {
+			sums[r] = c.Summary()
+		}
+		return assemble(spec, reports, nil, sums)
+	}
+	return assemble(spec, reports, outputs, nil)
 }
 
-// runWorker executes the spec's algorithm on one endpoint.
-func runWorker(ep transport.Endpoint, spec Spec) (WorkerReport, kv.Records, error) {
+// inputFiles lists the K part files of a teragen -disk directory.
+func inputFiles(dir string, k int) []string {
+	files := make([]string, k)
+	for i := range files {
+		files[i] = extsort.PartFile(dir, i)
+	}
+	return files
+}
+
+// describeInput summarizes the job's input for multiset verification:
+// generated data is described by regeneration, file-backed data by a
+// streaming scan of the part files — both in O(block) memory.
+func describeInput(spec Spec) (verify.Input, error) {
+	if spec.InputDir == "" {
+		return verify.DescribeGenerated(kv.NewGenerator(spec.Seed, spec.Dist()), spec.Rows), nil
+	}
+	var in verify.Input
+	for _, path := range inputFiles(spec.InputDir, spec.K) {
+		if err := extsort.ScanFile(path, 1<<14, func(b kv.Records) error {
+			in.Rows += int64(b.Len())
+			in.Checksum += b.Checksum()
+			return nil
+		}); err != nil {
+			return verify.Input{}, err
+		}
+	}
+	return in, nil
+}
+
+// runWorker executes the spec's algorithm on one endpoint. A non-nil sink
+// receives the sorted partition as ascending blocks instead of it being
+// returned.
+func runWorker(ep transport.Endpoint, spec Spec, sink func(kv.Records) error) (WorkerReport, kv.Records, error) {
 	var rep WorkerReport
 	var out kv.Records
 	switch spec.Algorithm {
 	case AlgTeraSort:
-		res, err := terasort.Run(ep, terasort.Config{
+		cfg := terasort.Config{
 			K: spec.K, Rows: spec.Rows, Seed: spec.Seed, Dist: spec.Dist(),
 			Parallel:  spec.ParallelShuffle,
 			ChunkRows: spec.ChunkRows, Window: spec.Window,
-		}, nil)
+			MemBudget: spec.MemBudget, SpillDir: spec.SpillDir,
+			OutputSink: sink,
+		}
+		if spec.InputDir != "" {
+			cfg.InputFiles = inputFiles(spec.InputDir, spec.K)
+		}
+		res, err := terasort.Run(ep, cfg, nil)
 		if err != nil {
 			return rep, out, err
 		}
@@ -132,6 +200,9 @@ func runWorker(ep transport.Endpoint, spec Spec) (WorkerReport, kv.Records, erro
 		rep.SentPayloadBytes = res.ShuffleBytes
 		rep.ChunksSent = res.ChunksSent
 		rep.ChunksReceived = res.ChunksReceived
+		rep.OutputRows = res.OutputRows
+		rep.OutputChecksum = res.OutputChecksum
+		rep.SpilledRuns = res.SpilledRuns
 		out = res.Output
 	case AlgCoded:
 		res, err := coded.Run(ep, coded.Config{
@@ -139,6 +210,8 @@ func runWorker(ep transport.Endpoint, spec Spec) (WorkerReport, kv.Records, erro
 			Dist: spec.Dist(), Strategy: spec.Strategy(),
 			Parallel:  spec.ParallelShuffle,
 			ChunkRows: spec.ChunkRows, Window: spec.Window,
+			MemBudget: spec.MemBudget, SpillDir: spec.SpillDir,
+			OutputSink: sink,
 		}, nil)
 		if err != nil {
 			return rep, out, err
@@ -148,12 +221,13 @@ func runWorker(ep transport.Endpoint, spec Spec) (WorkerReport, kv.Records, erro
 		rep.MulticastOps = res.MulticastOps
 		rep.ChunksSent = res.ChunksSent
 		rep.ChunksReceived = res.ChunksReceived
+		rep.OutputRows = res.OutputRows
+		rep.OutputChecksum = res.OutputChecksum
+		rep.SpilledRuns = res.SpilledRuns
 		out = res.Output
 	default:
 		return rep, out, fmt.Errorf("cluster: unknown algorithm %q", spec.Algorithm)
 	}
-	rep.OutputRows = int64(out.Len())
-	rep.OutputChecksum = out.Checksum()
 	if spec.KeepOutput {
 		rep.Output = out
 	}
@@ -161,21 +235,39 @@ func runWorker(ep transport.Endpoint, spec Spec) (WorkerReport, kv.Records, erro
 }
 
 // assemble merges worker reports, verifies outputs, and builds the job
-// report.
-func assemble(spec Spec, reports []WorkerReport, outputs []kv.Records) (*JobReport, error) {
+// report. Exactly one of outputs (materialized partitions) or sums
+// (streaming-checker summaries) carries the verification evidence; nil for
+// both skips verification (the TCP coordinator's checksum-only path).
+func assemble(spec Spec, reports []WorkerReport, outputs []kv.Records, sums []verify.Summary) (*JobReport, error) {
 	job := &JobReport{Spec: spec, Workers: reports}
 	for _, w := range reports {
 		job.Times = job.Times.Max(w.Times)
 		job.ShuffleLoadBytes += w.SentPayloadBytes
 		job.WireBytes += w.WireBytes
 		job.ChunksShuffled += w.ChunksSent
+		job.SpilledRuns += w.SpilledRuns
 	}
-	if outputs != nil {
-		in := verify.DescribeGenerated(kv.NewGenerator(spec.Seed, spec.Dist()), spec.Rows)
-		if err := verify.SortedOutput(outputs, partition.NewUniform(spec.K), in); err != nil {
-			return nil, fmt.Errorf("cluster: output verification failed: %w", err)
+	if outputs == nil && sums == nil {
+		return job, nil
+	}
+	in, err := describeInput(spec)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: describing input: %w", err)
+	}
+	if sums == nil {
+		sums = make([]verify.Summary, len(outputs))
+		p := partition.NewUniform(spec.K)
+		for k, out := range outputs {
+			c := verify.NewPartitionChecker(p, k)
+			if err := c.Feed(out); err != nil {
+				return nil, fmt.Errorf("cluster: output verification failed: %w", err)
+			}
+			sums[k] = c.Summary()
 		}
-		job.Validated = true
 	}
+	if err := verify.CheckSummaries(sums, in); err != nil {
+		return nil, fmt.Errorf("cluster: output verification failed: %w", err)
+	}
+	job.Validated = true
 	return job, nil
 }

@@ -43,6 +43,7 @@ type reportMsg struct {
 	WireBytes        int64           `json:"wire_bytes"`
 	ChunksSent       int64           `json:"chunks_sent,omitempty"`
 	ChunksReceived   int64           `json:"chunks_received,omitempty"`
+	SpilledRuns      int64           `json:"spilled_runs,omitempty"`
 }
 
 // writeFrame sends one length-prefixed JSON message.

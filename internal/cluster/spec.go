@@ -76,6 +76,22 @@ type Spec struct {
 	// Window bounds unacknowledged in-flight chunks per stream when
 	// pipelining (0 = engine default).
 	Window int `json:"window,omitempty"`
+	// MemBudget, when positive, runs every worker out-of-core: input is
+	// consumed block by block, intermediate partitions spill to
+	// radix-sorted on-disk runs under the per-worker byte budget, and
+	// Reduce becomes a streaming loser-tree merge. Output is byte-identical
+	// to the in-memory engines; verification switches to the streaming
+	// checker so it stays O(1) memory too. Implies the streaming pipelined
+	// shuffle (a budget-derived ChunkRows is chosen when none is set).
+	MemBudget int64 `json:"mem_budget,omitempty"`
+	// SpillDir is the parent directory for spill files when MemBudget is
+	// positive ("" = the system temp directory).
+	SpillDir string `json:"spill_dir,omitempty"`
+	// InputDir, when set (TeraSort only), reads the input from the K
+	// part-NNNNN files teragen -disk wrote there, file k on worker k,
+	// instead of generating it. Rows and Seed no longer describe the data;
+	// verification describes the files themselves.
+	InputDir string `json:"input_dir,omitempty"`
 }
 
 // Validate checks the spec's internal consistency.
@@ -99,6 +115,12 @@ func (s Spec) Validate() error {
 	}
 	if s.Window < 0 {
 		return fmt.Errorf("cluster: negative window")
+	}
+	if s.MemBudget < 0 {
+		return fmt.Errorf("cluster: negative mem budget")
+	}
+	if s.InputDir != "" && s.Algorithm != AlgTeraSort {
+		return fmt.Errorf("cluster: input dir is TeraSort-only")
 	}
 	return nil
 }

@@ -4,9 +4,12 @@ import (
 	"fmt"
 	"net"
 
+	"codedterasort/internal/kv"
+	"codedterasort/internal/partition"
 	"codedterasort/internal/transport"
 	"codedterasort/internal/transport/netem"
 	"codedterasort/internal/transport/tcpnet"
+	"codedterasort/internal/verify"
 )
 
 // WorkerOptions configures RunWorker.
@@ -74,7 +77,14 @@ func RunWorker(coordAddr string, opts WorkerOptions) error {
 	meter := transport.NewMeter(shaped)
 	ep := transport.WithCollectives(meter, spec.Strategy())
 
-	rep, _, err := runWorker(ep, spec)
+	// Budget-bounded workers never materialize their partition: the sorted
+	// blocks stream through a local checker that self-verifies order and
+	// membership, and the coordinator cross-checks the reported totals.
+	var sink func(kv.Records) error
+	if spec.MemBudget > 0 {
+		sink = verify.NewPartitionChecker(partition.NewUniform(spec.K), assign.Rank).Feed
+	}
+	rep, _, err := runWorker(ep, spec, sink)
 	if err != nil {
 		return reportFailure(conn, assign.Rank, err)
 	}
@@ -90,6 +100,7 @@ func RunWorker(coordAddr string, opts WorkerOptions) error {
 		WireBytes:        rep.WireBytes,
 		ChunksSent:       rep.ChunksSent,
 		ChunksReceived:   rep.ChunksReceived,
+		SpilledRuns:      rep.SpilledRuns,
 	})
 }
 

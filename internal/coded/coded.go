@@ -18,10 +18,12 @@ package coded
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"codedterasort/internal/codec"
 	"codedterasort/internal/combin"
+	"codedterasort/internal/extsort"
 	"codedterasort/internal/kv"
 	"codedterasort/internal/partition"
 	"codedterasort/internal/placement"
@@ -99,6 +101,28 @@ type Config struct {
 	// O(segment bytes). Zero selects DefaultWindow. Ignored when ChunkRows
 	// is zero.
 	Window int
+	// MemBudget, when positive, runs the worker's sorting path out-of-core:
+	// Map consumes each stored file block by block and routes records of
+	// this node's own partition ({I^rank_S : rank in S}, which no coded
+	// packet ever references) into a budget-bounded sorter that spills
+	// radix-sorted runs; the streaming shuffle spills every chunk-decoded
+	// record the same way; and Reduce becomes a streaming loser-tree merge
+	// over the runs. The remotely relevant intermediate values stay in
+	// memory — they are the XOR side information the coding itself
+	// requires — so the budget bounds the sort/reduce footprint, not the
+	// coding state. Output is byte-identical to the in-memory engine.
+	// MemBudget implies the pipelined streaming shuffle; a budget-derived
+	// ChunkRows is chosen when none is set.
+	MemBudget int64
+	// SpillDir is the parent directory for spill files when MemBudget is
+	// positive ("" = the system temp directory).
+	SpillDir string
+	// OutputSink, when non-nil, receives the node's sorted partition as
+	// ascending record blocks during Reduce instead of it being
+	// materialized in Result.Output. The block passed to the sink is
+	// reused; the sink must not retain it. With MemBudget unset the whole
+	// partition arrives as one block.
+	OutputSink func(kv.Records) error
 }
 
 func (c Config) normalize() (Config, error) {
@@ -128,6 +152,19 @@ func (c Config) normalize() (Config, error) {
 	if c.Window < 0 {
 		return c, fmt.Errorf("coded: negative Window")
 	}
+	if c.MemBudget < 0 {
+		return c, fmt.Errorf("coded: negative MemBudget")
+	}
+	if c.MemBudget > 0 {
+		if c.ChunkRows == 0 {
+			c.ChunkRows = extsort.BudgetChunkRows(c.MemBudget, c.K, c.Window)
+		}
+		// The streaming merge emits ChunkRows-record blocks through the
+		// spill writer, so the spill-block cap bounds it.
+		if c.ChunkRows > extsort.MaxBlockRows {
+			return c, fmt.Errorf("coded: ChunkRows %d exceeds spill block cap %d", c.ChunkRows, extsort.MaxBlockRows)
+		}
+	}
 	if c.ChunkRows > 0 && c.Window == 0 {
 		c.Window = DefaultWindow
 	}
@@ -136,8 +173,17 @@ func (c Config) normalize() (Config, error) {
 
 // Result is one worker's output.
 type Result struct {
-	// Output is the node's fully sorted partition.
+	// Output is the node's fully sorted partition. It stays empty when
+	// Config.OutputSink is set (the partition streamed to the sink).
 	Output kv.Records
+	// OutputRows and OutputChecksum summarize the sorted partition in
+	// every mode, including sink-streamed budget runs where Output is
+	// empty. The checksum is the kv order-independent multiset digest.
+	OutputRows     int64
+	OutputChecksum uint64
+	// SpilledRuns counts the sorted runs this worker spilled to disk
+	// (zero when MemBudget is unset or everything fit in memory).
+	SpilledRuns int64
 	// Times is the node's stage breakdown (CodeGen, Map, Encode under
 	// Pack, Shuffle, Decode under Unpack, Reduce).
 	Times stats.Breakdown
@@ -205,6 +251,13 @@ type worker struct {
 	streamSegs []map[int]kv.Records
 	decoded    []kv.Records
 	result     Result
+
+	// Out-of-core state (MemBudget > 0): the budget-bounded sorter that
+	// collects this node's partition — own-partition records in Map,
+	// chunk-decoded records during the shuffle — and spills sorted runs.
+	// sorterMu serializes appends against future concurrent receivers.
+	sorter   *extsort.Sorter
+	sorterMu sync.Mutex
 }
 
 func (w *worker) run() (Result, error) {
@@ -232,6 +285,22 @@ func (w *worker) run() (Result, error) {
 			{stats.StageShuffle, w.streamMulticastStage},
 			{stats.StageUnpack, w.mergeStage},
 			{stats.StageReduce, w.reduceStage},
+		}
+	}
+	if w.cfg.MemBudget > 0 {
+		// Out-of-core schedule: block-by-block Map routes this node's own
+		// partition into the spilling sorter, the streaming shuffle spills
+		// decoded chunks the same way, and Reduce merges the runs — no
+		// segment-merge stage remains.
+		defer w.cleanupSpill()
+		steps = []struct {
+			stage stats.Stage
+			fn    func() error
+		}{
+			{stats.StageCodeGen, w.codeGenStage},
+			{stats.StageMap, w.mapSpillStage},
+			{stats.StageShuffle, w.streamMulticastStage},
+			{stats.StageReduce, w.reduceSpillStage},
 		}
 	}
 	for _, s := range steps {
@@ -309,6 +378,76 @@ func filterRecords(r kv.Records, keep func([]byte) bool) kv.Records {
 		}
 	}
 	return out
+}
+
+// cleanupSpill releases the spill files of a budget-bounded run.
+func (w *worker) cleanupSpill() {
+	if w.sorter != nil {
+		w.sorter.Close()
+	}
+}
+
+// mapSpillStage is the out-of-core Map: every stored file is consumed
+// block by block (never materialized whole), and each block's partitions
+// route by destiny — records of this node's own partition go straight into
+// the budget-bounded sorter (no coded packet ever references them, see
+// Config.MemBudget), while the remotely relevant intermediate values
+// accumulate in the in-memory store exactly as the monolithic Map builds
+// them, because they are the XOR side information of Algorithms 1 and 2.
+func (w *worker) mapSpillStage() error {
+	sorter, err := extsort.NewSorter(w.cfg.SpillDir, w.cfg.MemBudget/2)
+	if err != nil {
+		return err
+	}
+	w.sorter = sorter
+
+	scan := func(i int, fn func(kv.Records) error) error {
+		if w.cfg.Input != nil {
+			return w.cfg.Input[i].ForEachBlock(w.cfg.ChunkRows, fn)
+		}
+		gen := kv.NewGenerator(w.cfg.Seed, w.cfg.Dist)
+		first, last := w.plan.FileRows(i)
+		return gen.GenerateBlocks(first, last-first, w.cfg.ChunkRows, fn)
+	}
+	for _, fi := range w.plan.FilesOn(w.rank) {
+		fileSet := w.plan.Files[fi]
+		if err := scan(fi, func(block kv.Records) error {
+			if w.cfg.Filter != nil {
+				block = filterRecords(block, w.cfg.Filter)
+			}
+			parts := partition.Split(w.cfg.Part, block)
+			for q := 0; q < w.plan.K; q++ {
+				switch {
+				case q == w.rank:
+					if err := w.sorter.Append(parts[q]); err != nil {
+						return err
+					}
+				case !fileSet.Contains(q):
+					w.store.Put(q, fileSet, w.store.IV(q, fileSet).AppendRecords(parts[q]))
+				}
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// reduceSpillStage is the out-of-core Reduce: a streaming loser-tree merge
+// over the sorted runs (plus the sorter's in-memory tail), emitted in
+// ascending ChunkRows-record blocks. The sorted partition is never
+// materialized unless no OutputSink is set.
+func (w *worker) reduceSpillStage() error {
+	out, err := extsort.DrainSorted(w.sorter, w.cfg.ChunkRows, w.cfg.OutputSink)
+	if err != nil {
+		return err
+	}
+	w.result.Output = out.Records
+	w.result.OutputRows = out.Rows
+	w.result.OutputChecksum = out.Checksum
+	w.result.SpilledRuns = out.SpilledRuns
+	return nil
 }
 
 // MapFiles runs the CodedTeraSort Map stage for one node: it hashes every
@@ -427,9 +566,13 @@ func (w *worker) multicastStage() error {
 // recovered records, never whole packets — and per-chunk credits from all
 // group members bound the root's run-ahead to Window chunks.
 func (w *worker) streamMulticastStage() error {
-	w.streamSegs = make([]map[int]kv.Records, len(w.myGroups))
-	for i := range w.streamSegs {
-		w.streamSegs[i] = make(map[int]kv.Records, w.cfg.R)
+	// In budget mode (w.sorter non-nil) decoded chunks spill straight into
+	// the sorter instead of accumulating per-group segments.
+	if w.sorter == nil {
+		w.streamSegs = make([]map[int]kv.Records, len(w.myGroups))
+		for i := range w.streamSegs {
+			w.streamSegs[i] = make(map[int]kv.Records, w.cfg.R)
+		}
 	}
 	groupIdx := make(map[combin.Set]int, len(w.myGroups))
 	for i, g := range w.myGroups {
@@ -472,10 +615,22 @@ func (w *worker) streamMulticastStage() error {
 						recvErr <- fmt.Errorf("decode chunk %d in %v from %d: %w", c, m, u, err)
 						return
 					}
-					seg = seg.AppendRecords(part)
+					if w.sorter != nil {
+						w.sorterMu.Lock()
+						err = w.sorter.Append(part)
+						w.sorterMu.Unlock()
+						if err != nil {
+							recvErr <- err
+							return
+						}
+					} else {
+						seg = seg.AppendRecords(part)
+					}
 					chunksRecv.Add(1)
 				}
-				w.streamSegs[gi][u] = seg
+				if w.sorter == nil {
+					w.streamSegs[gi][u] = seg
+				}
 			}
 		}
 		recvErr <- nil
@@ -595,6 +750,11 @@ func (w *worker) reduceStage() error {
 	parts = append(parts, w.decoded...)
 	out := kv.Concat(parts...)
 	out.Sort()
+	w.result.OutputRows = int64(out.Len())
+	w.result.OutputChecksum = out.Checksum()
+	if sink := w.cfg.OutputSink; sink != nil {
+		return sink(out)
+	}
 	w.result.Output = out
 	return nil
 }

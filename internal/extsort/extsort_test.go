@@ -1,0 +1,281 @@
+package extsort
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"codedterasort/internal/kv"
+)
+
+// drainAll collects the merger's full output into one buffer.
+func drainAll(t *testing.T, m *Merger) kv.Records {
+	t.Helper()
+	out := kv.MakeRecords(0)
+	if err := m.Drain(100, func(b kv.Records) error {
+		out = out.AppendRecords(b)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestSorterMatchesInMemorySort: across buffer-fits, one-spill and
+// many-spill regimes, the external sort must produce exactly the bytes of
+// the in-memory radix sort of the same input.
+func TestSorterMatchesInMemorySort(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		rows   int64
+		budget int64
+	}{
+		{"empty", 0, 1 << 20},
+		{"one-record", 1, 1 << 20},
+		{"fits-in-memory", 3000, 1 << 20},
+		{"single-spill", 3000, 64 * kv.RecordSize},
+		{"many-spills", 20000, 997 * kv.RecordSize},
+		{"tiny-budget", 500, 17 * kv.RecordSize},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			input := kv.NewGenerator(42, kv.DistUniform).Generate(0, tc.rows)
+			want := input.Clone()
+			want.SortRadix()
+
+			s, err := NewSorter(t.TempDir(), tc.budget)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s.Close()
+			// Append in uneven slices to exercise buffer boundaries.
+			for i := 0; i < input.Len(); {
+				j := i + 1 + (i*7)%37
+				if j > input.Len() {
+					j = input.Len()
+				}
+				if err := s.Append(input.Slice(i, j)); err != nil {
+					t.Fatal(err)
+				}
+				i = j
+			}
+			m, err := s.Merge()
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer m.Close()
+			got := drainAll(t, m)
+			if !got.Equal(want) {
+				t.Fatalf("external sort differs from in-memory sort (%d rows, %d runs)",
+					tc.rows, s.Runs())
+			}
+			if tc.budget < tc.rows*kv.RecordSize && tc.rows > 0 && s.Runs() == 0 {
+				t.Fatalf("input %dx budget yet nothing spilled", tc.rows*kv.RecordSize/tc.budget)
+			}
+			if _, err := m.Next(); err != io.EOF {
+				t.Fatalf("drained merger returned %v, want io.EOF", err)
+			}
+		})
+	}
+}
+
+// TestSorterSpillsRemoveOnClose: Close removes the spill directory.
+func TestSorterSpillsRemoveOnClose(t *testing.T) {
+	parent := t.TempDir()
+	s, err := NewSorter(parent, 64*kv.RecordSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(kv.NewGenerator(1, kv.DistUniform).Generate(0, 1000)); err != nil {
+		t.Fatal(err)
+	}
+	if s.Runs() == 0 {
+		t.Fatal("no run spilled")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(s.Dir()); !os.IsNotExist(err) {
+		t.Fatalf("spill dir survives Close: %v", err)
+	}
+}
+
+// TestMergerDeterministicOnDuplicateKeys: equal keys come out in source
+// (spill) order, so repeated merges of the same runs are byte-identical.
+func TestMergerDeterministicOnDuplicateKeys(t *testing.T) {
+	// Build records with heavily colliding keys but distinct values.
+	rec := func(key byte, val byte) kv.Records {
+		buf := make([]byte, kv.RecordSize)
+		for i := 0; i < kv.KeySize; i++ {
+			buf[i] = key
+		}
+		for i := kv.KeySize; i < kv.RecordSize; i++ {
+			buf[i] = val
+		}
+		r, _ := kv.NewRecords(buf)
+		return r
+	}
+	run := func() kv.Records {
+		s, err := NewSorter(t.TempDir(), 4*kv.RecordSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		for v := 0; v < 40; v++ {
+			if err := s.Append(rec(byte(v%3), byte(v))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		m, err := s.Merge()
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer m.Close()
+		return drainAll(t, m)
+	}
+	a, b := run(), run()
+	if !a.Equal(b) {
+		t.Fatal("merge of duplicate keys is not deterministic")
+	}
+	if !a.IsSorted() {
+		t.Fatal("merged duplicates not sorted")
+	}
+}
+
+// TestSpoolRoundTrip: records appended across many small calls come back
+// block by block, in order, with the declared block count.
+func TestSpoolRoundTrip(t *testing.T) {
+	input := kv.NewGenerator(7, kv.DistUniform).Generate(0, 1234)
+	sp, err := NewSpool(t.TempDir(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sp.Close()
+	for i := 0; i < input.Len(); i += 7 {
+		j := i + 7
+		if j > input.Len() {
+			j = input.Len()
+		}
+		if err := sp.Append(input.Slice(i, j)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	blocks, err := sp.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(13); blocks != want { // ceil(1234/100)
+		t.Fatalf("blocks = %d, want %d", blocks, want)
+	}
+	if sp.Rows() != 1234 {
+		t.Fatalf("rows = %d", sp.Rows())
+	}
+	rd, err := sp.Reader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := kv.MakeRecords(0)
+	n := int64(0)
+	for {
+		b, err := rd.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = got.AppendRecords(b)
+		n++
+	}
+	if n != blocks {
+		t.Fatalf("read %d blocks, Finish declared %d", n, blocks)
+	}
+	if !got.Equal(input) {
+		t.Fatal("spool round trip altered records")
+	}
+}
+
+// TestEmptySpool: zero appended records finish with zero blocks and a
+// reader that immediately returns EOF.
+func TestEmptySpool(t *testing.T) {
+	sp, err := NewSpool(t.TempDir(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sp.Close()
+	blocks, err := sp.Finish()
+	if err != nil || blocks != 0 {
+		t.Fatalf("blocks=%d err=%v", blocks, err)
+	}
+	rd, err := sp.Reader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rd.Next(); err != io.EOF {
+		t.Fatalf("empty spool read: %v, want io.EOF", err)
+	}
+}
+
+// TestScanFile: a raw record file is delivered block by block; a torn file
+// (partial trailing record) is an error.
+func TestScanFile(t *testing.T) {
+	input := kv.NewGenerator(9, kv.DistUniform).Generate(0, 777)
+	path := filepath.Join(t.TempDir(), "input.dat")
+	if err := os.WriteFile(path, input.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got := kv.MakeRecords(0)
+	calls := 0
+	if err := ScanFile(path, 100, func(b kv.Records) error {
+		got = got.AppendRecords(b)
+		calls++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(input) {
+		t.Fatal("scan altered records")
+	}
+	if calls != 8 { // ceil(777/100)
+		t.Fatalf("calls = %d", calls)
+	}
+
+	torn := filepath.Join(t.TempDir(), "torn.dat")
+	if err := os.WriteFile(torn, input.Bytes()[:kv.RecordSize*3+17], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := ScanFile(torn, 100, func(kv.Records) error { return nil }); err == nil {
+		t.Fatal("torn input file accepted")
+	}
+}
+
+// TestBlockWriterExactMultiples: appends landing exactly on block
+// boundaries produce no empty trailing block.
+func TestBlockWriterExactMultiples(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewBlockWriter(&buf, 50)
+	input := kv.NewGenerator(3, kv.DistUniform).Generate(0, 100)
+	if err := w.Append(input); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Blocks() != 2 {
+		t.Fatalf("blocks = %d, want 2", w.Blocks())
+	}
+	rd := NewRunReader(&buf)
+	for i := 0; i < 2; i++ {
+		b, err := rd.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.Len() != 50 {
+			t.Fatalf("block %d has %d records", i, b.Len())
+		}
+	}
+	if _, err := rd.Next(); err != io.EOF {
+		t.Fatalf("want io.EOF, got %v", err)
+	}
+}

@@ -1,0 +1,55 @@
+package extsort
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"codedterasort/internal/kv"
+)
+
+// FuzzRunReader drives the spill-file reader with arbitrary bytes: it must
+// terminate with io.EOF or an error, never panic, and every block it does
+// deliver must be record-aligned. A reader that accepts bytes the writer
+// produced must deliver them unchanged (round-trip seeds below).
+func FuzzRunReader(f *testing.F) {
+	// Seeds: empty, a valid two-block file, and hand-damaged variants so
+	// the fuzzer starts at the interesting boundaries.
+	f.Add([]byte{})
+	var buf bytes.Buffer
+	w := NewBlockWriter(&buf, 13)
+	if err := w.Append(kv.NewGenerator(3, kv.DistUniform).Generate(0, 20)); err != nil {
+		f.Fatal(err)
+	}
+	if err := w.Finish(); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(append([]byte(nil), valid...))
+	f.Add(valid[:len(valid)-5])
+	f.Add(valid[:blockHeader-1])
+	mutated := append([]byte(nil), valid...)
+	mutated[blockHeader+3] ^= 0x40
+	f.Add(mutated)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rd := NewRunReader(bytes.NewReader(data))
+		total := 0
+		for {
+			b, err := rd.Next()
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				return // rejected: fine, as long as it didn't panic
+			}
+			if b.Size()%kv.RecordSize != 0 {
+				t.Fatalf("reader delivered %d non-record-aligned bytes", b.Size())
+			}
+			total += b.Len()
+			if total > 1<<22 {
+				t.Fatalf("reader delivered more records than any %d-byte input can frame", len(data))
+			}
+		}
+	})
+}

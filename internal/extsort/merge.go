@@ -1,0 +1,222 @@
+package extsort
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+
+	"codedterasort/internal/kv"
+)
+
+// mergeSource is one sorted input of the merge: an on-disk run consumed
+// block by block, or the sorter's in-memory tail. key is nil once the
+// source is exhausted.
+type mergeSource struct {
+	rd    *RunReader // nil for the in-memory tail
+	f     *os.File   // backing file of rd, closed by Merger.Close
+	block kv.Records
+	idx   int
+	key   []byte
+	prev  [kv.KeySize]byte // last key served, for the sortedness guard
+	begun bool
+}
+
+// load points the source at record idx of its current block, refilling the
+// block from the reader when exhausted.
+func (s *mergeSource) load() error {
+	for s.idx >= s.block.Len() {
+		if s.rd == nil {
+			s.key = nil
+			return nil
+		}
+		block, err := s.rd.Next()
+		if err == io.EOF {
+			s.key = nil
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		s.block, s.idx = block, 0
+	}
+	s.key = s.block.Key(s.idx)
+	// Runs are written sorted; a key below its predecessor means the spill
+	// file was corrupted in a checksum-preserving way (or a writer bug) and
+	// the merge output would silently be unsorted.
+	if s.begun && bytes.Compare(s.key, s.prev[:]) < 0 {
+		return fmt.Errorf("extsort: run not sorted: key regresses within run")
+	}
+	return nil
+}
+
+// advance consumes the current record.
+func (s *mergeSource) advance() error {
+	copy(s.prev[:], s.key)
+	s.begun = true
+	s.idx++
+	return s.load()
+}
+
+// Merger streams the ascending merged order of any number of sorted runs
+// plus one in-memory tail, using a tournament tree of losers: each Next is
+// one leaf-to-root replay, log2(k) comparisons, independent of run sizes.
+// Memory is one block per on-disk run.
+type Merger struct {
+	srcs []*mergeSource
+	tree []int // tree[0] is the winner; tree[1..n-1] hold match losers
+	n    int
+	// pending is the source whose current record was returned by the last
+	// Next call. It advances at the start of the following call — not
+	// immediately — because advancing can refill the source's block buffer,
+	// which the returned record aliases.
+	pending int
+	err     error
+}
+
+// newMerger opens the run files, primes every source and builds the tree.
+func newMerger(runs []string, tail kv.Records) (*Merger, error) {
+	m := &Merger{pending: -1}
+	fail := func(err error) (*Merger, error) {
+		m.Close()
+		return nil, err
+	}
+	for _, path := range runs {
+		f, err := os.Open(path)
+		if err != nil {
+			return fail(fmt.Errorf("extsort: open run: %w", err))
+		}
+		m.srcs = append(m.srcs, &mergeSource{rd: NewRunReader(f), f: f})
+	}
+	if tail.Len() > 0 {
+		m.srcs = append(m.srcs, &mergeSource{block: tail})
+	}
+	for _, s := range m.srcs {
+		if err := s.load(); err != nil {
+			return fail(err)
+		}
+	}
+	m.n = len(m.srcs)
+	if m.n > 1 {
+		m.tree = make([]int, m.n)
+		m.tree[0] = m.build(1)
+	}
+	return m, nil
+}
+
+// build plays the initial tournament below internal node i, recording
+// losers and returning the winner. Leaves of the (conceptually complete)
+// binary tree are positions n..2n-1, mapping to source n-i.
+func (m *Merger) build(i int) int {
+	if i >= m.n {
+		return i - m.n
+	}
+	a, b := m.build(2*i), m.build(2*i+1)
+	if m.less(b, a) {
+		a, b = b, a
+	}
+	m.tree[i] = b // loser stays at the node
+	return a      // winner plays on
+}
+
+// less orders sources by current key; exhausted sources sort last, and key
+// ties break by source index so the merge is deterministic (and stable in
+// run-spill order).
+func (m *Merger) less(a, b int) bool {
+	ka, kb := m.srcs[a].key, m.srcs[b].key
+	if ka == nil {
+		return false
+	}
+	if kb == nil {
+		return true
+	}
+	if c := bytes.Compare(ka, kb); c != 0 {
+		return c < 0
+	}
+	return a < b
+}
+
+// Next returns the record with the smallest key across all sources, or
+// io.EOF when every source is drained. The returned slice aliases a
+// source's current block and is valid only until the following Next call.
+func (m *Merger) Next() ([]byte, error) {
+	if m.err != nil {
+		return nil, m.err
+	}
+	if m.n == 0 {
+		return nil, io.EOF
+	}
+	if w := m.pending; w >= 0 {
+		m.pending = -1
+		if err := m.srcs[w].advance(); err != nil {
+			m.err = err
+			return nil, err
+		}
+		if m.n > 1 {
+			// Replay the path from leaf w to the root: the new arrival at
+			// the leaf plays each stored loser; winners move up.
+			cur := w
+			for i := (w + m.n) / 2; i >= 1; i /= 2 {
+				if m.less(m.tree[i], cur) {
+					cur, m.tree[i] = m.tree[i], cur
+				}
+			}
+			m.tree[0] = cur
+		}
+	}
+	w := 0
+	if m.n > 1 {
+		w = m.tree[0]
+	}
+	s := m.srcs[w]
+	if s.key == nil {
+		return nil, io.EOF
+	}
+	m.pending = w
+	return s.block.Record(s.idx), nil
+}
+
+// Drain streams the full merged order to emit in ascending blocks of at
+// most blockRows records. The block passed to emit is reused; emit must not
+// retain it.
+func (m *Merger) Drain(blockRows int, emit func(kv.Records) error) error {
+	if blockRows <= 0 {
+		return fmt.Errorf("extsort: Drain blockRows=%d", blockRows)
+	}
+	block := kv.MakeRecords(blockRows)
+	for {
+		rec, err := m.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		block = block.Append(rec)
+		if block.Len() == blockRows {
+			if err := emit(block); err != nil {
+				return err
+			}
+			block = block.Slice(0, 0)
+		}
+	}
+	if block.Len() > 0 {
+		return emit(block)
+	}
+	return nil
+}
+
+// Close closes the run files. The merger must not be used afterwards.
+func (m *Merger) Close() error {
+	var first error
+	for _, s := range m.srcs {
+		if s.f != nil {
+			if err := s.f.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	m.srcs = nil
+	m.err = fmt.Errorf("extsort: merger closed")
+	return first
+}

@@ -1,0 +1,305 @@
+// Package extsort implements the out-of-core external sorting subsystem:
+// sorted-run generation under a byte budget, a framed on-disk block format
+// for spill files, and a k-way loser-tree merge that streams the merged
+// order without rematerializing it. It is what lets both engines handle the
+// one scenario a production TeraSort exists for — datasets that dwarf the
+// memory of any single node — while the coded shuffle above it stays
+// unchanged (the run-generation + merge structure follows the external
+// merge sort literature, e.g. Do & Graefe's offset-value-coding work; the
+// engines plug it in behind the MemBudget knob).
+//
+// Spill files (runs and spools alike) are a sequence of framed record
+// blocks:
+//
+//	[uint32 magic][uint32 record count][count*RecordSize bytes][uint64 fnv64a]
+//
+// The magic guards against reading a non-spill file; the explicit count
+// rejects torn frames; the trailing FNV-64a over the payload rejects bit
+// rot and short writes. A reader therefore returns an error — never a
+// panic, never silently short data — on any truncation or corruption.
+package extsort
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+	"path/filepath"
+
+	"codedterasort/internal/kv"
+)
+
+const (
+	// blockMagic opens every spill-file block frame ("CTS1").
+	blockMagic = 0x43545331
+	// blockHeader is the frame prefix: magic + record count.
+	blockHeader = 8
+	// blockTrailer is the frame suffix: the payload checksum.
+	blockTrailer = 8
+	// MaxBlockRows caps the records of one block frame. Writers never
+	// exceed it, so a larger declared count is corruption — the bound is
+	// what keeps a torn count field from inducing a multi-gigabyte
+	// allocation in the reader.
+	MaxBlockRows = 1 << 20
+)
+
+// blockSum digests a block payload. FNV-64a is order-dependent, unlike the
+// kv multiset checksum: a spill block is an ordered byte range, and two
+// swapped records inside it are corruption.
+func blockSum(payload []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(payload)
+	return h.Sum64()
+}
+
+// WriteBlock appends one framed block holding recs to w.
+func WriteBlock(w io.Writer, recs kv.Records) error {
+	if recs.Len() > MaxBlockRows {
+		return fmt.Errorf("extsort: block of %d records exceeds max %d", recs.Len(), MaxBlockRows)
+	}
+	var hdr [blockHeader]byte
+	binary.BigEndian.PutUint32(hdr[0:4], blockMagic)
+	binary.BigEndian.PutUint32(hdr[4:8], uint32(recs.Len()))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("extsort: write block header: %w", err)
+	}
+	if _, err := w.Write(recs.Bytes()); err != nil {
+		return fmt.Errorf("extsort: write block payload: %w", err)
+	}
+	var tr [blockTrailer]byte
+	binary.BigEndian.PutUint64(tr[:], blockSum(recs.Bytes()))
+	if _, err := w.Write(tr[:]); err != nil {
+		return fmt.Errorf("extsort: write block checksum: %w", err)
+	}
+	return nil
+}
+
+// RunReader reads a spill file block by block, validating every frame.
+// Next returns io.EOF exactly at a clean end-of-file on a frame boundary;
+// anything else — a torn header, a bad magic, an impossible count, a
+// truncated payload or checksum, a checksum mismatch — is an error.
+type RunReader struct {
+	r   *bufio.Reader
+	buf []byte // reused payload buffer
+}
+
+// NewRunReader wraps r for block-by-block reading.
+func NewRunReader(r io.Reader) *RunReader {
+	return &RunReader{r: bufio.NewReaderSize(r, 1<<16)}
+}
+
+// Next returns the next block's records. The returned buffer is reused by
+// the following Next call; callers that retain records must copy them.
+func (r *RunReader) Next() (kv.Records, error) {
+	var hdr [blockHeader]byte
+	if _, err := io.ReadFull(r.r, hdr[:1]); err == io.EOF {
+		return kv.Records{}, io.EOF // clean end on a frame boundary
+	} else if err != nil {
+		return kv.Records{}, fmt.Errorf("extsort: read block header: %w", err)
+	}
+	if _, err := io.ReadFull(r.r, hdr[1:]); err != nil {
+		return kv.Records{}, fmt.Errorf("extsort: torn block header: %w", noEOF(err))
+	}
+	if m := binary.BigEndian.Uint32(hdr[0:4]); m != blockMagic {
+		return kv.Records{}, fmt.Errorf("extsort: bad block magic %#x", m)
+	}
+	n := int(binary.BigEndian.Uint32(hdr[4:8]))
+	if n > MaxBlockRows {
+		return kv.Records{}, fmt.Errorf("extsort: block declares %d records, max is %d", n, MaxBlockRows)
+	}
+	need := n*kv.RecordSize + blockTrailer
+	if cap(r.buf) < need {
+		r.buf = make([]byte, need)
+	}
+	r.buf = r.buf[:need]
+	if _, err := io.ReadFull(r.r, r.buf); err != nil {
+		return kv.Records{}, fmt.Errorf("extsort: torn block frame (%d records declared): %w", n, noEOF(err))
+	}
+	payload, tr := r.buf[:n*kv.RecordSize], r.buf[n*kv.RecordSize:]
+	if got, want := blockSum(payload), binary.BigEndian.Uint64(tr); got != want {
+		return kv.Records{}, fmt.Errorf("extsort: block checksum %#x != stored %#x", got, want)
+	}
+	recs, err := kv.NewRecords(payload)
+	if err != nil {
+		return kv.Records{}, err
+	}
+	return recs, nil
+}
+
+// noEOF turns a bare io.EOF into ErrUnexpectedEOF so truncation inside a
+// frame is never mistaken for a clean end by errors.Is(err, io.EOF) callers.
+func noEOF(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+// BlockWriter buffers appended records and flushes them as framed blocks of
+// exactly blockRows records (the final, possibly short, block flushes on
+// Finish). Runs and spools share it, so every spill file on disk has one
+// format and one reader.
+type BlockWriter struct {
+	w         *bufio.Writer
+	blockRows int
+	buf       kv.Records
+	rows      int64
+	blocks    int64
+}
+
+// NewBlockWriter returns a writer framing blocks of blockRows records.
+func NewBlockWriter(w io.Writer, blockRows int) *BlockWriter {
+	if blockRows <= 0 || blockRows > MaxBlockRows {
+		panic(fmt.Sprintf("extsort: NewBlockWriter blockRows=%d", blockRows))
+	}
+	return &BlockWriter{
+		w:         bufio.NewWriterSize(w, 1<<16),
+		blockRows: blockRows,
+		buf:       kv.MakeRecords(blockRows),
+	}
+}
+
+// Append buffers recs, flushing every completed block.
+func (b *BlockWriter) Append(recs kv.Records) error {
+	for i := 0; i < recs.Len(); {
+		take := b.blockRows - b.buf.Len()
+		if rest := recs.Len() - i; rest < take {
+			take = rest
+		}
+		b.buf = b.buf.AppendRecords(recs.Slice(i, i+take))
+		i += take
+		if b.buf.Len() == b.blockRows {
+			if err := b.flush(); err != nil {
+				return err
+			}
+		}
+	}
+	b.rows += int64(recs.Len())
+	return nil
+}
+
+func (b *BlockWriter) flush() error {
+	if err := WriteBlock(b.w, b.buf); err != nil {
+		return err
+	}
+	b.blocks++
+	b.buf = b.buf.Slice(0, 0)
+	return nil
+}
+
+// Finish flushes the final partial block and the underlying buffer. The
+// writer must not be appended to afterwards.
+func (b *BlockWriter) Finish() error {
+	if b.buf.Len() > 0 {
+		if err := b.flush(); err != nil {
+			return err
+		}
+	}
+	return b.w.Flush()
+}
+
+// Rows returns the records appended so far.
+func (b *BlockWriter) Rows() int64 { return b.rows }
+
+// Blocks returns the framed blocks written so far (Finish may add one).
+func (b *BlockWriter) Blocks() int64 { return b.blocks }
+
+// Spool is an unsorted on-disk record log: the Map stage of a
+// budget-bounded worker appends each partition's records as it scans input
+// blocks, and the shuffle later streams the spool back block by block. The
+// in-memory footprint is one partial block.
+type Spool struct {
+	f    *os.File
+	w    *BlockWriter
+	path string
+}
+
+// NewSpool creates a spool file inside dir.
+func NewSpool(dir string, blockRows int) (*Spool, error) {
+	f, err := os.CreateTemp(dir, "spool-*.spill")
+	if err != nil {
+		return nil, fmt.Errorf("extsort: create spool: %w", err)
+	}
+	return &Spool{f: f, w: NewBlockWriter(f, blockRows), path: f.Name()}, nil
+}
+
+// Append buffers recs into the spool.
+func (s *Spool) Append(recs kv.Records) error { return s.w.Append(recs) }
+
+// Rows returns the records appended so far.
+func (s *Spool) Rows() int64 { return s.w.Rows() }
+
+// Finish flushes the spool and returns its block count. Call once, before
+// Reader.
+func (s *Spool) Finish() (blocks int64, err error) {
+	if err := s.w.Finish(); err != nil {
+		return 0, err
+	}
+	return s.w.Blocks(), nil
+}
+
+// Reader returns a block reader over the finished spool from the start.
+func (s *Spool) Reader() (*RunReader, error) {
+	if _, err := s.f.Seek(0, io.SeekStart); err != nil {
+		return nil, fmt.Errorf("extsort: rewind spool: %w", err)
+	}
+	return NewRunReader(s.f), nil
+}
+
+// Close closes and removes the spool file.
+func (s *Spool) Close() error {
+	err := s.f.Close()
+	if rmErr := os.Remove(s.path); err == nil {
+		err = rmErr
+	}
+	return err
+}
+
+// PartFile returns the path of part file i of the on-disk input layout
+// teragen -disk writes and the engines' InputFiles/InputDir paths read —
+// the single definition of the layout contract between writer and readers.
+func PartFile(dir string, i int) string {
+	return filepath.Join(dir, fmt.Sprintf("part-%05d", i))
+}
+
+// ScanFile reads a raw record file (the teragen on-disk format: bare
+// back-to-back records, no framing) block by block, calling fn with at most
+// blockRows records at a time. The buffer passed to fn is reused; fn must
+// not retain it. A file length that is not a multiple of the record size is
+// an error.
+func ScanFile(path string, blockRows int, fn func(kv.Records) error) error {
+	if blockRows <= 0 {
+		return fmt.Errorf("extsort: ScanFile blockRows=%d", blockRows)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("extsort: open input: %w", err)
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 1<<16)
+	buf := make([]byte, blockRows*kv.RecordSize)
+	for {
+		n, err := io.ReadFull(r, buf)
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil && err != io.ErrUnexpectedEOF {
+			return fmt.Errorf("extsort: read input %s: %w", path, err)
+		}
+		if n%kv.RecordSize != 0 {
+			return fmt.Errorf("extsort: input %s ends mid-record (%d trailing bytes)", path, n%kv.RecordSize)
+		}
+		recs, rerr := kv.NewRecords(buf[:n])
+		if rerr != nil {
+			return rerr
+		}
+		if ferr := fn(recs); ferr != nil {
+			return ferr
+		}
+		if err == io.ErrUnexpectedEOF {
+			return nil
+		}
+	}
+}

@@ -100,6 +100,32 @@ func (g *Generator) GenerateInto(dst Records, first, count int64) Records {
 	return dst
 }
 
+// GenerateBlocks materializes rows [first, first+count) in blocks of at
+// most blockRows rows each, calling fn with every block in row order. One
+// buffer is reused across calls, so peak memory is one block regardless of
+// count — the generator-backed input path of the out-of-core Map stage.
+// fn must not retain the buffer; the first error aborts.
+func (g *Generator) GenerateBlocks(first, count int64, blockRows int, fn func(Records) error) error {
+	if blockRows <= 0 {
+		return fmt.Errorf("kv: GenerateBlocks blockRows=%d", blockRows)
+	}
+	buf := make([]byte, 0, blockRows*RecordSize)
+	for off := int64(0); off < count; off += int64(blockRows) {
+		n := count - off
+		if n > int64(blockRows) {
+			n = int64(blockRows)
+		}
+		buf = buf[:n*int64(RecordSize)]
+		for i := int64(0); i < n; i++ {
+			g.Record(buf[i*RecordSize:(i+1)*RecordSize], first+off+i)
+		}
+		if err := fn(Records{buf: buf}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // SplitRows partitions total rows into n contiguous ranges that differ in
 // size by at most one record, returning the first row of each range plus a
 // final sentinel equal to total. Range i is [bounds[i], bounds[i+1]).

@@ -100,6 +100,26 @@ func (r Records) Clone() Records {
 	return Records{buf: append([]byte(nil), r.buf...)}
 }
 
+// ForEachBlock invokes fn on successive aliased sub-buffers of at most
+// blockRows records each — the iteration unit of the out-of-core paths,
+// which never want the whole buffer live at once downstream. fn receives
+// sub-slices of the receiver (no copies); the first error aborts.
+func (r Records) ForEachBlock(blockRows int, fn func(Records) error) error {
+	if blockRows <= 0 {
+		return fmt.Errorf("kv: ForEachBlock blockRows=%d", blockRows)
+	}
+	for i := 0; i < r.Len(); i += blockRows {
+		j := i + blockRows
+		if j > r.Len() {
+			j = r.Len()
+		}
+		if err := fn(r.Slice(i, j)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Less reports whether record i's key sorts strictly before record j's.
 func (r Records) Less(i, j int) bool {
 	return bytes.Compare(r.Key(i), r.Key(j)) < 0
@@ -167,6 +187,11 @@ func (r Records) Checksum() uint64 {
 	}
 	return sum
 }
+
+// ChecksumRecord returns one record's contribution to the order-independent
+// Checksum digest, so streaming consumers can accumulate the multiset
+// checksum record by record without materializing a buffer.
+func ChecksumRecord(rec []byte) uint64 { return mixRecord(rec) }
 
 // mixRecord hashes one record with an FNV-1a-style pass followed by a
 // splitmix finalizer, strong enough that dropped/duplicated/corrupted

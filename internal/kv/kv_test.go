@@ -2,6 +2,7 @@ package kv
 
 import (
 	"bytes"
+	"fmt"
 	"math/rand"
 	"sort"
 	"testing"
@@ -393,5 +394,48 @@ func BenchmarkChecksum(b *testing.B) {
 	b.SetBytes(int64(r.Size()))
 	for i := 0; i < b.N; i++ {
 		_ = r.Checksum()
+	}
+}
+
+// TestForEachBlock: blocks cover the buffer exactly, in order, with only
+// the final block short; a callback error aborts.
+func TestForEachBlock(t *testing.T) {
+	r := NewGenerator(21, DistUniform).Generate(0, 250)
+	var got Records
+	blocks := 0
+	if err := r.ForEachBlock(100, func(b Records) error {
+		got = got.AppendRecords(b)
+		blocks++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if blocks != 3 || !got.Equal(r) {
+		t.Fatalf("blocks=%d equal=%v", blocks, got.Equal(r))
+	}
+	if err := r.ForEachBlock(0, func(Records) error { return nil }); err == nil {
+		t.Fatal("blockRows=0 accepted")
+	}
+	stop := fmt.Errorf("stop")
+	if err := r.ForEachBlock(10, func(Records) error { return stop }); err != stop {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestGenerateBlocksMatchesGenerate: block-by-block generation produces the
+// same bytes as one-shot generation, for aligned and unaligned counts.
+func TestGenerateBlocksMatchesGenerate(t *testing.T) {
+	for _, rows := range []int64{0, 1, 99, 100, 101, 1000} {
+		want := NewGenerator(5, DistSkewed).Generate(3, rows)
+		var got Records
+		if err := NewGenerator(5, DistSkewed).GenerateBlocks(3, rows, 100, func(b Records) error {
+			got = got.AppendRecords(b)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("rows=%d: block generation differs", rows)
+		}
 	}
 }

@@ -1,0 +1,294 @@
+package terasort
+
+import (
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"testing"
+	"time"
+
+	"codedterasort/internal/extsort"
+	"codedterasort/internal/kv"
+	"codedterasort/internal/partition"
+	"codedterasort/internal/transport"
+	"codedterasort/internal/transport/memnet"
+	"codedterasort/internal/verify"
+)
+
+// runAllWith is runAll with a per-rank configuration hook (budget tests
+// install per-rank output sinks, which must not be shared).
+func runAllWith(t *testing.T, cfg Config, perRank func(rank int, c *Config)) []Result {
+	t.Helper()
+	mesh := memnet.NewMesh(cfg.K)
+	defer mesh.Close()
+	results := make([]Result, cfg.K)
+	errs := make([]error, cfg.K)
+	var wg sync.WaitGroup
+	for r := 0; r < cfg.K; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			c := cfg
+			if perRank != nil {
+				perRank(rank, &c)
+			}
+			ep := transport.WithCollectives(mesh.Endpoint(rank), transport.BcastSequential)
+			results[rank], errs[rank] = Run(ep, c, nil)
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+	return results
+}
+
+// TestBudgetMatchesInMemory: across spill regimes (many runs, few runs,
+// nothing spilled) and both shuffle schedules, a MemBudget run must produce
+// byte-identical per-rank output to the in-memory engine, and must actually
+// have spilled when the budget is far below the data size.
+func TestBudgetMatchesInMemory(t *testing.T) {
+	const k, rows, seed = 4, 6000, 29
+	ref := runAll(t, Config{K: k, Rows: rows, Seed: seed})
+	for _, tc := range []struct {
+		name      string
+		budget    int64
+		parallel  bool
+		wantSpill bool
+	}{
+		{"tiny-budget", 16 * 1024, false, true},
+		{"tiny-budget-parallel", 16 * 1024, true, true},
+		{"medium-budget", 64 * 1024, false, true},
+		{"huge-budget", 64 << 20, false, false},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := Config{K: k, Rows: rows, Seed: seed,
+				MemBudget: tc.budget, SpillDir: t.TempDir(), Parallel: tc.parallel}
+			results := runAllWith(t, cfg, nil)
+			var spilled int64
+			for rank := range results {
+				if !results[rank].Output.Equal(ref[rank].Output) {
+					t.Fatalf("rank %d: budget output differs from in-memory output", rank)
+				}
+				if results[rank].OutputRows != int64(ref[rank].Output.Len()) ||
+					results[rank].OutputChecksum != ref[rank].Output.Checksum() {
+					t.Fatalf("rank %d: output summary mismatch", rank)
+				}
+				if results[rank].ChunksSent == 0 {
+					t.Fatalf("rank %d: budget run reported no chunks", rank)
+				}
+				spilled += results[rank].SpilledRuns
+			}
+			if tc.wantSpill && spilled == 0 {
+				t.Fatal("budget far below data size yet nothing spilled")
+			}
+			if !tc.wantSpill && spilled != 0 {
+				t.Fatalf("huge budget spilled %d runs", spilled)
+			}
+			in := verify.DescribeGenerated(kv.NewGenerator(seed, kv.DistUniform), rows)
+			if err := verify.SortedOutput(outputs(results), partition.NewUniform(k), in); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestBudgetStreamsToSink: with an OutputSink the partition never
+// materializes in the Result — the streamed blocks reassemble to exactly
+// the in-memory output, and the Result summary matches.
+func TestBudgetStreamsToSink(t *testing.T) {
+	const k, rows, seed = 4, 4000, 31
+	ref := runAll(t, Config{K: k, Rows: rows, Seed: seed})
+	var mu sync.Mutex
+	streamed := make([]kv.Records, k)
+	cfg := Config{K: k, Rows: rows, Seed: seed, MemBudget: 32 * 1024, SpillDir: t.TempDir()}
+	results := runAllWith(t, cfg, func(rank int, c *Config) {
+		c.OutputSink = func(block kv.Records) error {
+			mu.Lock()
+			defer mu.Unlock()
+			streamed[rank] = streamed[rank].AppendRecords(block)
+			return nil
+		}
+	})
+	for rank := range results {
+		if results[rank].Output.Len() != 0 {
+			t.Fatalf("rank %d: Output materialized despite sink", rank)
+		}
+		if !streamed[rank].Equal(ref[rank].Output) {
+			t.Fatalf("rank %d: streamed output differs from in-memory output", rank)
+		}
+		if results[rank].OutputRows != int64(ref[rank].Output.Len()) ||
+			results[rank].OutputChecksum != ref[rank].Output.Checksum() {
+			t.Fatalf("rank %d: summary differs", rank)
+		}
+	}
+}
+
+// TestBudgetWithFilterAndSkew: the budget path composes with the Map
+// filter and the skewed distribution (uneven partition sizes stress the
+// empty-stream and tiny-run paths).
+func TestBudgetWithFilterAndSkew(t *testing.T) {
+	const k, rows, seed = 5, 5000, 37
+	match := func(rec []byte) bool { return rec[kv.KeySize+8]%3 == 0 }
+	base := Config{K: k, Rows: rows, Seed: seed, Dist: kv.DistSkewed, Filter: match}
+	ref := runAll(t, base)
+	cfg := base
+	cfg.MemBudget, cfg.SpillDir = 8*1024, t.TempDir()
+	results := runAllWith(t, cfg, nil)
+	for rank := range results {
+		if !results[rank].Output.Equal(ref[rank].Output) {
+			t.Fatalf("rank %d: filtered budget output differs", rank)
+		}
+	}
+}
+
+// TestBudgetWithSuppliedInput: the Input-slice source feeds the
+// block-by-block Map identically to the materialized engine.
+func TestBudgetWithSuppliedInput(t *testing.T) {
+	const k = 4
+	gen := kv.NewGenerator(43, kv.DistUniform)
+	input := make([]kv.Records, k)
+	for i := range input {
+		input[i] = gen.Generate(int64(i*1000), 1000)
+	}
+	ref := runAll(t, Config{K: k, Input: input})
+	cfg := Config{K: k, Input: input, MemBudget: 16 * 1024, SpillDir: t.TempDir()}
+	results := runAllWith(t, cfg, nil)
+	for rank := range results {
+		if !results[rank].Output.Equal(ref[rank].Output) {
+			t.Fatalf("rank %d: supplied-input budget output differs", rank)
+		}
+	}
+}
+
+// TestInputFilesMatchGenerated: reading the input from raw on-disk record
+// files (the teragen format) produces the same result as generating the
+// same rows, in both the in-memory and the budget engine.
+func TestInputFilesMatchGenerated(t *testing.T) {
+	const k, rows, seed = 4, 4000, 47
+	ref := runAll(t, Config{K: k, Rows: rows, Seed: seed})
+
+	dir := t.TempDir()
+	gen := kv.NewGenerator(seed, kv.DistUniform)
+	bounds := kv.SplitRows(rows, k)
+	files := make([]string, k)
+	for i := 0; i < k; i++ {
+		files[i] = filepath.Join(dir, "part")
+		files[i] += string(rune('0' + i))
+		recs := gen.Generate(bounds[i], bounds[i+1]-bounds[i])
+		if err := os.WriteFile(files[i], recs.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, budget := range []int64{0, 24 * 1024} {
+		cfg := Config{K: k, InputFiles: files, MemBudget: budget}
+		if budget > 0 {
+			cfg.SpillDir = t.TempDir()
+		}
+		results := runAllWith(t, cfg, nil)
+		for rank := range results {
+			if !results[rank].Output.Equal(ref[rank].Output) {
+				t.Fatalf("budget=%d rank %d: file-input output differs", budget, rank)
+			}
+		}
+	}
+}
+
+// TestBudgetConfigValidation: bad budget configs are rejected.
+func TestBudgetConfigValidation(t *testing.T) {
+	if _, err := (Config{K: 2, Rows: 10, MemBudget: -1}).normalize(); err == nil {
+		t.Fatal("negative MemBudget accepted")
+	}
+	if _, err := (Config{K: 2, InputFiles: []string{"a"}}).normalize(); err == nil {
+		t.Fatal("wrong InputFiles count accepted")
+	}
+	input := []kv.Records{{}, {}}
+	if _, err := (Config{K: 2, Input: input, InputFiles: []string{"a", "b"}}).normalize(); err == nil {
+		t.Fatal("Input plus InputFiles accepted")
+	}
+	if _, err := (Config{K: 2, Rows: 10, MemBudget: 1 << 30, ChunkRows: extsort.MaxBlockRows + 1}).normalize(); err == nil {
+		t.Fatal("ChunkRows above the spill block cap accepted in budget mode")
+	}
+}
+
+// TestBudgetBoundsPeakMemory is the hard out-of-core guarantee: a cluster
+// sorting an input several times larger than the per-worker budget must
+// keep its peak live heap near K x budget — far below the input size —
+// while still producing (and here discarding through sinks) fully sorted,
+// summary-verified output. This is the scenario the subsystem exists for:
+// data that cannot fit, sorted anyway.
+func TestBudgetBoundsPeakMemory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("memory regression test is slow under -short")
+	}
+	defer debug.SetGCPercent(debug.SetGCPercent(10))
+
+	const (
+		k      = 4
+		rows   = 320000  // 32 MB of records cluster-wide
+		budget = 1 << 20 // 1 MB per worker: worker share is 8x budget
+		total  = rows * kv.RecordSize
+	)
+
+	runtime.GC()
+	stop := make(chan struct{})
+	peakCh := make(chan uint64)
+	go func() {
+		var peak uint64
+		var m runtime.MemStats
+		for {
+			select {
+			case <-stop:
+				peakCh <- peak
+				return
+			default:
+				runtime.ReadMemStats(&m)
+				if m.HeapAlloc > peak {
+					peak = m.HeapAlloc
+				}
+				time.Sleep(200 * time.Microsecond)
+			}
+		}
+	}()
+
+	sums := make([]verify.Summary, k)
+	cfg := Config{K: k, Rows: rows, Seed: 53, MemBudget: budget, SpillDir: t.TempDir()}
+	p := partition.NewUniform(k)
+	checkers := make([]*verify.PartitionChecker, k)
+	results := runAllWith(t, cfg, func(rank int, c *Config) {
+		checkers[rank] = verify.NewPartitionChecker(p, rank)
+		c.OutputSink = checkers[rank].Feed
+	})
+	close(stop)
+	peak := <-peakCh
+
+	for rank := range results {
+		if results[rank].SpilledRuns == 0 {
+			t.Fatalf("rank %d spilled nothing at 8x budget", rank)
+		}
+		sums[rank] = checkers[rank].Summary()
+	}
+	in := verify.DescribeGenerated(kv.NewGenerator(53, kv.DistUniform), rows)
+	if err := verify.CheckSummaries(sums, in); err != nil {
+		t.Fatal(err)
+	}
+
+	t.Logf("peak heap %.1f MB for %.1f MB input at %d x %.1f MB budget",
+		float64(peak)/1e6, float64(total)/1e6, k, float64(budget)/1e6)
+	// The K workers share this process, so the cluster-wide bound is
+	// K x budget; 3x covers Go allocator slop, the sampler's lag and
+	// transient per-block garbage, while staying far below the 32 MB an
+	// in-memory run necessarily materializes several times over.
+	if limit := uint64(3 * k * budget); peak > limit {
+		t.Fatalf("peak heap %.1f MB exceeds %.1f MB (3 x K x budget)",
+			float64(peak)/1e6, float64(limit)/1e6)
+	}
+	if peak > total/2 {
+		t.Fatalf("peak heap %.1f MB not clearly below the %.1f MB input",
+			float64(peak)/1e6, float64(total)/1e6)
+	}
+}

@@ -8,10 +8,12 @@ package terasort
 
 import (
 	"fmt"
+	"os"
 	"sync"
 	"sync/atomic"
 
 	"codedterasort/internal/codec"
+	"codedterasort/internal/extsort"
 	"codedterasort/internal/kv"
 	"codedterasort/internal/partition"
 	"codedterasort/internal/placement"
@@ -72,6 +74,33 @@ type Config struct {
 	// than O(Rows/K). Zero selects DefaultWindow. Ignored when ChunkRows
 	// is zero.
 	Window int
+	// MemBudget, when positive, runs the worker out-of-core: Map consumes
+	// its input block by block (never materializing the local file),
+	// remote-bound records spill to per-destination on-disk spools, the
+	// receive side spills unpacked partitions to radix-sorted runs under
+	// the budget, and Reduce becomes a streaming loser-tree merge over
+	// those runs. The budget bounds the worker's record data resident in
+	// memory; output is byte-identical to the in-memory engine. MemBudget
+	// implies the pipelined streaming shuffle — a budget-derived ChunkRows
+	// is chosen when none is set. Zero keeps every path bit-identical to
+	// the in-memory engine.
+	MemBudget int64
+	// SpillDir is the parent directory for spill files when MemBudget is
+	// positive ("" = the system temp directory). Each worker owns a fresh
+	// subdirectory, removed when Run returns.
+	SpillDir string
+	// OutputSink, when non-nil, receives the node's sorted partition as
+	// ascending record blocks during Reduce instead of it being
+	// materialized in Result.Output — the O(block)-memory output path of
+	// budget-bounded runs. The block passed to the sink is reused; the
+	// sink must not retain it. With MemBudget unset the whole partition
+	// arrives as one block.
+	OutputSink func(kv.Records) error
+	// InputFiles, when non-nil, reads the K input files from disk (raw
+	// teragen record format), file k on worker k. With MemBudget set the
+	// file is consumed block by block. Mutually exclusive with Input; Rows
+	// and Seed are ignored for data placement when set.
+	InputFiles []string
 }
 
 // normalize validates and fills defaults.
@@ -97,6 +126,27 @@ func (c Config) normalize() (Config, error) {
 	if c.Window < 0 {
 		return c, fmt.Errorf("terasort: negative Window")
 	}
+	if c.MemBudget < 0 {
+		return c, fmt.Errorf("terasort: negative MemBudget")
+	}
+	if c.InputFiles != nil {
+		if c.Input != nil {
+			return c, fmt.Errorf("terasort: both Input and InputFiles set")
+		}
+		if len(c.InputFiles) != c.K {
+			return c, fmt.Errorf("terasort: %d input files for K=%d", len(c.InputFiles), c.K)
+		}
+	}
+	if c.MemBudget > 0 {
+		if c.ChunkRows == 0 {
+			c.ChunkRows = extsort.BudgetChunkRows(c.MemBudget, c.K, c.Window)
+		}
+		// Spool blocks are framed at ChunkRows, so the spill-block cap
+		// bounds it.
+		if c.ChunkRows > extsort.MaxBlockRows {
+			return c, fmt.Errorf("terasort: ChunkRows %d exceeds spill block cap %d", c.ChunkRows, extsort.MaxBlockRows)
+		}
+	}
 	if c.ChunkRows > 0 && c.Window == 0 {
 		c.Window = DefaultWindow
 	}
@@ -105,8 +155,17 @@ func (c Config) normalize() (Config, error) {
 
 // Result is one worker's output.
 type Result struct {
-	// Output is the node's fully sorted partition.
+	// Output is the node's fully sorted partition. It stays empty when
+	// Config.OutputSink is set (the partition streamed to the sink).
 	Output kv.Records
+	// OutputRows and OutputChecksum summarize the sorted partition in
+	// every mode, including sink-streamed budget runs where Output is
+	// empty. The checksum is the kv order-independent multiset digest.
+	OutputRows     int64
+	OutputChecksum uint64
+	// SpilledRuns counts the sorted runs this worker spilled to disk
+	// (zero when MemBudget is unset or everything fit in memory).
+	SpilledRuns int64
 	// Times is the node's stage breakdown.
 	Times stats.Breakdown
 	// ShuffleBytes counts the unicast payload bytes this node sent during
@@ -150,42 +209,62 @@ type worker struct {
 	received [][]byte     // packed IVs received, indexed by source
 	unpacked []kv.Records // deserialized IVs, indexed by source
 	result   Result
+
+	// Out-of-core state (MemBudget > 0): the budget-bounded sorter that
+	// collects this node's partition (own records in Map, remote records
+	// as they decode in Shuffle) and the per-destination shuffle spools.
+	// sorterMu serializes the per-source receive goroutines' appends.
+	sorter      *extsort.Sorter
+	sorterMu    sync.Mutex
+	spools      []*extsort.Spool
+	spoolBlocks []int64
 }
 
 func (w *worker) run() (Result, error) {
-	if w.cfg.Input != nil {
-		// Directly supplied input files.
-		w.local = w.cfg.Input[w.rank]
-	} else {
-		plan, err := placement.Single(w.cfg.K, w.cfg.Rows)
-		if err != nil {
-			return Result{}, err
-		}
-		// File Placement: file k lives on node k; the row-addressable
-		// generator stands in for the coordinator's disk placement.
-		gen := kv.NewGenerator(w.cfg.Seed, w.cfg.Dist)
-		w.local = plan.Materialize(gen, w.rank)
-	}
-
-	steps := []struct {
+	var steps []struct {
 		stage stats.Stage
 		fn    func() error
-	}{
-		{stats.StageMap, w.mapStage},
-		{stats.StagePack, w.packStage},
-		{stats.StageShuffle, w.shuffleStage},
-		{stats.StageUnpack, w.unpackStage},
-		{stats.StageReduce, w.reduceStage},
 	}
-	if w.cfg.ChunkRows > 0 {
+	switch {
+	case w.cfg.MemBudget > 0:
+		// Out-of-core schedule: Map scans input block by block and spools,
+		// the streaming shuffle spills received partitions to sorted runs,
+		// Reduce is the loser-tree merge over the runs.
+		defer w.cleanupSpill()
+		steps = []struct {
+			stage stats.Stage
+			fn    func() error
+		}{
+			{stats.StageMap, w.mapSpillStage},
+			{stats.StageShuffle, w.streamSpillStage},
+			{stats.StageReduce, w.reduceSpillStage},
+		}
+	case w.cfg.ChunkRows > 0:
 		// Pipelined schedule: Pack, Shuffle and Unpack collapse into one
 		// overlapped streaming stage, charged to Shuffle.
+		if err := w.loadLocal(); err != nil {
+			return Result{}, err
+		}
 		steps = []struct {
 			stage stats.Stage
 			fn    func() error
 		}{
 			{stats.StageMap, w.mapStage},
 			{stats.StageShuffle, w.streamStage},
+			{stats.StageReduce, w.reduceStage},
+		}
+	default:
+		if err := w.loadLocal(); err != nil {
+			return Result{}, err
+		}
+		steps = []struct {
+			stage stats.Stage
+			fn    func() error
+		}{
+			{stats.StageMap, w.mapStage},
+			{stats.StagePack, w.packStage},
+			{stats.StageShuffle, w.shuffleStage},
+			{stats.StageUnpack, w.unpackStage},
 			{stats.StageReduce, w.reduceStage},
 		}
 	}
@@ -201,6 +280,121 @@ func (w *worker) run() (Result, error) {
 	}
 	w.result.Times = w.tl.Breakdown()
 	return w.result, nil
+}
+
+// loadLocal materializes this node's input file in memory (the in-memory
+// engine's File Placement step).
+func (w *worker) loadLocal() error {
+	switch {
+	case w.cfg.Input != nil:
+		// Directly supplied input files.
+		w.local = w.cfg.Input[w.rank]
+	case w.cfg.InputFiles != nil:
+		buf, err := os.ReadFile(w.cfg.InputFiles[w.rank])
+		if err != nil {
+			return fmt.Errorf("terasort: read input file: %w", err)
+		}
+		recs, err := kv.NewRecords(buf)
+		if err != nil {
+			return err
+		}
+		w.local = recs
+	default:
+		plan, err := placement.Single(w.cfg.K, w.cfg.Rows)
+		if err != nil {
+			return err
+		}
+		// File Placement: file k lives on node k; the row-addressable
+		// generator stands in for the coordinator's disk placement.
+		gen := kv.NewGenerator(w.cfg.Seed, w.cfg.Dist)
+		w.local = plan.Materialize(gen, w.rank)
+	}
+	return nil
+}
+
+// cleanupSpill releases the spill files of a budget-bounded run.
+func (w *worker) cleanupSpill() {
+	for _, sp := range w.spools {
+		if sp != nil {
+			sp.Close()
+		}
+	}
+	if w.sorter != nil {
+		w.sorter.Close() // removes the whole spill directory
+	}
+}
+
+// mapSpillStage is the out-of-core Map: it consumes this node's input file
+// block by block — generated, supplied in memory, or read from disk — and
+// routes each block's partitions without ever holding the file: records of
+// the node's own partition enter the budget-bounded sorter, remote-bound
+// records append to per-destination disk spools framed at ChunkRows (the
+// chunk granularity the shuffle will stream them at). Peak memory is one
+// input block plus K partial spool blocks.
+func (w *worker) mapSpillStage() error {
+	// Half the budget bounds the sorter's buffer; the merge cursors, spool
+	// buffers and in-flight chunks share the other half.
+	sorter, err := extsort.NewSorter(w.cfg.SpillDir, w.cfg.MemBudget/2)
+	if err != nil {
+		return err
+	}
+	w.sorter = sorter
+	w.spools = make([]*extsort.Spool, w.cfg.K)
+	w.spoolBlocks = make([]int64, w.cfg.K)
+	for dst := 0; dst < w.cfg.K; dst++ {
+		if dst == w.rank {
+			continue
+		}
+		sp, err := extsort.NewSpool(sorter.Dir(), w.cfg.ChunkRows)
+		if err != nil {
+			return err
+		}
+		w.spools[dst] = sp
+	}
+	process := func(block kv.Records) error {
+		parts := partition.Split(w.cfg.Part, filterRecords(block, w.cfg.Filter))
+		for dst := 0; dst < w.cfg.K; dst++ {
+			if dst == w.rank {
+				if err := w.sorter.Append(parts[dst]); err != nil {
+					return err
+				}
+				continue
+			}
+			if err := w.spools[dst].Append(parts[dst]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	switch {
+	case w.cfg.Input != nil:
+		err = w.cfg.Input[w.rank].ForEachBlock(w.cfg.ChunkRows, process)
+	case w.cfg.InputFiles != nil:
+		err = extsort.ScanFile(w.cfg.InputFiles[w.rank], w.cfg.ChunkRows, process)
+	default:
+		var plan placement.Plan
+		plan, err = placement.Single(w.cfg.K, w.cfg.Rows)
+		if err != nil {
+			return err
+		}
+		first, last := plan.FileRows(w.rank)
+		gen := kv.NewGenerator(w.cfg.Seed, w.cfg.Dist)
+		err = gen.GenerateBlocks(first, last-first, w.cfg.ChunkRows, process)
+	}
+	if err != nil {
+		return err
+	}
+	for dst, sp := range w.spools {
+		if sp == nil {
+			continue
+		}
+		blocks, err := sp.Finish()
+		if err != nil {
+			return err
+		}
+		w.spoolBlocks[dst] = blocks
+	}
+	return nil
 }
 
 // mapStage hashes every local record into one of the K partitions
@@ -383,6 +577,135 @@ func (w *worker) streamStage() error {
 	return nil
 }
 
+// streamSpillStage is the out-of-core streaming shuffle. It reuses the
+// pipelined chunk protocol of streamStage, but neither side holds a
+// stream's records: the sender reads each per-destination spool back block
+// by block (one chunk per spool block), and receivers append every decoded
+// chunk to the budget-bounded sorter, which spills sorted runs as the
+// budget fills.
+func (w *worker) streamSpillStage() error {
+	recvErrs := make([]error, w.cfg.K)
+	var chunksRecv atomic.Int64
+	var wg sync.WaitGroup
+	for src := 0; src < w.cfg.K; src++ {
+		if src == w.rank {
+			continue
+		}
+		wg.Add(1)
+		go func(src int) {
+			defer wg.Done()
+			dataTag := transport.MakeTag(tagChunk, uint16(src), uint16(w.rank))
+			ackTag := transport.MakeTag(tagChunkAck, uint16(w.rank), uint16(src))
+			var stream codec.ChunkStream
+			for !stream.Done() {
+				frame, err := w.ep.Recv(src, dataTag)
+				if err != nil {
+					recvErrs[src] = err
+					return
+				}
+				if err := transport.StreamAck(w.ep, src, ackTag); err != nil {
+					recvErrs[src] = err
+					return
+				}
+				payload, _, err := stream.Accept(frame)
+				if err != nil {
+					recvErrs[src] = fmt.Errorf("chunk stream from rank %d: %w", src, err)
+					return
+				}
+				recs, err := codec.UnpackIV(payload)
+				if err != nil {
+					recvErrs[src] = fmt.Errorf("chunk from rank %d: %w", src, err)
+					return
+				}
+				w.sorterMu.Lock()
+				err = w.sorter.Append(recs)
+				w.sorterMu.Unlock()
+				if err != nil {
+					recvErrs[src] = err
+					return
+				}
+				chunksRecv.Add(1)
+			}
+		}(src)
+	}
+
+	send := func() error {
+		for dst := 0; dst < w.cfg.K; dst++ {
+			if dst == w.rank {
+				continue
+			}
+			dataTag := transport.MakeTag(tagChunk, uint16(w.rank), uint16(dst))
+			ackTag := transport.MakeTag(tagChunkAck, uint16(dst), uint16(w.rank))
+			s := transport.NewStreamSender(w.ep, dst, dataTag, ackTag, w.cfg.Window)
+			ship := func(frame []byte) error {
+				if err := s.Send(frame); err != nil {
+					return err
+				}
+				w.result.ShuffleBytes += int64(len(frame))
+				w.result.ChunksSent++
+				return nil
+			}
+			if n := w.spoolBlocks[dst]; n == 0 {
+				// Empty stream: one last-flagged empty chunk closes it.
+				if err := ship(codec.FrameChunk(0, true, codec.PackIV(kv.Records{}))); err != nil {
+					return err
+				}
+			} else {
+				rd, err := w.spools[dst].Reader()
+				if err != nil {
+					return err
+				}
+				for c := int64(0); c < n; c++ {
+					block, err := rd.Next()
+					if err != nil {
+						return fmt.Errorf("spool for rank %d: %w", dst, err)
+					}
+					if err := ship(codec.FrameChunk(uint32(c), c == n-1, codec.PackIV(block))); err != nil {
+						return err
+					}
+				}
+			}
+			if err := s.Drain(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var sendErr error
+	if w.cfg.Parallel {
+		sendErr = send()
+	} else {
+		sendErr = transport.SerialOrder(w.ep, transport.MakeTag(tagToken, 0, 0), send)
+	}
+	if sendErr != nil {
+		return sendErr
+	}
+	wg.Wait()
+	w.result.ChunksReceived = chunksRecv.Load()
+	for _, err := range recvErrs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// reduceSpillStage is the out-of-core Reduce: a streaming loser-tree merge
+// over the sorted runs (plus the sorter's in-memory tail), emitted in
+// ascending ChunkRows-record blocks. The sorted partition is never
+// materialized unless no OutputSink is set.
+func (w *worker) reduceSpillStage() error {
+	out, err := extsort.DrainSorted(w.sorter, w.cfg.ChunkRows, w.cfg.OutputSink)
+	if err != nil {
+		return err
+	}
+	w.result.Output = out.Records
+	w.result.OutputRows = out.Rows
+	w.result.OutputChecksum = out.Checksum
+	w.result.SpilledRuns = out.SpilledRuns
+	return nil
+}
+
 // unpackStage deserializes the received payloads back to record buffers.
 func (w *worker) unpackStage() error {
 	w.unpacked = make([]kv.Records, w.cfg.K)
@@ -412,6 +735,11 @@ func (w *worker) reduceStage() error {
 	}
 	out := kv.Concat(parts...)
 	out.Sort()
+	w.result.OutputRows = int64(out.Len())
+	w.result.OutputChecksum = out.Checksum()
+	if sink := w.cfg.OutputSink; sink != nil {
+		return sink(out)
+	}
 	w.result.Output = out
 	return nil
 }

@@ -4,6 +4,14 @@
 // must be a permutation of the input and globally sorted. These are the
 // invariants that make (Q_1, ..., Q_K) "the final sorted list of the entire
 // input data" (paper Section III-A5).
+//
+// Two entry points share one implementation: SortedOutput checks fully
+// materialized partitions, and PartitionChecker consumes a partition as a
+// stream of ascending blocks — the verification path of the out-of-core
+// engines, whose sorted output is never resident in memory. Feeding blocks
+// costs O(block) memory; the per-partition residue is a Summary (rows,
+// multiset checksum, min and max key), and CheckSummaries closes the
+// cross-partition and whole-input checks over those summaries alone.
 package verify
 
 import (
@@ -42,33 +50,75 @@ func DescribeGenerated(g *kv.Generator, rows int64) Input {
 	return in
 }
 
-// SortedOutput validates per-node outputs of a K-way distributed sort.
-// outputs[k] must be node k's reduced partition; p is the partitioner all
-// nodes hashed with.
-func SortedOutput(outputs []kv.Records, p partition.Partitioner, in Input) error {
-	if len(outputs) != p.NumPartitions() {
-		return fmt.Errorf("verify: %d outputs for %d partitions", len(outputs), p.NumPartitions())
+// Summary is the O(1)-size residue of checking one partition's stream.
+type Summary struct {
+	// Rows and Checksum accumulate the partition's multiset contribution.
+	Rows     int64
+	Checksum uint64
+	// Min and Max are copies of the smallest and largest key seen (nil for
+	// an empty partition). Because the stream is verified ascending, they
+	// are the first and last keys.
+	Min, Max []byte
+}
+
+// PartitionChecker verifies one partition's sorted output incrementally.
+// Feed it ascending blocks; it checks key order (within and across blocks)
+// and partition membership as they pass through, and accumulates the
+// Summary. A zero block count is a legal empty partition.
+type PartitionChecker struct {
+	p   partition.Partitioner
+	k   int
+	sum Summary
+}
+
+// NewPartitionChecker returns a checker for partition k of p.
+func NewPartitionChecker(p partition.Partitioner, k int) *PartitionChecker {
+	return &PartitionChecker{p: p, k: k}
+}
+
+// Feed verifies the next block of the partition's output stream.
+func (c *PartitionChecker) Feed(out kv.Records) error {
+	for i := 0; i < out.Len(); i++ {
+		key := out.Key(i)
+		if c.sum.Max != nil && bytes.Compare(key, c.sum.Max) < 0 {
+			return fmt.Errorf("verify: partition %d output not sorted", c.k)
+		}
+		if got := c.p.Partition(key); got != c.k {
+			return fmt.Errorf("verify: record %d of partition %d belongs to partition %d",
+				c.sum.Rows, c.k, got)
+		}
+		if c.sum.Min == nil {
+			c.sum.Min = append([]byte(nil), key...)
+			c.sum.Max = append([]byte(nil), key...)
+		} else {
+			c.sum.Max = append(c.sum.Max[:0], key...)
+		}
+		c.sum.Rows++
+		c.sum.Checksum += kv.ChecksumRecord(out.Record(i))
 	}
+	return nil
+}
+
+// Summary returns the partition's accumulated summary.
+func (c *PartitionChecker) Summary() Summary { return c.sum }
+
+// CheckSummaries closes verification over per-partition summaries, in
+// partition order: partitions must not overlap in key range (partition k's
+// min at or above partition k-1's max), and rows and multiset checksum
+// must total the input's.
+func CheckSummaries(sums []Summary, in Input) error {
 	var rows int64
 	var sum uint64
 	var prevMax []byte
-	for k, out := range outputs {
-		if !out.IsSorted() {
-			return fmt.Errorf("verify: partition %d output not sorted", k)
-		}
-		for i := 0; i < out.Len(); i++ {
-			if got := p.Partition(out.Key(i)); got != k {
-				return fmt.Errorf("verify: record %d of partition %d belongs to partition %d", i, k, got)
-			}
-		}
-		if out.Len() > 0 {
-			if prevMax != nil && bytes.Compare(out.MinKey(), prevMax) < 0 {
+	for k, s := range sums {
+		if s.Min != nil {
+			if prevMax != nil && bytes.Compare(s.Min, prevMax) < 0 {
 				return fmt.Errorf("verify: partition %d starts below partition max of its predecessor", k)
 			}
-			prevMax = out.MaxKey()
+			prevMax = s.Max
 		}
-		rows += int64(out.Len())
-		sum += out.Checksum()
+		rows += s.Rows
+		sum += s.Checksum
 	}
 	if rows != in.Rows {
 		return fmt.Errorf("verify: output has %d rows, input had %d", rows, in.Rows)
@@ -77,4 +127,23 @@ func SortedOutput(outputs []kv.Records, p partition.Partitioner, in Input) error
 		return fmt.Errorf("verify: output checksum %#x != input checksum %#x", sum, in.Checksum)
 	}
 	return nil
+}
+
+// SortedOutput validates per-node outputs of a K-way distributed sort.
+// outputs[k] must be node k's reduced partition; p is the partitioner all
+// nodes hashed with. It is the materialized special case of the streaming
+// checker: each partition is fed as one block.
+func SortedOutput(outputs []kv.Records, p partition.Partitioner, in Input) error {
+	if len(outputs) != p.NumPartitions() {
+		return fmt.Errorf("verify: %d outputs for %d partitions", len(outputs), p.NumPartitions())
+	}
+	sums := make([]Summary, len(outputs))
+	for k, out := range outputs {
+		c := NewPartitionChecker(p, k)
+		if err := c.Feed(out); err != nil {
+			return err
+		}
+		sums[k] = c.Summary()
+	}
+	return CheckSummaries(sums, in)
 }

@@ -111,3 +111,85 @@ func TestDescribeGeneratedEmpty(t *testing.T) {
 		t.Fatalf("empty description %+v", in)
 	}
 }
+
+// TestStreamingCheckerMatchesSortedOutput: feeding a partition in many
+// small blocks must accept exactly what the materialized checker accepts
+// and produce the same summary totals.
+func TestStreamingCheckerMatchesSortedOutput(t *testing.T) {
+	outs, p, in := makeOutputs(t, 10, 3000, 4)
+	sums := make([]Summary, len(outs))
+	for k, out := range outs {
+		c := NewPartitionChecker(p, k)
+		if err := out.ForEachBlock(71, c.Feed); err != nil {
+			t.Fatal(err)
+		}
+		sums[k] = c.Summary()
+	}
+	if err := CheckSummaries(sums, in); err != nil {
+		t.Fatal(err)
+	}
+	if err := SortedOutput(outs, p, in); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStreamingCheckerDetectsCrossBlockDisorder: a key regression exactly
+// at a block boundary must be caught, not just disorder within one block.
+func TestStreamingCheckerDetectsCrossBlockDisorder(t *testing.T) {
+	outs, p, _ := makeOutputs(t, 11, 2000, 4)
+	out := outs[2]
+	c := NewPartitionChecker(p, 2)
+	mid := out.Len() / 2
+	if err := c.Feed(out.Slice(mid, out.Len())); err != nil {
+		t.Fatal(err)
+	}
+	err := c.Feed(out.Slice(0, mid))
+	if err == nil || !strings.Contains(err.Error(), "not sorted") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestStreamingCheckerDetectsForeignKey: membership violations surface in
+// streaming mode too.
+func TestStreamingCheckerDetectsForeignKey(t *testing.T) {
+	outs, p, _ := makeOutputs(t, 12, 2000, 4)
+	c := NewPartitionChecker(p, 3)
+	err := c.Feed(outs[0])
+	if err == nil || !strings.Contains(err.Error(), "belongs to partition") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestCheckSummariesDetectsOverlap: per-partition streams can each be
+// sorted while the partitions overlap in key range; only the summary-level
+// check sees it.
+func TestCheckSummariesDetectsOverlap(t *testing.T) {
+	outs, p, in := makeOutputs(t, 13, 2000, 4)
+	sums := make([]Summary, len(outs))
+	for k, out := range outs {
+		c := NewPartitionChecker(p, k)
+		if err := c.Feed(out); err != nil {
+			t.Fatal(err)
+		}
+		sums[k] = c.Summary()
+	}
+	// Swap two summaries: totals still match, order across partitions not.
+	sums[1], sums[2] = sums[2], sums[1]
+	err := CheckSummaries(sums, in)
+	if err == nil || !strings.Contains(err.Error(), "below partition max") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestStreamingCheckerEmptyPartitions: empty streams yield nil min/max and
+// pass the cross-partition check.
+func TestStreamingCheckerEmptyPartitions(t *testing.T) {
+	p := partition.NewUniform(4)
+	sums := make([]Summary, 4)
+	for k := 0; k < 4; k++ {
+		sums[k] = NewPartitionChecker(p, k).Summary()
+	}
+	if err := CheckSummaries(sums, Input{}); err != nil {
+		t.Fatal(err)
+	}
+}
