@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet fmt-check test race fuzz bench cover ci
+.PHONY: all build vet fmt-check test race fuzz bench bench-smoke cover ci
 
 all: ci
 
@@ -39,6 +39,12 @@ fuzz:
 bench:
 	$(GO) test -run=XXX -bench=. -benchmem ./...
 	$(GO) run ./cmd/benchjson -out BENCH_pipeline.json
+
+# One-iteration benchmark pass: compiles and executes every benchmark once
+# (including the parallel sort/scatter/codec kernels) so the bench suite
+# cannot bit-rot; wired into CI. Timing output is meaningless at 1x.
+bench-smoke:
+	$(GO) test -run=XXX -bench=. -benchtime=1x ./...
 
 # Coverage summary: per-function tail plus the total line, for the CI log
 # and local spot checks.

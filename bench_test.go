@@ -10,6 +10,7 @@ package codedterasort_test
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -19,6 +20,7 @@ import (
 	"codedterasort/internal/combin"
 	"codedterasort/internal/kv"
 	"codedterasort/internal/model"
+	"codedterasort/internal/parallel"
 	"codedterasort/internal/partition"
 	"codedterasort/internal/placement"
 	"codedterasort/internal/simnet"
@@ -177,6 +179,47 @@ func BenchmarkFig7Decoding(b *testing.B) {
 		if _, err := codec.DecodePacket(stores[1], m, 1, 0, pkt); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// Chunked Algorithm 1/2 on the multicore runtime: every chunk of a coded
+// packet encodes (and decodes) independently, so the per-chunk
+// EncodePacketChunk/DecodePacketChunk calls fan out over P goroutines —
+// the coded engine's code-path hot loop at P=1 vs P=NumCPU.
+func BenchmarkChunkCodecParallel(b *testing.B) {
+	stores, m := fig67Setup(b)
+	const chunkRows = 256
+	count := codec.PacketChunkCount(stores[0], m, 0, chunkRows)
+	pkts := make([][]byte, count)
+	for c := 0; c < count; c++ {
+		pkt, err := codec.EncodePacketChunk(stores[0], m, 0, chunkRows, c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pkts[c] = pkt
+	}
+	for _, procs := range []int{1, 4, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("encode/p=%d", procs), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := parallel.Do(procs, count, func(c int) error {
+					pkt, err := codec.EncodePacketChunk(stores[0], m, 0, chunkRows, c)
+					codec.Recycle(pkt)
+					return err
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("decode/p=%d", procs), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := parallel.Do(procs, count, func(c int) error {
+					_, err := codec.DecodePacketChunk(stores[1], m, 1, 0, chunkRows, c, pkts[c])
+					return err
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -19,7 +19,13 @@ import (
 	"time"
 
 	"codedterasort/internal/cluster"
+	"codedterasort/internal/codec"
+	"codedterasort/internal/coded"
+	"codedterasort/internal/combin"
 	"codedterasort/internal/kv"
+	"codedterasort/internal/parallel"
+	"codedterasort/internal/partition"
+	"codedterasort/internal/placement"
 )
 
 // benchResult is one workload's measurement.
@@ -35,11 +41,27 @@ type benchResult struct {
 	PeakHeapBytes  uint64  `json:"peak_heap_bytes"`
 }
 
+// microResult is one worker-kernel measurement: a compute hot path (sort,
+// scatter, generate, chunk encode/decode, XOR) at a fixed goroutine count.
+type microResult struct {
+	Name     string  `json:"name"`
+	Procs    int     `json:"procs,omitempty"`
+	NsPerOp  float64 `json:"ns_per_op"`
+	MBPerSec float64 `json:"mb_per_sec"`
+	// Speedup is the ratio against the kernel's baseline entry: the p=1
+	// run for parallel kernels, the byte-loop reference for xor/word.
+	Speedup float64 `json:"speedup,omitempty"`
+}
+
 // benchFile is the BENCH_pipeline.json document.
 type benchFile struct {
 	GoVersion string        `json:"go_version"`
+	NumCPU    int           `json:"num_cpu"`
 	Rows      int64         `json:"rows"`
 	Results   []benchResult `json:"results"`
+	// Micro tracks the multicore worker kernels, so per-PR perf work on
+	// the hot paths is visible without running a whole cluster.
+	Micro []microResult `json:"micro"`
 }
 
 func main() {
@@ -85,7 +107,165 @@ func workloads(rows int64, spillDir string) []struct {
 		{"coded/extsort", cluster.Spec{
 			Algorithm: cluster.AlgCoded, K: 4, R: 2, Rows: rows, Seed: 11,
 			ParallelShuffle: true, MemBudget: budget, SpillDir: spillDir}},
+		// The multicore worker runtime: the chunked pipelines again with
+		// each worker's compute paths on 4 goroutines.
+		{"terasort/chunked/procs=4", cluster.Spec{
+			Algorithm: cluster.AlgTeraSort, K: 4, Rows: rows, Seed: 11,
+			ParallelShuffle: true, ChunkRows: 2000, Window: 8, Parallelism: 4}},
+		{"coded/chunked/procs=4", cluster.Spec{
+			Algorithm: cluster.AlgCoded, K: 4, R: 2, Rows: rows, Seed: 11,
+			ParallelShuffle: true, ChunkRows: 800, Window: 8, Parallelism: 4}},
 	}
+}
+
+// microKernels returns the tracked worker kernels, each measured at every
+// procs value: the LSD and MSD radix sorts, the Map scatter, parallel
+// generation, and the chunked Algorithm 1/2 encode/decode. prep (optional)
+// runs untimed before each op to restore clobbered inputs.
+func microKernels(rows int64) ([]struct {
+	name  string
+	bytes int64
+	prep  func()
+	op    func(procs int) error
+}, error) {
+	base := kv.NewGenerator(1, kv.DistUniform).Generate(0, rows)
+	sortWork := base.Clone()
+	restore := func() { copy(sortWork.Bytes(), base.Bytes()) }
+	part := partition.NewUniform(8)
+
+	// Chunked coded packets: the K=5, r=2 group of the paper's Fig 6/7
+	// walkthrough, scaled to ~rows records across the plan.
+	plan, err := placement.Redundant(5, 2, rows)
+	if err != nil {
+		return nil, err
+	}
+	p5 := partition.NewUniform(5)
+	stores := make([]codec.IVMap, 2)
+	for rank := range stores {
+		stores[rank] = coded.MapFiles(plan, p5, kv.NewGenerator(6, kv.DistUniform), rank)
+	}
+	group := combin.NewSet(0, 1, 2)
+	const chunkRows = 256
+	count := codec.PacketChunkCount(stores[0], group, 0, chunkRows)
+	pkts := make([][]byte, count)
+	var codedBytes int64
+	for c := 0; c < count; c++ {
+		pkt, err := codec.EncodePacketChunk(stores[0], group, 0, chunkRows, c)
+		if err != nil {
+			return nil, err
+		}
+		pkts[c] = pkt
+		codedBytes += int64(len(pkt))
+	}
+
+	return []struct {
+		name  string
+		bytes int64
+		prep  func()
+		op    func(procs int) error
+	}{
+		{"sort_radix_lsd", int64(base.Size()), restore, func(p int) error { sortWork.SortRadixParallel(p); return nil }},
+		{"sort_radix_msd", int64(base.Size()), restore, func(p int) error { sortWork.SortRadixMSD(p); return nil }},
+		{"scatter", int64(base.Size()), nil, func(p int) error { partition.SplitParallel(part, base, p); return nil }},
+		{"generate", int64(base.Size()), nil, func(p int) error {
+			kv.NewGenerator(1, kv.DistUniform).GenerateParallel(0, rows, p)
+			return nil
+		}},
+		{"chunk_encode", codedBytes, nil, func(p int) error {
+			return parallel.Do(p, count, func(c int) error {
+				pkt, err := codec.EncodePacketChunk(stores[0], group, 0, chunkRows, c)
+				codec.Recycle(pkt)
+				return err
+			})
+		}},
+		{"chunk_decode", codedBytes, nil, func(p int) error {
+			return parallel.Do(p, count, func(c int) error {
+				_, err := codec.DecodePacketChunk(stores[1], group, 1, 0, chunkRows, c, pkts[c])
+				return err
+			})
+		}},
+	}, nil
+}
+
+// measureMicro times op (with prep untimed between iterations) for at
+// least benchtime and returns the kernel measurement. A failing op aborts
+// the run rather than recording a bogus baseline.
+func measureMicro(name string, procs int, bytes int64, prep func(), op func(int) error, benchtime time.Duration) (microResult, error) {
+	var total time.Duration
+	iters := 0
+	for total < benchtime || iters == 0 {
+		if prep != nil {
+			prep()
+		}
+		t0 := time.Now()
+		err := op(procs)
+		total += time.Since(t0)
+		if err != nil {
+			return microResult{}, fmt.Errorf("micro %s p=%d: %w", name, procs, err)
+		}
+		iters++
+	}
+	nsPerOp := float64(total.Nanoseconds()) / float64(iters)
+	return microResult{
+		Name:     name,
+		Procs:    procs,
+		NsPerOp:  nsPerOp,
+		MBPerSec: float64(bytes) / 1e6 / (nsPerOp / 1e9),
+	}, nil
+}
+
+// runMicro measures every kernel at p=1, p=4 and p=NumCPU (deduplicated)
+// plus the word-vs-byte XOR pair, filling Speedup against each kernel's
+// baseline entry.
+func runMicro(rows int64, benchtime time.Duration) ([]microResult, error) {
+	kernels, err := microKernels(rows)
+	if err != nil {
+		return nil, err
+	}
+	procsSet := []int{1, 4}
+	if n := runtime.NumCPU(); n != 1 && n != 4 {
+		procsSet = append(procsSet, n)
+	}
+	var out []microResult
+	for _, k := range kernels {
+		baseline := 0.0
+		for _, procs := range procsSet {
+			res, err := measureMicro(k.name, procs, k.bytes, k.prep, k.op, benchtime)
+			if err != nil {
+				return nil, err
+			}
+			if procs == 1 {
+				baseline = res.NsPerOp
+			} else if baseline > 0 {
+				res.Speedup = baseline / res.NsPerOp
+			}
+			out = append(out, res)
+		}
+	}
+	// XOR: the word-wise kernel against the byte-loop reference.
+	const xorLen = 1 << 16
+	dst, src := make([]byte, xorLen), make([]byte, xorLen)
+	for i := range src {
+		src[i] = byte(i)
+	}
+	byteRef, err := measureMicro("xor/byte", 0, xorLen, nil, func(int) error {
+		for i := range dst {
+			dst[i] ^= src[i]
+		}
+		return nil
+	}, benchtime)
+	if err != nil {
+		return nil, err
+	}
+	word, err := measureMicro("xor/word", 0, xorLen, nil, func(int) error {
+		codec.XORInto(dst, src)
+		return nil
+	}, benchtime)
+	if err != nil {
+		return nil, err
+	}
+	word.Speedup = byteRef.NsPerOp / word.NsPerOp
+	return append(out, byteRef, word), nil
 }
 
 func run(out string, rows int64, benchtime time.Duration) error {
@@ -95,15 +275,28 @@ func run(out string, rows int64, benchtime time.Duration) error {
 	}
 	defer os.RemoveAll(spillDir)
 
-	doc := benchFile{GoVersion: runtime.Version(), Rows: rows}
+	doc := benchFile{GoVersion: runtime.Version(), NumCPU: runtime.NumCPU(), Rows: rows}
 	for _, w := range workloads(rows, spillDir) {
 		res, err := measure(w.name, w.spec, benchtime)
 		if err != nil {
 			return fmt.Errorf("%s: %w", w.name, err)
 		}
 		doc.Results = append(doc.Results, res)
-		fmt.Printf("%-20s %12.0f ns/op  %8.1f MB/s  peak heap %6.1f MB\n",
+		fmt.Printf("%-26s %12.0f ns/op  %8.1f MB/s  peak heap %6.1f MB\n",
 			w.name, res.NsPerOp, res.MBPerSec, float64(res.PeakHeapBytes)/1e6)
+	}
+	micro, err := runMicro(rows, benchtime)
+	if err != nil {
+		return err
+	}
+	doc.Micro = micro
+	for _, m := range micro {
+		extra := ""
+		if m.Speedup > 0 {
+			extra = fmt.Sprintf("  speedup %.2fx", m.Speedup)
+		}
+		fmt.Printf("micro/%-20s p=%d %12.0f ns/op  %8.1f MB/s%s\n",
+			m.Name, m.Procs, m.NsPerOp, m.MBPerSec, extra)
 	}
 	p, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {

@@ -34,6 +34,7 @@ func main() {
 	window := flag.Int("window", 0, "in-flight chunk window per stream (0 = engine default)")
 	memBudget := flag.Int64("membudget", 0, "per-worker memory budget in bytes: spill sorted runs to disk and merge-stream the reduce (0 = fully in-memory)")
 	spillDir := flag.String("spilldir", "", "parent directory for spill files (default system temp)")
+	procs := flag.Int("procs", 0, "per-worker compute goroutines for map/sort/code hot paths (0 = all cores, 1 = sequential); output is identical at any setting")
 	flag.Parse()
 
 	spec := cluster.Spec{
@@ -42,6 +43,7 @@ func main() {
 		TreeMulticast: *tree, RateMbps: *rate, PerMessage: *perMsg,
 		ChunkRows: *chunk, Window: *window,
 		MemBudget: *memBudget, SpillDir: *spillDir,
+		Parallelism: *procs,
 	}
 	start := time.Now()
 	job, err := cluster.RunLocal(spec)

@@ -32,6 +32,7 @@ func main() {
 	window := flag.Int("window", 0, "in-flight chunk window per stream (0 = engine default)")
 	memBudget := flag.Int64("membudget", 0, "per-worker memory budget in bytes: workers spill sorted runs to local disk (0 = fully in-memory)")
 	spillDir := flag.String("spilldir", "", "parent directory for worker spill files (default system temp)")
+	procs := flag.Int("procs", 0, "per-worker compute goroutines, distributed with the spec (0 = each worker uses all its cores, 1 = sequential)")
 	flag.Parse()
 
 	spec := cluster.Spec{
@@ -40,6 +41,7 @@ func main() {
 		Skewed: *skewed, TreeMulticast: *tree, RateMbps: *rate,
 		ChunkRows: *chunk, Window: *window,
 		MemBudget: *memBudget, SpillDir: *spillDir,
+		Parallelism: *procs,
 	}
 	if spec.Algorithm == cluster.AlgTeraSort {
 		spec.R = 0

@@ -32,6 +32,7 @@ func main() {
 	memBudget := flag.Int64("membudget", 0, "per-worker memory budget in bytes: spill sorted runs to disk and merge-stream the reduce (0 = fully in-memory)")
 	spillDir := flag.String("spilldir", "", "parent directory for spill files (default system temp)")
 	inDir := flag.String("indir", "", "read input from the part files teragen -disk wrote here instead of generating it")
+	procs := flag.Int("procs", 0, "per-worker compute goroutines for map/sort/spill hot paths (0 = all cores, 1 = sequential); output is identical at any setting")
 	flag.Parse()
 
 	spec := cluster.Spec{
@@ -40,6 +41,7 @@ func main() {
 		RateMbps: *rate, PerMessage: *perMsg,
 		ChunkRows: *chunk, Window: *window,
 		MemBudget: *memBudget, SpillDir: *spillDir, InputDir: *inDir,
+		Parallelism: *procs,
 	}
 	start := time.Now()
 	job, err := cluster.RunLocal(spec)

@@ -19,9 +19,10 @@ import (
 func main() {
 	coord := flag.String("coord", "127.0.0.1:7077", "coordinator address")
 	meshHost := flag.String("mesh-host", "127.0.0.1", "interface to bind the worker mesh listener")
+	procs := flag.Int("procs", 0, "override the spec's per-worker compute goroutines on this node (0 = use the coordinator-distributed setting)")
 	flag.Parse()
 
-	if err := cluster.RunWorker(*coord, cluster.WorkerOptions{MeshHost: *meshHost}); err != nil {
+	if err := cluster.RunWorker(*coord, cluster.WorkerOptions{MeshHost: *meshHost, Parallelism: *procs}); err != nil {
 		fmt.Fprintln(os.Stderr, "worker:", err)
 		os.Exit(1)
 	}

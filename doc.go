@@ -11,6 +11,11 @@
 // external sort: internal/extsort provides spill-to-disk run generation
 // and the loser-tree merge behind the MemBudget knob of both engines),
 // with runnable binaries under cmd/ and worked examples under examples/.
+// Workers are multicore: the Parallelism knob (Config/Spec field, -procs
+// on the CLIs) runs each worker's map scatter, radix sorts, spill-run
+// sorting and per-group packet encode/decode on deterministic parallel
+// kernels (internal/parallel) that produce byte-identical output at any
+// goroutine count.
 // The benchmarks in bench_test.go regenerate every table and figure of
 // the paper's evaluation; the tests in internal/simnet pin the reproduced
 // values against the paper's tables; cmd/benchjson tracks the pipeline

@@ -187,7 +187,8 @@ func runWorker(ep transport.Endpoint, spec Spec, sink func(kv.Records) error) (W
 			Parallel:  spec.ParallelShuffle,
 			ChunkRows: spec.ChunkRows, Window: spec.Window,
 			MemBudget: spec.MemBudget, SpillDir: spec.SpillDir,
-			OutputSink: sink,
+			OutputSink:  sink,
+			Parallelism: spec.Parallelism,
 		}
 		if spec.InputDir != "" {
 			cfg.InputFiles = inputFiles(spec.InputDir, spec.K)
@@ -211,7 +212,8 @@ func runWorker(ep transport.Endpoint, spec Spec, sink func(kv.Records) error) (W
 			Parallel:  spec.ParallelShuffle,
 			ChunkRows: spec.ChunkRows, Window: spec.Window,
 			MemBudget: spec.MemBudget, SpillDir: spec.SpillDir,
-			OutputSink: sink,
+			OutputSink:  sink,
+			Parallelism: spec.Parallelism,
 		}, nil)
 		if err != nil {
 			return rep, out, err

@@ -92,6 +92,12 @@ type Spec struct {
 	// instead of generating it. Rows and Seed no longer describe the data;
 	// verification describes the files themselves.
 	InputDir string `json:"input_dir,omitempty"`
+	// Parallelism bounds each worker's compute goroutines (map scatter,
+	// sort, spill-run sorting, packet encode/decode): 0 lets every worker
+	// use all its cores (runtime.GOMAXPROCS), 1 forces the sequential
+	// paths, higher values pin the worker count. Output is byte-identical
+	// at every setting; the coordinator distributes it like MemBudget.
+	Parallelism int `json:"parallelism,omitempty"`
 }
 
 // Validate checks the spec's internal consistency.
@@ -118,6 +124,9 @@ func (s Spec) Validate() error {
 	}
 	if s.MemBudget < 0 {
 		return fmt.Errorf("cluster: negative mem budget")
+	}
+	if s.Parallelism < 0 {
+		return fmt.Errorf("cluster: negative parallelism")
 	}
 	if s.InputDir != "" && s.Algorithm != AlgTeraSort {
 		return fmt.Errorf("cluster: input dir is TeraSort-only")

@@ -17,6 +17,12 @@ type WorkerOptions struct {
 	// MeshHost is the interface the worker's mesh listener binds
 	// (default 127.0.0.1). Workers advertise MeshHost:port to peers.
 	MeshHost string
+	// Parallelism, when positive, overrides the spec's coordinator-
+	// distributed Parallelism on this worker — the knob for heterogeneous
+	// machines where one node should use fewer (or more) cores than the
+	// job-wide default. Output is byte-identical at any setting, so a
+	// per-worker override never perturbs the job's result.
+	Parallelism int
 }
 
 // RunWorker joins one job: it opens a mesh listener, registers with the
@@ -25,6 +31,9 @@ type WorkerOptions struct {
 // result. It returns once the report is delivered (or on failure, after
 // attempting to report the error so the coordinator can fail fast).
 func RunWorker(coordAddr string, opts WorkerOptions) error {
+	if opts.Parallelism < 0 {
+		return fmt.Errorf("cluster: negative parallelism override %d", opts.Parallelism)
+	}
 	host := opts.MeshHost
 	if host == "" {
 		host = "127.0.0.1"
@@ -55,6 +64,9 @@ func RunWorker(coordAddr string, opts WorkerOptions) error {
 		return err
 	}
 	spec := assign.Spec
+	if opts.Parallelism > 0 {
+		spec.Parallelism = opts.Parallelism
+	}
 	if err := spec.Validate(); err != nil {
 		return reportFailure(conn, assign.Rank, err)
 	}

@@ -27,12 +27,15 @@ const (
 )
 
 // FrameChunk wraps payload in a chunk frame carrying seq and the last-chunk
-// flag.
+// flag. The frame comes from the codec buffer pool; senders Recycle it once
+// the transport returns (retaining it instead is safe, just unpooled).
 func FrameChunk(seq uint32, last bool, payload []byte) []byte {
-	out := make([]byte, chunkHeaderSize+len(payload))
+	out := getBuf(chunkHeaderSize + len(payload))
 	binary.BigEndian.PutUint32(out, seq)
 	if last {
 		out[4] = chunkFlagLast
+	} else {
+		out[4] = 0
 	}
 	binary.BigEndian.PutUint32(out[5:], uint32(len(payload)))
 	copy(out[chunkHeaderSize:], payload)
@@ -168,7 +171,10 @@ func EncodePacketChunk(store IVStore, m combin.Set, k int, chunkRows, c int) ([]
 			width = w
 		}
 	}
-	packet := make([]byte, width)
+	packet := getBuf(width)
+	for i := range packet {
+		packet[i] = 0
+	}
 	for _, t := range others {
 		file := m.Remove(t)
 		seg := chunkOf(Segment(store.IV(t, file), r, file.Index(k)), chunkRows, c)
@@ -188,7 +194,9 @@ func DecodePacketChunk(store IVStore, m combin.Set, k, u int, chunkRows, c int, 
 		return kv.Records{}, fmt.Errorf("codec: chunk decode with chunkRows=%d chunk=%d", chunkRows, c)
 	}
 	r := m.Size() - 1
-	acc := append([]byte(nil), packet...)
+	acc := getBuf(len(packet))
+	defer Recycle(acc)
+	copy(acc, packet)
 	for _, t := range m.Minus(combin.NewSet(k, u)).Members() {
 		file := m.Remove(t)
 		seg := chunkOf(Segment(store.IV(t, file), r, file.Index(u)), chunkRows, c)

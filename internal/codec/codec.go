@@ -36,7 +36,21 @@ func PackIV(iv kv.Records) []byte {
 }
 
 // UnpackIV deserializes a payload produced by PackIV (the Unpack stage).
+// The records are copied out of the payload; callers that own the payload
+// buffer use UnpackIVZeroCopy instead.
 func UnpackIV(payload []byte) (kv.Records, error) {
+	recs, err := UnpackIVZeroCopy(payload)
+	if err != nil {
+		return kv.Records{}, err
+	}
+	return recs.Clone(), nil
+}
+
+// UnpackIVZeroCopy deserializes a packed IV without copying: the returned
+// records alias payload. It is the Unpack of the streaming receive paths,
+// where the payload buffer arrived fresh from the transport and is owned
+// by the caller; the alias must not outlive the caller's use of payload.
+func UnpackIVZeroCopy(payload []byte) (kv.Records, error) {
 	if len(payload) < packHeader {
 		return kv.Records{}, fmt.Errorf("codec: packed IV of %d bytes lacks header", len(payload))
 	}
@@ -45,7 +59,7 @@ func UnpackIV(payload []byte) (kv.Records, error) {
 		return kv.Records{}, fmt.Errorf("codec: packed IV declares %d records but carries %d bytes",
 			n, len(payload)-packHeader)
 	}
-	return kv.NewRecords(append([]byte(nil), payload[packHeader:]...))
+	return kv.NewRecords(payload[packHeader:])
 }
 
 // PackedSize returns the wire size of an IV with n records once packed.
@@ -106,13 +120,29 @@ func AppendFrame(dst []byte, seg []byte, width int) []byte {
 
 // XORInto XORs src into dst element-wise. It panics if lengths differ:
 // frames participating in one packet always share the packet width.
+// The loop works in 8-byte words, unrolled four wide (32 bytes per
+// iteration) so the Algorithm 1/2 encode and cancellation passes run at
+// memory bandwidth rather than one byte per cycle.
 func XORInto(dst, src []byte) {
 	if len(dst) != len(src) {
 		panic(fmt.Sprintf("codec: XOR length mismatch %d vs %d", len(dst), len(src)))
 	}
-	// 8-byte strides cover the bulk; the compiler vectorizes this loop.
 	n := len(dst)
 	i := 0
+	for ; i+32 <= n; i += 32 {
+		d0 := binary.LittleEndian.Uint64(dst[i:])
+		d1 := binary.LittleEndian.Uint64(dst[i+8:])
+		d2 := binary.LittleEndian.Uint64(dst[i+16:])
+		d3 := binary.LittleEndian.Uint64(dst[i+24:])
+		s0 := binary.LittleEndian.Uint64(src[i:])
+		s1 := binary.LittleEndian.Uint64(src[i+8:])
+		s2 := binary.LittleEndian.Uint64(src[i+16:])
+		s3 := binary.LittleEndian.Uint64(src[i+24:])
+		binary.LittleEndian.PutUint64(dst[i:], d0^s0)
+		binary.LittleEndian.PutUint64(dst[i+8:], d1^s1)
+		binary.LittleEndian.PutUint64(dst[i+16:], d2^s2)
+		binary.LittleEndian.PutUint64(dst[i+24:], d3^s3)
+	}
 	for ; i+8 <= n; i += 8 {
 		d := binary.LittleEndian.Uint64(dst[i:])
 		s := binary.LittleEndian.Uint64(src[i:])
@@ -215,7 +245,10 @@ func EncodePacket(store IVStore, m combin.Set, k int) ([]byte, error) {
 			width = w
 		}
 	}
-	packet := make([]byte, width)
+	packet := getBuf(width)
+	for i := range packet {
+		packet[i] = 0
+	}
 	for _, t := range others {
 		file := m.Remove(t)
 		seg := Segment(store.IV(t, file), r, file.Index(k))
@@ -236,7 +269,12 @@ func DecodePacket(store IVStore, m combin.Set, k, u int, packet []byte) (kv.Reco
 		return kv.Records{}, fmt.Errorf("codec: decode with k=%d u=%d not distinct members of %v", k, u, m)
 	}
 	r := m.Size() - 1
-	acc := append([]byte(nil), packet...)
+	// The cancellation accumulator is pooled: it dies before return (the
+	// recovered segment is copied out), so the pool absorbs the per-packet
+	// allocation of the decode hot path.
+	acc := getBuf(len(packet))
+	defer Recycle(acc)
+	copy(acc, packet)
 	for _, t := range m.Minus(combin.NewSet(k, u)).Members() {
 		file := m.Remove(t)
 		seg := Segment(store.IV(t, file), r, file.Index(u))

@@ -25,6 +25,7 @@ import (
 	"codedterasort/internal/combin"
 	"codedterasort/internal/extsort"
 	"codedterasort/internal/kv"
+	"codedterasort/internal/parallel"
 	"codedterasort/internal/partition"
 	"codedterasort/internal/placement"
 	"codedterasort/internal/stats"
@@ -123,6 +124,14 @@ type Config struct {
 	// reused; the sink must not retain it. With MemBudget unset the whole
 	// partition arrives as one block.
 	OutputSink func(kv.Records) error
+	// Parallelism bounds the worker-local goroutines of the compute hot
+	// paths: file generation, the Map scatter, per-group packet
+	// Encode/Decode, the Reduce sort and spill-run sorting. 0 selects
+	// runtime.GOMAXPROCS(0); 1 runs every path sequentially; higher values
+	// use that many workers. Every setting produces byte-identical output
+	// (the parallel kernels are deterministic), so it is a pure throughput
+	// knob, distributed by the coordinator like MemBudget.
+	Parallelism int
 }
 
 func (c Config) normalize() (Config, error) {
@@ -154,6 +163,9 @@ func (c Config) normalize() (Config, error) {
 	}
 	if c.MemBudget < 0 {
 		return c, fmt.Errorf("coded: negative MemBudget")
+	}
+	if c.Parallelism < 0 {
+		return c, fmt.Errorf("coded: negative Parallelism")
 	}
 	if c.MemBudget > 0 {
 		if c.ChunkRows == 0 {
@@ -228,15 +240,17 @@ func Run(ep transport.Endpoint, cfg Config, tl *stats.Timeline) (Result, error) 
 	if tl == nil {
 		tl = stats.NewTimeline(stats.NewWallClock())
 	}
-	w := &worker{ep: ep, cfg: cfg, tl: tl, rank: ep.Rank(), store: codec.IVMap{}}
+	w := &worker{ep: ep, cfg: cfg, tl: tl, rank: ep.Rank(), store: codec.IVMap{},
+		procs: parallel.Resolve(cfg.Parallelism)}
 	return w.run()
 }
 
 type worker struct {
-	ep   transport.Endpoint
-	cfg  Config
-	tl   *stats.Timeline
-	rank int
+	ep    transport.Endpoint
+	cfg   Config
+	tl    *stats.Timeline
+	rank  int
+	procs int // resolved Parallelism
 
 	plan     placement.Plan
 	myGroups []group
@@ -352,20 +366,24 @@ func (w *worker) codeGenStage() error {
 }
 
 // mapStage hashes every locally stored file and keeps only the relevant
-// intermediate values (Fig 5).
+// intermediate values (Fig 5). Generation and the per-file scatter run on
+// the worker's Parallelism goroutines.
 func (w *worker) mapStage() error {
 	var source func(int) kv.Records
 	if w.cfg.Input != nil {
 		source = func(i int) kv.Records { return w.cfg.Input[i] }
 	} else {
 		gen := kv.NewGenerator(w.cfg.Seed, w.cfg.Dist)
-		source = func(i int) kv.Records { return w.plan.Materialize(gen, i) }
+		source = func(i int) kv.Records {
+			first, last := w.plan.FileRows(i)
+			return gen.GenerateParallel(first, last-first, w.procs)
+		}
 	}
 	if keep := w.cfg.Filter; keep != nil {
 		inner := source
 		source = func(i int) kv.Records { return filterRecords(inner(i), keep) }
 	}
-	w.store = mapRelevant(w.plan, w.cfg.Part, w.rank, source)
+	w.store = mapRelevant(w.plan, w.cfg.Part, w.rank, source, w.procs)
 	return nil
 }
 
@@ -399,6 +417,7 @@ func (w *worker) mapSpillStage() error {
 	if err != nil {
 		return err
 	}
+	sorter.SetParallelism(w.procs)
 	w.sorter = sorter
 
 	scan := func(i int, fn func(kv.Records) error) error {
@@ -415,7 +434,7 @@ func (w *worker) mapSpillStage() error {
 			if w.cfg.Filter != nil {
 				block = filterRecords(block, w.cfg.Filter)
 			}
-			parts := partition.Split(w.cfg.Part, block)
+			parts := partition.SplitParallel(w.cfg.Part, block, w.procs)
 			for q := 0; q < w.plan.K; q++ {
 				switch {
 				case q == w.rank:
@@ -459,20 +478,20 @@ func (w *worker) reduceSpillStage() error {
 func MapFiles(plan placement.Plan, part partition.Partitioner, gen *kv.Generator, rank int) codec.IVMap {
 	return mapRelevant(plan, part, rank, func(i int) kv.Records {
 		return plan.Materialize(gen, i)
-	})
+	}, 1)
 }
 
 // MapFilesInput is MapFiles over directly supplied input files, indexed by
 // colex file rank.
 func MapFilesInput(plan placement.Plan, part partition.Partitioner, input []kv.Records, rank int) codec.IVMap {
-	return mapRelevant(plan, part, rank, func(i int) kv.Records { return input[i] })
+	return mapRelevant(plan, part, rank, func(i int) kv.Records { return input[i] }, 1)
 }
 
-func mapRelevant(plan placement.Plan, part partition.Partitioner, rank int, file func(int) kv.Records) codec.IVMap {
+func mapRelevant(plan placement.Plan, part partition.Partitioner, rank int, file func(int) kv.Records, procs int) codec.IVMap {
 	store := codec.IVMap{}
 	for _, fi := range plan.FilesOn(rank) {
 		fileSet := plan.Files[fi]
-		parts := partition.Split(part, file(fi))
+		parts := partition.SplitParallel(part, file(fi), procs)
 		for q := 0; q < plan.K; q++ {
 			if q == rank || !fileSet.Contains(q) {
 				store.Put(q, fileSet, parts[q])
@@ -484,17 +503,20 @@ func mapRelevant(plan placement.Plan, part partition.Partitioner, rank int, file
 
 // encodeStage builds this node's coded packet for every group it belongs
 // to (Algorithm 1). Packet construction includes the serialization work the
-// paper assigns to the Encode stage.
+// paper assigns to the Encode stage. Groups are independent (the IV store
+// is read-only here) and packets are indexed by group position, so the
+// C(K-1, r) encodes run on the worker's Parallelism goroutines.
 func (w *worker) encodeStage() error {
 	w.packets = make([][]byte, len(w.myGroups))
-	for i, g := range w.myGroups {
+	return parallel.Do(w.procs, len(w.myGroups), func(i int) error {
+		g := w.myGroups[i]
 		p, err := codec.EncodePacket(w.store, g.set, w.rank)
 		if err != nil {
 			return fmt.Errorf("group %v: %w", g.set, err)
 		}
 		w.packets[i] = p
-	}
-	return nil
+		return nil
+	})
 }
 
 // multicastStage runs the serial multicast schedule of Fig 9(b): one
@@ -657,6 +679,7 @@ func (w *worker) streamMulticastStage() error {
 					return fmt.Errorf("encode chunk %d in %v: %w", c, g.set, err)
 				}
 				frame := codec.FrameChunk(uint32(c), c == count-1, pkt)
+				codec.Recycle(pkt)
 				if inflight >= w.cfg.Window {
 					if err := awaitCredits(); err != nil {
 						return err
@@ -669,6 +692,9 @@ func (w *worker) streamMulticastStage() error {
 				w.result.MulticastBytes += int64(len(frame))
 				w.result.MulticastOps++
 				w.result.ChunksSent++
+				// Bcast does not alias the frame after it returns; back to
+				// the pool for the next chunk.
+				codec.Recycle(frame)
 			}
 			for inflight > 0 {
 				if err := awaitCredits(); err != nil {
@@ -699,8 +725,9 @@ func (w *worker) streamMulticastStage() error {
 // decoding happened chunk by chunk during the shuffle, so only the ordered
 // merge across senders is left).
 func (w *worker) mergeStage() error {
-	w.decoded = make([]kv.Records, 0, len(w.myGroups))
-	for gi, g := range w.myGroups {
+	w.decoded = make([]kv.Records, len(w.myGroups))
+	return parallel.Do(w.procs, len(w.myGroups), func(gi int) error {
+		g := w.myGroups[gi]
 		file := g.set.Remove(w.rank)
 		segs := make([]kv.Records, 0, w.cfg.R)
 		for _, u := range file.Members() {
@@ -710,17 +737,20 @@ func (w *worker) mergeStage() error {
 			}
 			segs = append(segs, seg)
 		}
-		w.decoded = append(w.decoded, codec.MergeSegments(segs))
-	}
-	return nil
+		w.decoded[gi] = codec.MergeSegments(segs)
+		return nil
+	})
 }
 
 // decodeStage recovers, for every group M containing this node, the
 // intermediate value I^rank_{M\{rank}} from the r received coded packets
 // (Algorithm 2), then merges the segments in ascending sender order.
+// Groups decode concurrently — each reads only its own received packets
+// and the read-only side-information store, and lands in its own slot.
 func (w *worker) decodeStage() error {
-	w.decoded = make([]kv.Records, 0, len(w.myGroups))
-	for gi, g := range w.myGroups {
+	w.decoded = make([]kv.Records, len(w.myGroups))
+	return parallel.Do(w.procs, len(w.myGroups), func(gi int) error {
+		g := w.myGroups[gi]
 		file := g.set.Remove(w.rank)
 		segs := make([]kv.Records, 0, w.cfg.R)
 		for _, u := range file.Members() {
@@ -734,9 +764,9 @@ func (w *worker) decodeStage() error {
 			}
 			segs = append(segs, seg)
 		}
-		w.decoded = append(w.decoded, codec.MergeSegments(segs))
-	}
-	return nil
+		w.decoded[gi] = codec.MergeSegments(segs)
+		return nil
+	})
 }
 
 // reduceStage concatenates the locally mapped share of partition `rank`
@@ -749,7 +779,9 @@ func (w *worker) reduceStage() error {
 	}
 	parts = append(parts, w.decoded...)
 	out := kv.Concat(parts...)
-	out.Sort()
+	// In-place MSD radix: no scratch allocation, parallel over buckets,
+	// deterministic at any Parallelism setting.
+	out.SortRadixMSD(w.procs)
 	w.result.OutputRows = int64(out.Len())
 	w.result.OutputChecksum = out.Checksum()
 	if sink := w.cfg.OutputSink; sink != nil {

@@ -21,6 +21,7 @@ type Sorter struct {
 	dir       string // owned spill directory, removed by Close
 	budget    int64  // spill threshold for the in-memory buffer, in bytes
 	blockRows int
+	procs     int // goroutines for run sorting; <=1 sequential
 	buf       kv.Records
 	runs      []string
 	merging   bool
@@ -77,6 +78,12 @@ func NewSorter(parent string, budget int64) (*Sorter, error) {
 	return &Sorter{dir: dir, budget: budget, blockRows: defaultBlockRows(budget)}, nil
 }
 
+// SetParallelism sets the goroutine budget for sorting spill runs (and the
+// final in-memory tail): values above 1 sort each run with the MSB-bucketed
+// parallel radix sort, which is byte-identical to the sequential sort, so
+// runs — and therefore the merged order — do not depend on the setting.
+func (s *Sorter) SetParallelism(procs int) { s.procs = procs }
+
 // Dir returns the sorter's spill directory, for callers (the engines) that
 // colocate their shuffle spools with the runs.
 func (s *Sorter) Dir() string { return s.dir }
@@ -111,7 +118,7 @@ func (s *Sorter) spill() error {
 	if s.buf.Len() == 0 {
 		return nil
 	}
-	s.buf.SortRadix()
+	s.buf.SortRadixParallel(s.procs)
 	path := filepath.Join(s.dir, fmt.Sprintf("run-%05d.spill", len(s.runs)))
 	f, err := os.Create(path)
 	if err != nil {
@@ -143,7 +150,7 @@ func (s *Sorter) Merge() (*Merger, error) {
 		return nil, fmt.Errorf("extsort: Merge called twice")
 	}
 	s.merging = true
-	s.buf.SortRadix()
+	s.buf.SortRadixParallel(s.procs)
 	return newMerger(s.runs, s.buf)
 }
 

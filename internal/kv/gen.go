@@ -3,6 +3,8 @@ package kv
 import (
 	"encoding/binary"
 	"fmt"
+
+	"codedterasort/internal/parallel"
 )
 
 // Generator produces TeraGen-format records deterministically. Like Hadoop's
@@ -98,6 +100,24 @@ func (g *Generator) GenerateInto(dst Records, first, count int64) Records {
 		g.Record(dst.buf[off:off+RecordSize], first+i)
 	}
 	return dst
+}
+
+// GenerateParallel materializes rows [first, first+count) on up to procs
+// goroutines, each filling a disjoint contiguous range of one buffer.
+// Record i is a pure function of (seed, i), so the result is byte-identical
+// to Generate at any worker count.
+func (g *Generator) GenerateParallel(first, count int64, procs int) Records {
+	if procs <= 1 || count < parallelSortMinRows {
+		return g.Generate(first, count)
+	}
+	buf := make([]byte, count*RecordSize)
+	parallel.ForShards(procs, int(count), func(_, lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			g.Record(buf[i*RecordSize:(i+1)*RecordSize], first+int64(i))
+		}
+		return nil
+	})
+	return Records{buf: buf}
 }
 
 // GenerateBlocks materializes rows [first, first+count) in blocks of at

@@ -1,0 +1,143 @@
+package kv
+
+import (
+	"bytes"
+	"sort"
+
+	"codedterasort/internal/parallel"
+)
+
+// SortRadixMSD sorts the records by key with an in-place MSD radix sort
+// (American-flag permutation per byte, insertion sort below a small
+// cutoff). Unlike SortRadix it allocates no scratch buffer — the property
+// the Reduce stage needs, where the partition being sorted is the largest
+// object a worker holds — and its top-level byte buckets are independent,
+// so they sort on up to procs goroutines.
+//
+// The result is deterministic at every procs value: parallelism only
+// schedules disjoint buckets, each sorted by the identical sequential
+// recursion, so Parallelism remains a pure throughput knob.
+func (r Records) SortRadixMSD(procs int) {
+	n := r.Len()
+	if n < 2 {
+		return
+	}
+	if n < 64 {
+		r.Sort()
+		return
+	}
+	// Partition on the first byte that actually discriminates, so inputs
+	// whose keys share a prefix (a skewed or splitter-bounded partition)
+	// still fan out over 256 parallel buckets instead of degenerating to
+	// one sequential recursion. The scan is procs-independent, so the
+	// resulting permutation stays identical at every worker count.
+	depth := 0
+	var starts *[257]int
+	for depth < KeySize {
+		if starts = msdPartition(r.buf, n, depth); starts != nil {
+			break
+		}
+		depth++
+	}
+	if starts == nil {
+		return // every key identical: nothing to order
+	}
+	parallel.Do(procs, 256, func(b int) error {
+		lo, hi := starts[b], starts[b+1]
+		if hi-lo > 1 {
+			msdSort(r.buf[lo*RecordSize:hi*RecordSize], hi-lo, depth+1)
+		}
+		return nil
+	})
+}
+
+// msdInsertionCutoff is the bucket size below which the recursion switches
+// to insertion sort on the key suffix.
+const msdInsertionCutoff = 48
+
+// msdSort recursively sorts n records in buf by key bytes [depth, KeySize).
+// Records in buf share key bytes [0, depth).
+func msdSort(buf []byte, n, depth int) {
+	for depth < KeySize {
+		if n < msdInsertionCutoff {
+			insertionSortSuffix(buf, n, depth)
+			return
+		}
+		starts := msdPartition(buf, n, depth)
+		if starts == nil {
+			// Every record shares this byte; move to the next one.
+			depth++
+			continue
+		}
+		for b := 0; b < 256; b++ {
+			lo, hi := starts[b], starts[b+1]
+			if hi-lo > 1 {
+				msdSort(buf[lo*RecordSize:hi*RecordSize], hi-lo, depth+1)
+			}
+		}
+		return
+	}
+}
+
+// msdPartition permutes the n records of buf in place so they are grouped
+// by key byte `depth` in ascending byte order (the American-flag pass),
+// returning the 257 bucket boundaries. It returns nil without permuting
+// when all records share the byte.
+func msdPartition(buf []byte, n, depth int) *[257]int {
+	var counts [256]int
+	for i := 0; i < n; i++ {
+		counts[buf[i*RecordSize+depth]]++
+	}
+	if counts[buf[depth]] == n {
+		return nil
+	}
+	var starts [257]int
+	var next [256]int
+	off := 0
+	for b := 0; b < 256; b++ {
+		starts[b] = off
+		next[b] = off
+		off += counts[b]
+	}
+	starts[256] = n
+	var tmp [RecordSize]byte
+	for b := 0; b < 256; b++ {
+		end := starts[b+1]
+		for next[b] < end {
+			i := next[b]
+			c := int(buf[i*RecordSize+depth])
+			if c == b {
+				next[b]++
+				continue
+			}
+			// Swap the misplaced record into its bucket's next free slot.
+			j := next[c]
+			next[c]++
+			copy(tmp[:], buf[i*RecordSize:(i+1)*RecordSize])
+			copy(buf[i*RecordSize:(i+1)*RecordSize], buf[j*RecordSize:(j+1)*RecordSize])
+			copy(buf[j*RecordSize:(j+1)*RecordSize], tmp[:])
+		}
+	}
+	return &starts
+}
+
+// insertionSortSuffix sorts n records of buf by key bytes [depth, KeySize)
+// with binary-insertion on the suffix (records already share [0, depth)).
+func insertionSortSuffix(buf []byte, n, depth int) {
+	width := KeySize - depth
+	key := func(i int) []byte {
+		return buf[i*RecordSize+depth : i*RecordSize+depth+width]
+	}
+	var tmp [RecordSize]byte
+	for i := 1; i < n; i++ {
+		j := sort.Search(i, func(p int) bool {
+			return bytes.Compare(key(p), key(i)) > 0
+		})
+		if j == i {
+			continue
+		}
+		copy(tmp[:], buf[i*RecordSize:(i+1)*RecordSize])
+		copy(buf[(j+1)*RecordSize:(i+1)*RecordSize], buf[j*RecordSize:i*RecordSize])
+		copy(buf[j*RecordSize:(j+1)*RecordSize], tmp[:])
+	}
+}

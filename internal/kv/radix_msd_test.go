@@ -1,0 +1,94 @@
+package kv
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestSortRadixMSDSorts: the in-place MSD sort must produce a sorted
+// permutation of its input at every worker count and size, including the
+// small-input fallback and both distributions.
+func TestSortRadixMSDSorts(t *testing.T) {
+	for _, n := range []int64{0, 1, 2, 63, 64, 100, 4096, 20000} {
+		for _, dist := range []Distribution{DistUniform, DistSkewed} {
+			base := NewGenerator(55, dist).Generate(0, n)
+			for _, procs := range []int{1, 2, 4} {
+				got := base.Clone()
+				got.SortRadixMSD(procs)
+				if !got.IsSorted() {
+					t.Fatalf("n=%d dist=%v procs=%d: not sorted", n, dist, procs)
+				}
+				if got.Checksum() != base.Checksum() || got.Len() != base.Len() {
+					t.Fatalf("n=%d dist=%v procs=%d: record multiset changed", n, dist, procs)
+				}
+			}
+		}
+	}
+}
+
+// TestSortRadixMSDDeterministicAcrossProcs: parallelism only schedules
+// disjoint buckets, so — even with massive key duplication, where the sort
+// is free to pick among permutations — every procs value must pick the
+// same one.
+func TestSortRadixMSDDeterministicAcrossProcs(t *testing.T) {
+	const n = 10000
+	base := NewGenerator(8, DistUniform).Generate(0, n)
+	// Collapse keys to 16 distinct values; values stay unique.
+	for i := 0; i < n; i++ {
+		key := base.Key(i)
+		for j := range key {
+			key[j] = byte(i % 16)
+		}
+	}
+	want := base.Clone()
+	want.SortRadixMSD(1)
+	if !want.IsSorted() {
+		t.Fatalf("duplicate-key input not sorted")
+	}
+	for _, procs := range []int{2, 4, 8} {
+		got := base.Clone()
+		got.SortRadixMSD(procs)
+		if !got.Equal(want) {
+			t.Fatalf("procs=%d: output differs from procs=1", procs)
+		}
+	}
+}
+
+// TestSortRadixMSDSharedPrefixes stresses the depth recursion: keys that
+// agree on long prefixes and differ only in the last byte.
+func TestSortRadixMSDSharedPrefixes(t *testing.T) {
+	const n = 5000
+	base := NewGenerator(4, DistUniform).Generate(0, n)
+	for i := 0; i < n; i++ {
+		key := base.Key(i)
+		for j := 0; j < KeySize-1; j++ {
+			key[j] = byte(j)
+		}
+		key[KeySize-1] = byte((n - i) % 251)
+	}
+	got := base.Clone()
+	got.SortRadixMSD(4)
+	if !got.IsSorted() {
+		t.Fatalf("shared-prefix input not sorted")
+	}
+	if got.Checksum() != base.Checksum() {
+		t.Fatalf("record multiset changed")
+	}
+}
+
+// BenchmarkSortRadixMSD measures the Reduce-stage in-place sort at 1 and
+// NumCPU workers against the scratch-allocating LSD baseline.
+func BenchmarkSortRadixMSD(b *testing.B) {
+	base := NewGenerator(1, DistUniform).Generate(0, 200000)
+	for _, procs := range []int{1, 4, runtime.NumCPU()} {
+		b.Run(benchProcsName(procs), func(b *testing.B) {
+			b.SetBytes(int64(base.Size()))
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				r := base.Clone()
+				b.StartTimer()
+				r.SortRadixMSD(procs)
+			}
+		})
+	}
+}

@@ -1,0 +1,113 @@
+package kv
+
+import (
+	"codedterasort/internal/parallel"
+)
+
+// parallelSortMinRows is the size below which SortRadixParallel falls back
+// to the sequential sort: under ~4K records the per-shard histogram and
+// fork/join bookkeeping cost more than they save.
+const parallelSortMinRows = 1 << 12
+
+// SortRadixParallel sorts the records by key on up to procs goroutines,
+// producing output byte-identical to SortRadix (both are stable sorts by
+// the full 10-byte key, so ties resolve to input order either way).
+//
+// The algorithm is an MSB bucket pass followed by per-bucket stable LSD
+// passes: every shard histograms the most significant key byte, shard
+// counts turn into disjoint scatter bases (bucket-major, shard-minor, so a
+// bucket's records land in global input order), shards scatter their
+// records into a shared scratch buffer concurrently, and then the 256
+// buckets — now contiguous and independent — are LSD-sorted over the
+// remaining nine key bytes in parallel, each ending back in the caller's
+// buffer.
+func (r Records) SortRadixParallel(procs int) {
+	n := r.Len()
+	if procs <= 1 || n < parallelSortMinRows {
+		r.SortRadix()
+		return
+	}
+	shards := parallel.Shards(procs, n)
+	counts := make([][256]int, shards)
+	parallel.ForShards(procs, n, func(s, lo, hi int) error {
+		c := &counts[s]
+		for i := lo; i < hi; i++ {
+			c[r.buf[i*RecordSize]]++
+		}
+		return nil
+	})
+	// Bucket-major, shard-minor prefix sums: counts[s][b] becomes the first
+	// scratch slot of shard s's records of bucket b.
+	var bucketStart [257]int
+	off := 0
+	for b := 0; b < 256; b++ {
+		bucketStart[b] = off
+		for s := 0; s < shards; s++ {
+			c := counts[s][b]
+			counts[s][b] = off
+			off += c
+		}
+	}
+	bucketStart[256] = n
+
+	scratch := make([]byte, len(r.buf))
+	parallel.ForShards(procs, n, func(s, lo, hi int) error {
+		base := &counts[s]
+		for i := lo; i < hi; i++ {
+			b := r.buf[i*RecordSize]
+			dst := base[b]
+			base[b]++
+			copy(scratch[dst*RecordSize:(dst+1)*RecordSize], r.buf[i*RecordSize:(i+1)*RecordSize])
+		}
+		return nil
+	})
+
+	parallel.Do(procs, 256, func(b int) error {
+		lo, hi := bucketStart[b], bucketStart[b+1]
+		if lo == hi {
+			return nil
+		}
+		sortTailInto(r.buf[lo*RecordSize:hi*RecordSize], scratch[lo*RecordSize:hi*RecordSize], hi-lo)
+		return nil
+	})
+}
+
+// sortTailInto stably sorts the m records held in src by key bytes
+// [1, KeySize) — the tail left after MSB bucketing — leaving the result in
+// dst. src and dst are equal-length disjoint regions; both are clobbered.
+func sortTailInto(dst, src []byte, m int) {
+	if m == 1 {
+		copy(dst, src)
+		return
+	}
+	cur, alt := src, dst
+	var counts [256]int
+	for b := KeySize - 1; b >= 1; b-- {
+		for i := range counts {
+			counts[i] = 0
+		}
+		for i := 0; i < m; i++ {
+			counts[cur[i*RecordSize+b]]++
+		}
+		// Skip passes where every record shares the byte value.
+		if counts[cur[b]] == m {
+			continue
+		}
+		off := 0
+		for i := range counts {
+			c := counts[i]
+			counts[i] = off
+			off += c
+		}
+		for i := 0; i < m; i++ {
+			v := cur[i*RecordSize+b]
+			d := counts[v]
+			counts[v]++
+			copy(alt[d*RecordSize:(d+1)*RecordSize], cur[i*RecordSize:(i+1)*RecordSize])
+		}
+		cur, alt = alt, cur
+	}
+	if &cur[0] != &dst[0] {
+		copy(dst, cur)
+	}
+}

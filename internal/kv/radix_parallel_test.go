@@ -1,0 +1,103 @@
+package kv
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+)
+
+// TestSortRadixParallelMatchesSequential: the parallel sort must be
+// byte-identical to SortRadix for every worker count, across sizes spanning
+// the sequential fallback, both distributions, and inputs with heavy key
+// duplication (where only an equally stable sort preserves identity).
+func TestSortRadixParallelMatchesSequential(t *testing.T) {
+	for _, n := range []int64{0, 1, 63, 64, 1000, 4096, 20000} {
+		for _, dist := range []Distribution{DistUniform, DistSkewed} {
+			base := NewGenerator(42, dist).Generate(0, n)
+			want := base.Clone()
+			want.SortRadix()
+			for _, procs := range []int{1, 2, 3, 4, 8} {
+				got := base.Clone()
+				got.SortRadixParallel(procs)
+				if !got.Equal(want) {
+					t.Fatalf("n=%d dist=%v procs=%d: parallel sort differs", n, dist, procs)
+				}
+			}
+		}
+	}
+}
+
+// TestSortRadixParallelDuplicateKeys forces massive key collisions: every
+// record's key is one of 4 values while values stay distinct, so stability
+// (ties in input order) is the only thing keeping outputs identical.
+func TestSortRadixParallelDuplicateKeys(t *testing.T) {
+	const n = 8192
+	base := NewGenerator(7, DistUniform).Generate(0, n)
+	for i := 0; i < n; i++ {
+		key := base.Key(i)
+		for j := range key {
+			key[j] = byte(i % 4)
+		}
+	}
+	want := base.Clone()
+	want.SortRadix()
+	for _, procs := range []int{2, 4, 8} {
+		got := base.Clone()
+		got.SortRadixParallel(procs)
+		if !got.Equal(want) {
+			t.Fatalf("procs=%d: duplicate-key sort not identical to sequential", procs)
+		}
+	}
+}
+
+// TestGenerateParallelMatchesGenerate: parallel generation is a pure
+// sharding of the row-addressable generator.
+func TestGenerateParallelMatchesGenerate(t *testing.T) {
+	for _, count := range []int64{0, 1, 100, 5000} {
+		for _, dist := range []Distribution{DistUniform, DistSkewed} {
+			g := NewGenerator(99, dist)
+			want := g.Generate(1234, count)
+			for _, procs := range []int{1, 2, 4, 7} {
+				got := g.GenerateParallel(1234, count, procs)
+				if !got.Equal(want) {
+					t.Fatalf("count=%d dist=%v procs=%d: parallel generation differs", count, dist, procs)
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkSortRadixParallel compares the sequential radix sort against the
+// MSB-bucketed parallel sort at 1 and NumCPU workers — the per-worker
+// Reduce/spill sort hot path.
+func BenchmarkSortRadixParallel(b *testing.B) {
+	base := NewGenerator(1, DistUniform).Generate(0, 200000)
+	for _, procs := range []int{1, 4, runtime.NumCPU()} {
+		b.Run(benchProcsName(procs), func(b *testing.B) {
+			b.SetBytes(int64(base.Size()))
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				r := base.Clone()
+				b.StartTimer()
+				r.SortRadixParallel(procs)
+			}
+		})
+	}
+}
+
+func BenchmarkGenerateParallel(b *testing.B) {
+	const rows = 200000
+	for _, procs := range []int{1, 4, runtime.NumCPU()} {
+		b.Run(benchProcsName(procs), func(b *testing.B) {
+			g := NewGenerator(1, DistUniform)
+			b.SetBytes(rows * RecordSize)
+			for i := 0; i < b.N; i++ {
+				_ = g.GenerateParallel(0, rows, procs)
+			}
+		})
+	}
+}
+
+func benchProcsName(procs int) string {
+	return fmt.Sprintf("p=%d", procs)
+}

@@ -1,0 +1,130 @@
+// Package parallel provides the worker-local fork/join helpers behind the
+// engines' Parallelism knob. Every helper is deterministic by construction:
+// results are indexed by shard or task position, never by completion order,
+// so a caller that derives its output purely from those positions produces
+// byte-identical results at any worker count — the property the engines'
+// equivalence matrices assert across Parallelism settings.
+//
+// procs <= 1 runs inline on the calling goroutine (the truly sequential
+// path, no goroutines spawned); procs == 0 is resolved by callers via
+// Resolve to runtime.GOMAXPROCS(0).
+package parallel
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Resolve maps a Parallelism configuration value to a worker count:
+// 0 selects runtime.GOMAXPROCS(0) (use every core the scheduler grants),
+// and values >= 1 are used as-is. Negative values are a configuration
+// error; callers validate before resolving, so Resolve clamps to 1.
+func Resolve(p int) int {
+	if p == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	if p < 1 {
+		return 1
+	}
+	return p
+}
+
+// Shards returns the number of contiguous shards ForShards will split n
+// items into at the given worker count: min(procs, n), at least 1.
+func Shards(procs, n int) int {
+	s := procs
+	if s > n {
+		s = n
+	}
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// ShardRange returns the half-open item range [lo, hi) of shard s when n
+// items are split into shards near-equal contiguous pieces.
+func ShardRange(n, shards, s int) (lo, hi int) {
+	if shards <= 0 {
+		panic(fmt.Sprintf("parallel: ShardRange shards=%d", shards))
+	}
+	return n * s / shards, n * (s + 1) / shards
+}
+
+// ForShards splits [0, n) into Shards(procs, n) contiguous near-equal
+// ranges and runs fn(shard, lo, hi) for each, concurrently when procs > 1.
+// The first error by shard index wins (deterministic error selection).
+func ForShards(procs, n int, fn func(shard, lo, hi int) error) error {
+	shards := Shards(procs, n)
+	if shards == 1 || procs <= 1 {
+		for s := 0; s < shards; s++ {
+			lo, hi := ShardRange(n, shards, s)
+			if err := fn(s, lo, hi); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, shards)
+	var wg sync.WaitGroup
+	for s := 0; s < shards; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			lo, hi := ShardRange(n, shards, s)
+			errs[s] = fn(s, lo, hi)
+		}(s)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Do runs n independent tasks fn(0..n-1) on at most procs goroutines,
+// inline when procs <= 1. Tasks are claimed from a shared counter, so
+// uneven task costs balance; callers must derive their outputs from the
+// task index alone for determinism. The first error by task index wins.
+func Do(procs, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if procs <= 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if procs > n {
+		procs = n
+	}
+	errs := make([]error, n)
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < procs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,112 @@
+package parallel
+
+import (
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestResolve(t *testing.T) {
+	if got := Resolve(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Resolve(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Resolve(1); got != 1 {
+		t.Fatalf("Resolve(1) = %d", got)
+	}
+	if got := Resolve(7); got != 7 {
+		t.Fatalf("Resolve(7) = %d", got)
+	}
+	if got := Resolve(-3); got != 1 {
+		t.Fatalf("Resolve(-3) = %d, want clamp to 1", got)
+	}
+}
+
+func TestShardRangesCoverExactly(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 100, 1001} {
+		for _, procs := range []int{1, 2, 3, 8, 200} {
+			shards := Shards(procs, n)
+			prev := 0
+			for s := 0; s < shards; s++ {
+				lo, hi := ShardRange(n, shards, s)
+				if lo != prev || hi < lo {
+					t.Fatalf("n=%d procs=%d shard %d: [%d,%d) after %d", n, procs, s, lo, hi, prev)
+				}
+				prev = hi
+			}
+			if prev != n {
+				t.Fatalf("n=%d procs=%d: shards cover %d", n, procs, prev)
+			}
+		}
+	}
+}
+
+func TestForShardsVisitsEveryIndexOnce(t *testing.T) {
+	const n = 997
+	for _, procs := range []int{1, 2, 4} {
+		var seen [n]int32
+		if err := ForShards(procs, n, func(_, lo, hi int) error {
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&seen[i], 1)
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("procs=%d: index %d visited %d times", procs, i, c)
+			}
+		}
+	}
+}
+
+func TestForShardsFirstErrorByShard(t *testing.T) {
+	errA, errB := errors.New("a"), errors.New("b")
+	err := ForShards(4, 100, func(shard, _, _ int) error {
+		switch shard {
+		case 1:
+			return errB
+		case 0:
+			return errA
+		}
+		return nil
+	})
+	if err != errA {
+		t.Fatalf("got %v, want the lowest-shard error", err)
+	}
+}
+
+func TestDoRunsEveryTaskOnce(t *testing.T) {
+	const n = 257
+	for _, procs := range []int{1, 3, 16} {
+		var seen [n]int32
+		if err := Do(procs, n, func(i int) error {
+			atomic.AddInt32(&seen[i], 1)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("procs=%d: task %d ran %d times", procs, i, c)
+			}
+		}
+	}
+}
+
+func TestDoFirstErrorByIndex(t *testing.T) {
+	errA, errB := errors.New("a"), errors.New("b")
+	err := Do(4, 50, func(i int) error {
+		switch i {
+		case 30:
+			return errB
+		case 10:
+			return errA
+		}
+		return nil
+	})
+	if err != errA {
+		t.Fatalf("got %v, want the lowest-index error", err)
+	}
+}

@@ -1,0 +1,67 @@
+package partition
+
+import (
+	"codedterasort/internal/kv"
+	"codedterasort/internal/parallel"
+)
+
+// parallelScatterMinRows is the input size below which SplitParallel falls
+// back to the sequential Split: small blocks (the out-of-core per-chunk
+// path) are cheaper to hash on one goroutine than to fork over.
+const parallelScatterMinRows = 1 << 12
+
+// SplitParallel is Split on up to procs goroutines, byte-identical to the
+// sequential scatter at any worker count. Each shard of the input first
+// histograms its records per partition; the per-(partition, shard) counts
+// turn into disjoint write offsets laid out shard-major within every
+// partition, so when the shards then scatter concurrently, partition j
+// receives its records in global input order — exactly the order Split
+// produces — with no write ever racing another.
+func SplitParallel(p Partitioner, r kv.Records, procs int) []kv.Records {
+	n := r.Len()
+	if procs <= 1 || n < parallelScatterMinRows {
+		return Split(p, r)
+	}
+	k := p.NumPartitions()
+	shards := parallel.Shards(procs, n)
+	counts := make([][]int, shards)
+	parallel.ForShards(procs, n, func(s, lo, hi int) error {
+		c := make([]int, k)
+		for i := lo; i < hi; i++ {
+			c[p.Partition(r.Key(i))]++
+		}
+		counts[s] = c
+		return nil
+	})
+	// Per-partition buffers sized exactly; counts[s][j] becomes shard s's
+	// first write slot within partition j.
+	bufs := make([][]byte, k)
+	for j := 0; j < k; j++ {
+		total := 0
+		for s := 0; s < shards; s++ {
+			c := counts[s][j]
+			counts[s][j] = total
+			total += c
+		}
+		bufs[j] = make([]byte, total*kv.RecordSize)
+	}
+	parallel.ForShards(procs, n, func(s, lo, hi int) error {
+		base := counts[s]
+		for i := lo; i < hi; i++ {
+			j := p.Partition(r.Key(i))
+			dst := base[j]
+			base[j]++
+			copy(bufs[j][dst*kv.RecordSize:(dst+1)*kv.RecordSize], r.Record(i))
+		}
+		return nil
+	})
+	out := make([]kv.Records, k)
+	for j := 0; j < k; j++ {
+		recs, err := kv.NewRecords(bufs[j])
+		if err != nil {
+			panic(err) // buffers are record-multiples by construction
+		}
+		out[j] = recs
+	}
+	return out
+}

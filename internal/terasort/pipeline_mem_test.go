@@ -10,10 +10,11 @@ import (
 // TestPipelinedBoundsPeakMemory is the bounded-memory regression test for
 // the streaming pipeline: at equal Rows, the chunked engine must hold a
 // clearly smaller peak live heap than the monolithic one. The monolithic
-// engine retains three extra full-size copies of the remote-bound data on
-// every worker (the packed send buffers, the received packed payloads, and
-// it peaks while all of them plus the unpacked records are live); the
-// pipelined engine's transient state is O(ChunkRows x Window) per stream.
+// engine retains two extra full-size copies of the remote-bound data on
+// every worker — the packed send buffers and the received packed payloads
+// (the unpacked records alias the received buffers since the zero-copy
+// Unpack) — while the pipelined engine's transient state is
+// O(ChunkRows x Window) per stream.
 //
 // Peak measurement: a sampler goroutine polls runtime.MemStats.HeapAlloc
 // while the cluster runs, with GC pressure turned up so HeapAlloc tracks
@@ -58,9 +59,12 @@ func TestPipelinedBoundsPeakMemory(t *testing.T) {
 	pipelined := measure(1000)
 	t.Logf("peak heap: monolithic %.1f MB, pipelined %.1f MB",
 		float64(monolithic)/1e6, float64(pipelined)/1e6)
-	// The structural saving is ~2 full copies of the shuffled data; demand
-	// at least a 15% drop so sampler and GC noise cannot fake a pass.
-	if float64(pipelined) > 0.85*float64(monolithic) {
+	// The structural saving is ~2 full copies of the remote-bound data
+	// (about 1.5 partitions per worker at K=4, against a reduce-dominated
+	// baseline); demand at least a 10% drop so sampler and GC noise cannot
+	// fake a pass. A pipeline that buffered whole streams again would land
+	// at or above 1.0.
+	if float64(pipelined) > 0.90*float64(monolithic) {
 		t.Fatalf("pipelined peak heap %.1f MB not well below monolithic %.1f MB",
 			float64(pipelined)/1e6, float64(monolithic)/1e6)
 	}

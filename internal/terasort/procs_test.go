@@ -1,0 +1,30 @@
+package terasort
+
+import (
+	"testing"
+)
+
+// TestParallelismMatchesSequential: the engine-level Parallelism knob must
+// leave per-rank outputs byte-identical across sequential, default and
+// wider-than-the-machine settings, with and without the pipelined shuffle.
+func TestParallelismMatchesSequential(t *testing.T) {
+	const k, rows, seed = 4, 3000, 17
+	for _, chunkRows := range []int{0, 100} {
+		ref := runAll(t, Config{K: k, Rows: rows, Seed: seed, ChunkRows: chunkRows, Parallelism: 1})
+		for _, procs := range []int{0, 4} {
+			results := runAll(t, Config{K: k, Rows: rows, Seed: seed, ChunkRows: chunkRows, Parallelism: procs})
+			for rank := range results {
+				if !results[rank].Output.Equal(ref[rank].Output) {
+					t.Fatalf("chunkRows=%d procs=%d rank %d: output differs from sequential", chunkRows, procs, rank)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelismValidation: negative Parallelism is a config error.
+func TestParallelismValidation(t *testing.T) {
+	if _, err := (Config{K: 2, Rows: 10, Parallelism: -1}).normalize(); err == nil {
+		t.Fatalf("negative Parallelism accepted")
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"codedterasort/internal/codec"
 	"codedterasort/internal/extsort"
 	"codedterasort/internal/kv"
+	"codedterasort/internal/parallel"
 	"codedterasort/internal/partition"
 	"codedterasort/internal/placement"
 	"codedterasort/internal/stats"
@@ -101,6 +102,14 @@ type Config struct {
 	// file is consumed block by block. Mutually exclusive with Input; Rows
 	// and Seed are ignored for data placement when set.
 	InputFiles []string
+	// Parallelism bounds the worker-local goroutines of the compute hot
+	// paths: input generation, the Map scatter, Pack/Unpack, the Reduce
+	// sort and spill-run sorting. 0 selects runtime.GOMAXPROCS(0); 1 runs
+	// every path sequentially; higher values use that many workers. Every
+	// setting produces byte-identical output (the parallel kernels are
+	// deterministic), so it is a pure throughput knob, distributed by the
+	// coordinator like MemBudget.
+	Parallelism int
 }
 
 // normalize validates and fills defaults.
@@ -128,6 +137,9 @@ func (c Config) normalize() (Config, error) {
 	}
 	if c.MemBudget < 0 {
 		return c, fmt.Errorf("terasort: negative MemBudget")
+	}
+	if c.Parallelism < 0 {
+		return c, fmt.Errorf("terasort: negative Parallelism")
 	}
 	if c.InputFiles != nil {
 		if c.Input != nil {
@@ -193,15 +205,16 @@ func Run(ep transport.Endpoint, cfg Config, tl *stats.Timeline) (Result, error) 
 	if tl == nil {
 		tl = stats.NewTimeline(stats.NewWallClock())
 	}
-	w := &worker{ep: ep, cfg: cfg, tl: tl, rank: ep.Rank()}
+	w := &worker{ep: ep, cfg: cfg, tl: tl, rank: ep.Rank(), procs: parallel.Resolve(cfg.Parallelism)}
 	return w.run()
 }
 
 type worker struct {
-	ep   transport.Endpoint
-	cfg  Config
-	tl   *stats.Timeline
-	rank int
+	ep    transport.Endpoint
+	cfg   Config
+	tl    *stats.Timeline
+	rank  int
+	procs int // resolved Parallelism
 
 	local    kv.Records   // this node's input file
 	hashed   []kv.Records // K intermediate values from the Map stage
@@ -307,7 +320,8 @@ func (w *worker) loadLocal() error {
 		// File Placement: file k lives on node k; the row-addressable
 		// generator stands in for the coordinator's disk placement.
 		gen := kv.NewGenerator(w.cfg.Seed, w.cfg.Dist)
-		w.local = plan.Materialize(gen, w.rank)
+		first, last := plan.FileRows(w.rank)
+		w.local = gen.GenerateParallel(first, last-first, w.procs)
 	}
 	return nil
 }
@@ -338,6 +352,7 @@ func (w *worker) mapSpillStage() error {
 	if err != nil {
 		return err
 	}
+	sorter.SetParallelism(w.procs)
 	w.sorter = sorter
 	w.spools = make([]*extsort.Spool, w.cfg.K)
 	w.spoolBlocks = make([]int64, w.cfg.K)
@@ -352,7 +367,7 @@ func (w *worker) mapSpillStage() error {
 		w.spools[dst] = sp
 	}
 	process := func(block kv.Records) error {
-		parts := partition.Split(w.cfg.Part, filterRecords(block, w.cfg.Filter))
+		parts := partition.SplitParallel(w.cfg.Part, filterRecords(block, w.cfg.Filter), w.procs)
 		for dst := 0; dst < w.cfg.K; dst++ {
 			if dst == w.rank {
 				if err := w.sorter.Append(parts[dst]); err != nil {
@@ -398,9 +413,10 @@ func (w *worker) mapSpillStage() error {
 }
 
 // mapStage hashes every local record into one of the K partitions
-// (Section III-A3), applying the optional record filter first.
+// (Section III-A3), applying the optional record filter first. The scatter
+// runs on the worker's Parallelism goroutines via per-shard histograms.
 func (w *worker) mapStage() error {
-	w.hashed = partition.Split(w.cfg.Part, filterRecords(w.local, w.cfg.Filter))
+	w.hashed = partition.SplitParallel(w.cfg.Part, filterRecords(w.local, w.cfg.Filter), w.procs)
 	return nil
 }
 
@@ -421,16 +437,16 @@ func filterRecords(r kv.Records, keep func([]byte) bool) kv.Records {
 
 // packStage serializes each remote-bound intermediate value into one
 // contiguous payload so the shuffle pushes a single framed message per IV
-// (Section V-A's rationale: one TCP flow per intermediate value).
+// (Section V-A's rationale: one TCP flow per intermediate value). The K-1
+// destinations pack independently, so they pack concurrently.
 func (w *worker) packStage() error {
 	w.packed = make([][]byte, w.cfg.K)
-	for dst := 0; dst < w.cfg.K; dst++ {
-		if dst == w.rank {
-			continue
+	return parallel.Do(w.procs, w.cfg.K, func(dst int) error {
+		if dst != w.rank {
+			w.packed[dst] = codec.PackIV(w.hashed[dst])
 		}
-		w.packed[dst] = codec.PackIV(w.hashed[dst])
-	}
-	return nil
+		return nil
+	})
 }
 
 // shuffleStage runs the serial unicast schedule of Fig 9(a): node 0 sends
@@ -519,7 +535,9 @@ func (w *worker) streamStage() error {
 					recvErrs[src] = fmt.Errorf("chunk stream from rank %d: %w", src, err)
 					return
 				}
-				recs, err := codec.UnpackIV(payload)
+				// Zero-copy unpack: the frame is ours and dies right after
+				// the records are appended (copied) out of it.
+				recs, err := codec.UnpackIVZeroCopy(payload)
 				if err != nil {
 					recvErrs[src] = fmt.Errorf("chunk from rank %d: %w", src, err)
 					return
@@ -543,12 +561,16 @@ func (w *worker) streamStage() error {
 			n := codec.NumChunks(iv.Len(), w.cfg.ChunkRows)
 			for c := 0; c < n; c++ {
 				lo, hi := codec.ChunkSpan(iv.Len(), w.cfg.ChunkRows, c)
-				frame := codec.FrameChunk(uint32(c), c == n-1, codec.PackIV(iv.Slice(lo, hi)))
+				// One pooled buffer per chunk, recycled as soon as the
+				// transport hands it back (Send does not alias after
+				// return), so the steady-state stream allocates nothing.
+				frame := codec.FramePackedChunk(uint32(c), c == n-1, iv.Slice(lo, hi))
 				if err := s.Send(frame); err != nil {
 					return err
 				}
 				w.result.ShuffleBytes += int64(len(frame))
 				w.result.ChunksSent++
+				codec.Recycle(frame)
 			}
 			if err := s.Drain(); err != nil {
 				return err
@@ -612,7 +634,7 @@ func (w *worker) streamSpillStage() error {
 					recvErrs[src] = fmt.Errorf("chunk stream from rank %d: %w", src, err)
 					return
 				}
-				recs, err := codec.UnpackIV(payload)
+				recs, err := codec.UnpackIVZeroCopy(payload)
 				if err != nil {
 					recvErrs[src] = fmt.Errorf("chunk from rank %d: %w", src, err)
 					return
@@ -643,11 +665,12 @@ func (w *worker) streamSpillStage() error {
 				}
 				w.result.ShuffleBytes += int64(len(frame))
 				w.result.ChunksSent++
+				codec.Recycle(frame)
 				return nil
 			}
 			if n := w.spoolBlocks[dst]; n == 0 {
 				// Empty stream: one last-flagged empty chunk closes it.
-				if err := ship(codec.FrameChunk(0, true, codec.PackIV(kv.Records{}))); err != nil {
+				if err := ship(codec.FramePackedChunk(0, true, kv.Records{})); err != nil {
 					return err
 				}
 			} else {
@@ -660,7 +683,7 @@ func (w *worker) streamSpillStage() error {
 					if err != nil {
 						return fmt.Errorf("spool for rank %d: %w", dst, err)
 					}
-					if err := ship(codec.FrameChunk(uint32(c), c == n-1, codec.PackIV(block))); err != nil {
+					if err := ship(codec.FramePackedChunk(uint32(c), c == n-1, block)); err != nil {
 						return err
 					}
 				}
@@ -707,19 +730,22 @@ func (w *worker) reduceSpillStage() error {
 }
 
 // unpackStage deserializes the received payloads back to record buffers.
+// The unpack is zero-copy — the worker owns the received buffers and keeps
+// them until Reduce — and the K-1 sources validate concurrently.
 func (w *worker) unpackStage() error {
 	w.unpacked = make([]kv.Records, w.cfg.K)
-	for src, p := range w.received {
+	return parallel.Do(w.procs, w.cfg.K, func(src int) error {
+		p := w.received[src]
 		if src == w.rank || p == nil {
-			continue
+			return nil
 		}
-		iv, err := codec.UnpackIV(p)
+		iv, err := codec.UnpackIVZeroCopy(p)
 		if err != nil {
 			return fmt.Errorf("from rank %d: %w", src, err)
 		}
 		w.unpacked[src] = iv
-	}
-	return nil
+		return nil
+	})
 }
 
 // reduceStage concatenates the node's own partition-k records with the
@@ -734,7 +760,10 @@ func (w *worker) reduceStage() error {
 		parts = append(parts, iv)
 	}
 	out := kv.Concat(parts...)
-	out.Sort()
+	// In-place MSD radix: no scratch allocation (the partition is the
+	// worker's largest live object here), buckets sorted on procs
+	// goroutines, deterministic at any setting.
+	out.SortRadixMSD(w.procs)
 	w.result.OutputRows = int64(out.Len())
 	w.result.OutputChecksum = out.Checksum()
 	if sink := w.cfg.OutputSink; sink != nil {
