@@ -1,8 +1,15 @@
 #!/bin/sh
-# The standard gate: build + vet + gofmt cleanliness + race-enabled tests.
+# The standard gate: build + vet + gofmt cleanliness + race-enabled tests,
+# plus a govulncheck pass against the known-vulnerability database when the
+# tool is installed (CI installs it; offline machines skip with a notice).
 # Equivalent to `make ci` for environments without make.
 set -eux
 go build ./...
 go vet ./...
 test -z "$(gofmt -l .)"
 go test -race ./...
+if command -v govulncheck >/dev/null 2>&1; then
+	govulncheck ./...
+else
+	echo "govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"
+fi

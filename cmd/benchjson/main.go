@@ -53,12 +53,34 @@ type microResult struct {
 	Speedup float64 `json:"speedup,omitempty"`
 }
 
+// hostInfo records the machine the numbers came from, so
+// BENCH_pipeline.json files from 1-CPU CI containers are distinguishable
+// from real multicore runs (a 1-CPU host records parallel speedups of ~1x
+// by construction).
+type hostInfo struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+}
+
+// currentHost describes the running machine.
+func currentHost() hostInfo {
+	return hostInfo{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+}
+
 // benchFile is the BENCH_pipeline.json document.
 type benchFile struct {
-	GoVersion string        `json:"go_version"`
-	NumCPU    int           `json:"num_cpu"`
-	Rows      int64         `json:"rows"`
-	Results   []benchResult `json:"results"`
+	Host    hostInfo      `json:"host"`
+	Rows    int64         `json:"rows"`
+	Results []benchResult `json:"results"`
 	// Micro tracks the multicore worker kernels, so per-PR perf work on
 	// the hot paths is visible without running a whole cluster.
 	Micro []microResult `json:"micro"`
@@ -275,7 +297,7 @@ func run(out string, rows int64, benchtime time.Duration) error {
 	}
 	defer os.RemoveAll(spillDir)
 
-	doc := benchFile{GoVersion: runtime.Version(), NumCPU: runtime.NumCPU(), Rows: rows}
+	doc := benchFile{Host: currentHost(), Rows: rows}
 	for _, w := range workloads(rows, spillDir) {
 		res, err := measure(w.name, w.spec, benchtime)
 		if err != nil {

@@ -27,6 +27,12 @@ func TestRunEmitsValidJSON(t *testing.T) {
 	if want := len(workloads(4000, "")); len(doc.Results) != want {
 		t.Fatalf("%d results, want %d", len(doc.Results), want)
 	}
+	// Host metadata distinguishes 1-CPU container numbers from real
+	// multicore runs.
+	if doc.Host.GoVersion == "" || doc.Host.GOOS == "" || doc.Host.GOARCH == "" ||
+		doc.Host.NumCPU <= 0 || doc.Host.GoMaxProcs <= 0 {
+		t.Fatalf("incomplete host metadata: %+v", doc.Host)
+	}
 	for _, r := range doc.Results {
 		if r.NsPerOp <= 0 || r.Iterations <= 0 || r.PeakHeapBytes == 0 {
 			t.Fatalf("%s: degenerate metrics %+v", r.Name, r)

@@ -15,36 +15,20 @@ import (
 	"os"
 	"time"
 
+	"codedterasort/cmd/internal/flags"
 	"codedterasort/internal/cluster"
 	"codedterasort/internal/combin"
 	"codedterasort/internal/stats"
 )
 
 func main() {
-	k := flag.Int("k", 8, "number of worker nodes")
-	r := flag.Int("r", 3, "redundancy parameter (each file mapped on r nodes)")
-	rows := flag.Int64("rows", 100000, "input size in 100-byte records")
-	seed := flag.Uint64("seed", 2017, "input generator seed")
-	skewed := flag.Bool("skewed", false, "skewed input keys")
-	tree := flag.Bool("tree", false, "binomial-tree multicast instead of serial")
-	rate := flag.Float64("rate", 0, "per-node egress cap in Mbps (0 = unlimited)")
-	perMsg := flag.Duration("permsg", 0, "fixed per-message overhead")
+	var j flags.Job
+	j.RegisterCommon(flag.CommandLine, 8)
+	j.RegisterCoded(flag.CommandLine, 3)
 	compare := flag.Bool("compare", false, "also run the TeraSort baseline and report speedup")
-	chunk := flag.Int("chunk", 0, "streaming pipelined shuffle chunk size in records (0 = monolithic stages)")
-	window := flag.Int("window", 0, "in-flight chunk window per stream (0 = engine default)")
-	memBudget := flag.Int64("membudget", 0, "per-worker memory budget in bytes: spill sorted runs to disk and merge-stream the reduce (0 = fully in-memory)")
-	spillDir := flag.String("spilldir", "", "parent directory for spill files (default system temp)")
-	procs := flag.Int("procs", 0, "per-worker compute goroutines for map/sort/code hot paths (0 = all cores, 1 = sequential); output is identical at any setting")
 	flag.Parse()
 
-	spec := cluster.Spec{
-		Algorithm: cluster.AlgCoded,
-		K:         *k, R: *r, Rows: *rows, Seed: *seed, Skewed: *skewed,
-		TreeMulticast: *tree, RateMbps: *rate, PerMessage: *perMsg,
-		ChunkRows: *chunk, Window: *window,
-		MemBudget: *memBudget, SpillDir: *spillDir,
-		Parallelism: *procs,
-	}
+	spec := j.Spec(cluster.AlgCoded)
 	start := time.Now()
 	job, err := cluster.RunLocal(spec)
 	if err != nil {
@@ -52,39 +36,36 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("CodedTeraSort: K=%d, r=%d, %d records (%.1f MB), validated=%v, wall time %.2fs\n",
-		*k, *r, *rows, float64(*rows)*100/1e6, job.Validated, time.Since(start).Seconds())
+		j.K, j.R, j.Rows, float64(j.Rows)*100/1e6, job.Validated, time.Since(start).Seconds())
 
-	rows_ := []stats.Row{}
+	rows := []stats.Row{}
 	if *compare {
-		base := spec
-		base.Algorithm = cluster.AlgTeraSort
-		base.R = 0
-		baseJob, err := cluster.RunLocal(base)
+		baseJob, err := cluster.RunLocal(j.Spec(cluster.AlgTeraSort))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "codedterasort: baseline:", err)
 			os.Exit(1)
 		}
-		rows_ = append(rows_, stats.Row{Label: "TeraSort", Times: baseJob.Times})
-		rows_ = append(rows_, stats.Row{
-			Label:   fmt.Sprintf("CodedTeraSort: r=%d", *r),
+		rows = append(rows, stats.Row{Label: "TeraSort", Times: baseJob.Times})
+		rows = append(rows, stats.Row{
+			Label:   fmt.Sprintf("CodedTeraSort: r=%d", j.R),
 			Times:   job.Times,
 			Speedup: baseJob.Times.Total().Seconds() / job.Times.Total().Seconds(),
 		})
-		fmt.Print(stats.RenderTable("", rows_))
+		fmt.Print(stats.RenderTable("", rows))
 		fmt.Printf("communication load: TeraSort %.2f MB vs Coded %.2f MB (gain %.2fx)\n",
 			float64(baseJob.ShuffleLoadBytes)/1e6, float64(job.ShuffleLoadBytes)/1e6,
 			float64(baseJob.ShuffleLoadBytes)/float64(job.ShuffleLoadBytes))
 		return
 	}
-	rows_ = append(rows_, stats.Row{Label: fmt.Sprintf("CodedTeraSort: r=%d", *r), Times: job.Times})
-	fmt.Print(stats.RenderTable("", rows_))
+	rows = append(rows, stats.Row{Label: fmt.Sprintf("CodedTeraSort: r=%d", j.R), Times: job.Times})
+	fmt.Print(stats.RenderTable("", rows))
 	fmt.Printf("multicast payload: %.2f MB over %d groups\n",
-		float64(job.ShuffleLoadBytes)/1e6, combin.Binomial(*k, *r+1))
+		float64(job.ShuffleLoadBytes)/1e6, combin.Binomial(j.K, j.R+1))
 	if job.ChunksShuffled > 0 {
 		fmt.Printf("pipelined shuffle: %d chunk packets\n", job.ChunksShuffled)
 	}
-	if *memBudget > 0 {
+	if j.MemBudget > 0 {
 		fmt.Printf("external sort: %d runs spilled under a %.1f MB/worker budget\n",
-			job.SpilledRuns, float64(*memBudget)/1e6)
+			job.SpilledRuns, float64(j.MemBudget)/1e6)
 	}
 }

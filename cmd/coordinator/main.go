@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"os"
 
+	"codedterasort/cmd/internal/flags"
 	"codedterasort/internal/cluster"
 	"codedterasort/internal/stats"
 )
@@ -21,38 +22,19 @@ import (
 func main() {
 	listen := flag.String("listen", "127.0.0.1:7077", "address to accept worker registrations on")
 	alg := flag.String("alg", "codedterasort", "algorithm: terasort or codedterasort")
-	k := flag.Int("k", 4, "number of workers")
-	r := flag.Int("r", 2, "redundancy parameter (codedterasort)")
-	rows := flag.Int64("rows", 100000, "input size in records")
-	seed := flag.Uint64("seed", 2017, "input generator seed")
-	skewed := flag.Bool("skewed", false, "skewed input keys")
-	tree := flag.Bool("tree", false, "binomial-tree multicast")
-	rate := flag.Float64("rate", 0, "per-node egress cap in Mbps")
-	chunk := flag.Int("chunk", 0, "streaming pipelined shuffle chunk size in records (0 = monolithic stages)")
-	window := flag.Int("window", 0, "in-flight chunk window per stream (0 = engine default)")
-	memBudget := flag.Int64("membudget", 0, "per-worker memory budget in bytes: workers spill sorted runs to local disk (0 = fully in-memory)")
-	spillDir := flag.String("spilldir", "", "parent directory for worker spill files (default system temp)")
-	procs := flag.Int("procs", 0, "per-worker compute goroutines, distributed with the spec (0 = each worker uses all its cores, 1 = sequential)")
+	var j flags.Job
+	j.RegisterCommon(flag.CommandLine, 4)
+	j.RegisterCoded(flag.CommandLine, 2)
 	flag.Parse()
 
-	spec := cluster.Spec{
-		Algorithm: cluster.Algorithm(*alg),
-		K:         *k, R: *r, Rows: *rows, Seed: *seed,
-		Skewed: *skewed, TreeMulticast: *tree, RateMbps: *rate,
-		ChunkRows: *chunk, Window: *window,
-		MemBudget: *memBudget, SpillDir: *spillDir,
-		Parallelism: *procs,
-	}
-	if spec.Algorithm == cluster.AlgTeraSort {
-		spec.R = 0
-	}
+	spec := j.Spec(cluster.Algorithm(*alg))
 	coord, err := cluster.NewCoordinator(*listen)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "coordinator:", err)
 		os.Exit(1)
 	}
 	defer coord.Close()
-	fmt.Printf("coordinator: listening on %s, waiting for %d workers...\n", coord.Addr(), *k)
+	fmt.Printf("coordinator: listening on %s, waiting for %d workers...\n", coord.Addr(), j.K)
 	job, err := coord.RunJob(spec)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "coordinator:", err)
@@ -60,9 +42,9 @@ func main() {
 	}
 	fmt.Printf("job complete: validated=%v, shuffle load %.2f MB, wire %.2f MB\n",
 		job.Validated, float64(job.ShuffleLoadBytes)/1e6, float64(job.WireBytes)/1e6)
-	if *memBudget > 0 {
+	if j.MemBudget > 0 {
 		fmt.Printf("external sort: %d runs spilled under a %.1f MB/worker budget\n",
-			job.SpilledRuns, float64(*memBudget)/1e6)
+			job.SpilledRuns, float64(j.MemBudget)/1e6)
 	}
 	fmt.Print(stats.RenderTable("", []stats.Row{{Label: string(spec.Algorithm), Times: job.Times}}))
 }

@@ -16,41 +16,26 @@ import (
 	"os"
 	"time"
 
+	"codedterasort/cmd/internal/flags"
 	"codedterasort/internal/cluster"
 	"codedterasort/internal/stats"
 )
 
 func main() {
-	k := flag.Int("k", 8, "number of worker nodes")
-	rows := flag.Int64("rows", 100000, "input size in 100-byte records")
-	seed := flag.Uint64("seed", 2017, "input generator seed")
-	skewed := flag.Bool("skewed", false, "skewed input keys")
-	rate := flag.Float64("rate", 0, "per-node egress cap in Mbps (0 = unlimited)")
-	perMsg := flag.Duration("permsg", 0, "fixed per-message overhead")
-	chunk := flag.Int("chunk", 0, "streaming pipelined shuffle chunk size in records (0 = monolithic stages)")
-	window := flag.Int("window", 0, "in-flight chunk window per stream (0 = engine default)")
-	memBudget := flag.Int64("membudget", 0, "per-worker memory budget in bytes: spill sorted runs to disk and merge-stream the reduce (0 = fully in-memory)")
-	spillDir := flag.String("spilldir", "", "parent directory for spill files (default system temp)")
-	inDir := flag.String("indir", "", "read input from the part files teragen -disk wrote here instead of generating it")
-	procs := flag.Int("procs", 0, "per-worker compute goroutines for map/sort/spill hot paths (0 = all cores, 1 = sequential); output is identical at any setting")
+	var j flags.Job
+	j.RegisterCommon(flag.CommandLine, 8)
+	j.RegisterInDir(flag.CommandLine)
 	flag.Parse()
 
-	spec := cluster.Spec{
-		Algorithm: cluster.AlgTeraSort,
-		K:         *k, Rows: *rows, Seed: *seed, Skewed: *skewed,
-		RateMbps: *rate, PerMessage: *perMsg,
-		ChunkRows: *chunk, Window: *window,
-		MemBudget: *memBudget, SpillDir: *spillDir, InputDir: *inDir,
-		Parallelism: *procs,
-	}
+	spec := j.Spec(cluster.AlgTeraSort)
 	start := time.Now()
 	job, err := cluster.RunLocal(spec)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "terasort:", err)
 		os.Exit(1)
 	}
-	totalRows := *rows
-	if *inDir != "" {
+	totalRows := j.Rows
+	if j.InDir != "" {
 		// File-backed input: the part files, not -rows, define the size.
 		totalRows = 0
 		for _, w := range job.Workers {
@@ -58,15 +43,15 @@ func main() {
 		}
 	}
 	fmt.Printf("TeraSort: K=%d, %d records (%.1f MB), validated=%v, wall time %.2fs\n",
-		*k, totalRows, float64(totalRows)*100/1e6, job.Validated, time.Since(start).Seconds())
+		j.K, totalRows, float64(totalRows)*100/1e6, job.Validated, time.Since(start).Seconds())
 	fmt.Print(stats.RenderTable("", []stats.Row{{Label: "TeraSort", Times: job.Times}}))
 	fmt.Printf("shuffle payload: %.2f MB (load %.3f of input)\n",
 		float64(job.ShuffleLoadBytes)/1e6, float64(job.ShuffleLoadBytes)/(float64(totalRows)*100))
 	if job.ChunksShuffled > 0 {
 		fmt.Printf("pipelined shuffle: %d chunks\n", job.ChunksShuffled)
 	}
-	if *memBudget > 0 {
+	if j.MemBudget > 0 {
 		fmt.Printf("external sort: %d runs spilled under a %.1f MB/worker budget\n",
-			job.SpilledRuns, float64(*memBudget)/1e6)
+			job.SpilledRuns, float64(j.MemBudget)/1e6)
 	}
 }

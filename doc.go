@@ -10,7 +10,15 @@
 // inventory, the streaming-pipeline design notes, and the out-of-core
 // external sort: internal/extsort provides spill-to-disk run generation
 // and the loser-tree merge behind the MemBudget knob of both engines),
-// with runnable binaries under cmd/ and worked examples under examples/.
+// with runnable binaries under cmd/ (shared job flags in
+// cmd/internal/flags) and worked examples under examples/.
+// Both engines are thin stage-graph builders over internal/engine, the
+// shared execution runtime: a job is a declarative DAG of typed stages
+// (Map, Pack/Encode, Shuffle, Unpack/Decode, Sort, Reduce) with explicit
+// data-plane edges, and one scheduler runs the monolithic, chunk-streaming
+// and out-of-core schedules as policy-selected modes with per-stage
+// instrumentation hooks — the engines contribute only placement, codecs
+// and shuffle topology (DESIGN.md section 10).
 // Workers are multicore: the Parallelism knob (Config/Spec field, -procs
 // on the CLIs) runs each worker's map scatter, radix sorts, spill-run
 // sorting and per-group packet encode/decode on deterministic parallel

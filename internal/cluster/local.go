@@ -5,11 +5,13 @@ import (
 	"sync"
 
 	"codedterasort/internal/coded"
+	"codedterasort/internal/engine"
 	"codedterasort/internal/extsort"
 	"codedterasort/internal/kv"
 	"codedterasort/internal/partition"
 	"codedterasort/internal/stats"
 	"codedterasort/internal/terasort"
+	"codedterasort/internal/trace"
 	"codedterasort/internal/transport"
 	"codedterasort/internal/transport/memnet"
 	"codedterasort/internal/transport/netem"
@@ -66,6 +68,10 @@ type JobReport struct {
 	// Validated is set when the job's output passed verification against
 	// the input multiset and ordering invariants.
 	Validated bool
+	// Stages is the cluster-wide stage timeline, recorded through the
+	// engine runtime's per-stage hooks: every worker's completed stages in
+	// completion order (in-process runs only).
+	Stages []trace.StageRecord
 }
 
 // Total returns the cluster-level total execution time.
@@ -85,6 +91,11 @@ func RunLocal(spec Spec) (*JobReport, error) {
 	}
 	mesh := memnet.NewMesh(spec.K)
 	defer mesh.Close()
+
+	// Every worker's per-stage hooks feed one shared stage log — the
+	// cluster's stage-level instrumentation rides on the engine runtime
+	// rather than on inline timing in the engines.
+	stageLog := trace.NewStageLog(stats.NewWallClock())
 
 	streaming := spec.MemBudget > 0 && !spec.KeepOutput
 	var checkers []*verify.PartitionChecker
@@ -118,7 +129,10 @@ func RunLocal(spec Spec) (*JobReport, error) {
 			if streaming {
 				sink = checkers[rank].Feed
 			}
-			rep, out, err := runWorker(ep, spec, sink)
+			hooks := engine.Hooks{StageEnd: func(ev engine.StageEvent) {
+				stageLog.Record(ev.Rank, ev.Stage, ev.Elapsed, ev.Err)
+			}}
+			rep, out, err := runWorker(ep, spec, sink, hooks)
 			if err != nil {
 				errs[rank] = err
 				return
@@ -135,14 +149,22 @@ func RunLocal(spec Spec) (*JobReport, error) {
 			return nil, fmt.Errorf("cluster: worker %d: %w", r, err)
 		}
 	}
+	var job *JobReport
+	var err error
 	if streaming {
 		sums := make([]verify.Summary, spec.K)
 		for r, c := range checkers {
 			sums[r] = c.Summary()
 		}
-		return assemble(spec, reports, nil, sums)
+		job, err = assemble(spec, reports, nil, sums)
+	} else {
+		job, err = assemble(spec, reports, outputs, nil)
 	}
-	return assemble(spec, reports, outputs, nil)
+	if err != nil {
+		return nil, err
+	}
+	job.Stages = stageLog.Records()
+	return job, nil
 }
 
 // inputFiles lists the K part files of a teragen -disk directory.
@@ -176,8 +198,8 @@ func describeInput(spec Spec) (verify.Input, error) {
 
 // runWorker executes the spec's algorithm on one endpoint. A non-nil sink
 // receives the sorted partition as ascending blocks instead of it being
-// returned.
-func runWorker(ep transport.Endpoint, spec Spec, sink func(kv.Records) error) (WorkerReport, kv.Records, error) {
+// returned; hooks observe each completed stage through the engine runtime.
+func runWorker(ep transport.Endpoint, spec Spec, sink func(kv.Records) error, hooks engine.Hooks) (WorkerReport, kv.Records, error) {
 	var rep WorkerReport
 	var out kv.Records
 	switch spec.Algorithm {
@@ -189,6 +211,7 @@ func runWorker(ep transport.Endpoint, spec Spec, sink func(kv.Records) error) (W
 			MemBudget: spec.MemBudget, SpillDir: spec.SpillDir,
 			OutputSink:  sink,
 			Parallelism: spec.Parallelism,
+			Hooks:       hooks,
 		}
 		if spec.InputDir != "" {
 			cfg.InputFiles = inputFiles(spec.InputDir, spec.K)
@@ -214,6 +237,7 @@ func runWorker(ep transport.Endpoint, spec Spec, sink func(kv.Records) error) (W
 			MemBudget: spec.MemBudget, SpillDir: spec.SpillDir,
 			OutputSink:  sink,
 			Parallelism: spec.Parallelism,
+			Hooks:       hooks,
 		}, nil)
 		if err != nil {
 			return rep, out, err

@@ -3,9 +3,12 @@ package cluster
 import (
 	"fmt"
 	"net"
+	"time"
 
+	"codedterasort/internal/engine"
 	"codedterasort/internal/kv"
 	"codedterasort/internal/partition"
+	"codedterasort/internal/stats"
 	"codedterasort/internal/transport"
 	"codedterasort/internal/transport/netem"
 	"codedterasort/internal/transport/tcpnet"
@@ -23,6 +26,11 @@ type WorkerOptions struct {
 	// job-wide default. Output is byte-identical at any setting, so a
 	// per-worker override never perturbs the job's result.
 	Parallelism int
+	// OnStage, when non-nil, observes each completed stage of this
+	// worker's run (stage, measured duration) through the engine runtime's
+	// per-stage hooks — live progress for long jobs, since the stage
+	// breakdown otherwise only reaches the coordinator at the end.
+	OnStage func(stage stats.Stage, elapsed time.Duration)
 }
 
 // RunWorker joins one job: it opens a mesh listener, registers with the
@@ -96,7 +104,15 @@ func RunWorker(coordAddr string, opts WorkerOptions) error {
 	if spec.MemBudget > 0 {
 		sink = verify.NewPartitionChecker(partition.NewUniform(spec.K), assign.Rank).Feed
 	}
-	rep, _, err := runWorker(ep, spec, sink)
+	var hooks engine.Hooks
+	if opts.OnStage != nil {
+		hooks.StageEnd = func(ev engine.StageEvent) {
+			if ev.Err == nil {
+				opts.OnStage(ev.Stage, ev.Elapsed)
+			}
+		}
+	}
+	rep, _, err := runWorker(ep, spec, sink, hooks)
 	if err != nil {
 		return reportFailure(conn, assign.Rank, err)
 	}

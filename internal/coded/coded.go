@@ -14,15 +14,21 @@
 //  5. Decode — cancel known segments from received packets to recover the
 //     needed intermediate values (Algorithm 2).
 //  6. Reduce — locally sort partition k (same as TeraSort).
+//
+// The package is a thin stage-graph builder over the internal/engine
+// runtime: it contributes the redundant placement plan, the coded
+// Encode/Decode stages (Algorithms 1 and 2, monolithic and chunked), and
+// the multicast-group shuffle topology, while scheduling, mode selection,
+// spill-sorter lifecycle, transfer accounting and per-stage
+// instrumentation live in the runtime.
 package coded
 
 import (
 	"fmt"
-	"sync"
-	"sync/atomic"
 
 	"codedterasort/internal/codec"
 	"codedterasort/internal/combin"
+	"codedterasort/internal/engine"
 	"codedterasort/internal/extsort"
 	"codedterasort/internal/kv"
 	"codedterasort/internal/parallel"
@@ -94,7 +100,8 @@ type Config struct {
 	// XOR of ChunkRows-record chunk slices of its contributing segments.
 	// Encode of chunk n+1 overlaps the flight of chunk n and members
 	// decode each chunk on arrival. Zero keeps the monolithic schedule
-	// bit-identical to the paper's.
+	// bit-identical to the paper's. A runtime policy knob: it selects the
+	// engine.ModeChunked schedule.
 	ChunkRows int
 	// Window bounds unacknowledged in-flight chunk packets per group
 	// stream when pipelining (credits return from every group member), so
@@ -113,7 +120,8 @@ type Config struct {
 	// requires — so the budget bounds the sort/reduce footprint, not the
 	// coding state. Output is byte-identical to the in-memory engine.
 	// MemBudget implies the pipelined streaming shuffle; a budget-derived
-	// ChunkRows is chosen when none is set.
+	// ChunkRows is chosen when none is set. A runtime policy knob: it
+	// selects the engine.ModeSpill schedule.
 	MemBudget int64
 	// SpillDir is the parent directory for spill files when MemBudget is
 	// positive ("" = the system temp directory).
@@ -132,8 +140,24 @@ type Config struct {
 	// (the parallel kernels are deterministic), so it is a pure throughput
 	// knob, distributed by the coordinator like MemBudget.
 	Parallelism int
+	// Hooks observe each timed stage of the run — the instrumentation API
+	// the cluster runtime uses for its stage log. The timeline is always
+	// charged first, so hook observers see consistent timings.
+	Hooks engine.Hooks
 }
 
+// policies maps the config's runtime knobs onto the engine's scheduler
+// policies.
+func (c Config) policies() engine.Policies {
+	return engine.Policies{
+		ChunkRows: c.ChunkRows, Window: c.Window, DefaultWindow: DefaultWindow,
+		MemBudget: c.MemBudget, SpillDir: c.SpillDir,
+		Parallelism: c.Parallelism, Parallel: c.Parallel,
+	}
+}
+
+// normalize validates and fills defaults; the shared policy knobs are
+// validated and derived by the engine runtime.
 func (c Config) normalize() (Config, error) {
 	if c.K <= 0 || c.K > combin.MaxNodes {
 		return c, fmt.Errorf("coded: K=%d out of range", c.K)
@@ -155,31 +179,11 @@ func (c Config) normalize() (Config, error) {
 			return c, fmt.Errorf("coded: %d input files, want C(%d,%d)=%d", len(c.Input), c.K, c.R, want)
 		}
 	}
-	if c.ChunkRows < 0 {
-		return c, fmt.Errorf("coded: negative ChunkRows")
+	pol, err := c.policies().Normalize("coded", c.K)
+	if err != nil {
+		return c, err
 	}
-	if c.Window < 0 {
-		return c, fmt.Errorf("coded: negative Window")
-	}
-	if c.MemBudget < 0 {
-		return c, fmt.Errorf("coded: negative MemBudget")
-	}
-	if c.Parallelism < 0 {
-		return c, fmt.Errorf("coded: negative Parallelism")
-	}
-	if c.MemBudget > 0 {
-		if c.ChunkRows == 0 {
-			c.ChunkRows = extsort.BudgetChunkRows(c.MemBudget, c.K, c.Window)
-		}
-		// The streaming merge emits ChunkRows-record blocks through the
-		// spill writer, so the spill-block cap bounds it.
-		if c.ChunkRows > extsort.MaxBlockRows {
-			return c, fmt.Errorf("coded: ChunkRows %d exceeds spill block cap %d", c.ChunkRows, extsort.MaxBlockRows)
-		}
-	}
-	if c.ChunkRows > 0 && c.Window == 0 {
-		c.Window = DefaultWindow
-	}
+	c.ChunkRows, c.Window = pol.ChunkRows, pol.Window
 	return c, nil
 }
 
@@ -240,17 +244,23 @@ func Run(ep transport.Endpoint, cfg Config, tl *stats.Timeline) (Result, error) 
 	if tl == nil {
 		tl = stats.NewTimeline(stats.NewWallClock())
 	}
-	w := &worker{ep: ep, cfg: cfg, tl: tl, rank: ep.Rank(), store: codec.IVMap{},
-		procs: parallel.Resolve(cfg.Parallelism)}
-	return w.run()
+	w := &worker{cfg: cfg, rank: ep.Rank(), store: codec.IVMap{}}
+	hooks := engine.TimelineHooks(tl).Then(cfg.Hooks)
+	ctx, err := engine.Run(ep, w.graph(), cfg.policies(), tl.Clock(), hooks)
+	if err != nil {
+		return Result{}, err
+	}
+	w.result.MulticastBytes = ctx.Counters.SentBytes
+	w.result.MulticastOps = ctx.Counters.SentOps
+	w.result.ChunksSent = ctx.Counters.ChunksSent
+	w.result.ChunksReceived = ctx.Counters.ChunksReceived()
+	w.result.Times = tl.Breakdown()
+	return w.result, nil
 }
 
 type worker struct {
-	ep    transport.Endpoint
-	cfg   Config
-	tl    *stats.Timeline
-	rank  int
-	procs int // resolved Parallelism
+	cfg  Config
+	rank int
 
 	plan     placement.Plan
 	myGroups []group
@@ -265,68 +275,40 @@ type worker struct {
 	streamSegs []map[int]kv.Records
 	decoded    []kv.Records
 	result     Result
-
-	// Out-of-core state (MemBudget > 0): the budget-bounded sorter that
-	// collects this node's partition — own-partition records in Map,
-	// chunk-decoded records during the shuffle — and spills sorted runs.
-	// sorterMu serializes appends against future concurrent receivers.
-	sorter   *extsort.Sorter
-	sorterMu sync.Mutex
 }
 
-func (w *worker) run() (Result, error) {
-	steps := []struct {
-		stage stats.Stage
-		fn    func() error
-	}{
-		{stats.StageCodeGen, w.codeGenStage},
-		{stats.StageMap, w.mapStage},
-		{stats.StagePack, w.encodeStage},
-		{stats.StageShuffle, w.multicastStage},
-		{stats.StageUnpack, w.decodeStage},
-		{stats.StageReduce, w.reduceStage},
-	}
-	if w.cfg.ChunkRows > 0 {
-		// Pipelined schedule: Encode, Multicast and per-chunk Decode
-		// collapse into one overlapped streaming stage charged to Shuffle;
-		// Unpack keeps only the cheap segment merge.
-		steps = []struct {
-			stage stats.Stage
-			fn    func() error
-		}{
-			{stats.StageCodeGen, w.codeGenStage},
-			{stats.StageMap, w.mapStage},
-			{stats.StageShuffle, w.streamMulticastStage},
-			{stats.StageUnpack, w.mergeStage},
-			{stats.StageReduce, w.reduceStage},
-		}
-	}
-	if w.cfg.MemBudget > 0 {
-		// Out-of-core schedule: block-by-block Map routes this node's own
-		// partition into the spilling sorter, the streaming shuffle spills
-		// decoded chunks the same way, and Reduce merges the runs — no
-		// segment-merge stage remains.
-		defer w.cleanupSpill()
-		steps = []struct {
-			stage stats.Stage
-			fn    func() error
-		}{
-			{stats.StageCodeGen, w.codeGenStage},
-			{stats.StageMap, w.mapSpillStage},
-			{stats.StageShuffle, w.streamMulticastStage},
-			{stats.StageReduce, w.reduceSpillStage},
-		}
-	}
-	for _, s := range steps {
-		if err := w.tl.Measure(s.stage, s.fn); err != nil {
-			return Result{}, fmt.Errorf("coded: rank %d %v stage: %w", w.rank, s.stage, err)
-		}
-		if err := w.ep.Barrier(transport.MakeTag(tagBarrier, uint16(s.stage), 0xFFFF)); err != nil {
-			return Result{}, fmt.Errorf("coded: rank %d barrier after %v: %w", w.rank, s.stage, err)
-		}
-	}
-	w.result.Times = w.tl.Breakdown()
-	return w.result, nil
+// graph declares the CodedTeraSort stage DAG over the engine runtime: the
+// paper's six-stage monolithic schedule, the chunked streaming variant
+// that collapses Encode+Multicast+Decode into one overlapped stage, and
+// the out-of-core variant that spills through the runtime's sorter — one
+// declarative graph, scheduled by the runtime's policy-derived mode. The
+// engine-specific content is exactly the redundant placement plan, the
+// coded Encode/Decode stages, and the multicast-group topology.
+func (w *worker) graph() *engine.Graph {
+	g := engine.NewGraph("coded", func(s stats.Stage) transport.Tag {
+		return transport.MakeTag(tagBarrier, uint16(s), 0xFFFF)
+	})
+	g.Add(engine.Stage{Kind: engine.KindCodeGen, Modes: engine.AllModes,
+		Provides: []string{"plan", "groups"}, Run: w.codeGenStage})
+	g.Add(engine.Stage{Kind: engine.KindMap, Modes: engine.InMemory,
+		Needs: []string{"plan"}, Provides: []string{"store"}, Run: w.mapStage})
+	g.Add(engine.Stage{Kind: engine.KindMap, Modes: engine.In(engine.ModeSpill),
+		Needs: []string{"plan"}, Provides: []string{"store", "sorter"}, Run: w.mapSpillStage})
+	g.Add(engine.Stage{Kind: engine.KindPack, Modes: engine.In(engine.ModeMono),
+		Needs: []string{"groups", "store"}, Provides: []string{"packets"}, Run: w.encodeStage})
+	g.Add(engine.Stage{Kind: engine.KindShuffle, Modes: engine.In(engine.ModeMono),
+		Needs: []string{"groups", "packets"}, Provides: []string{"received"}, Run: w.multicastStage})
+	g.Add(engine.Stage{Kind: engine.KindShuffle, Modes: engine.Streaming,
+		Needs: []string{"groups", "store"}, Provides: []string{"segments"}, Run: w.streamMulticastStage})
+	g.Add(engine.Stage{Kind: engine.KindUnpack, Modes: engine.In(engine.ModeMono),
+		Needs: []string{"received", "store"}, Provides: []string{"decoded"}, Run: w.decodeStage})
+	g.Add(engine.Stage{Kind: engine.KindUnpack, Modes: engine.In(engine.ModeChunked),
+		Needs: []string{"segments"}, Provides: []string{"decoded"}, Run: w.mergeStage})
+	g.Add(engine.Stage{Kind: engine.KindReduce, Modes: engine.InMemory,
+		Needs: []string{"store", "decoded"}, Run: w.reduceStage})
+	g.Add(engine.Stage{Kind: engine.KindReduce, Modes: engine.In(engine.ModeSpill),
+		Needs: []string{"sorter"}, Run: w.reduceSpillStage})
+	return g
 }
 
 // codeGenStage enumerates file indices and multicast groups and performs a
@@ -335,7 +317,7 @@ func (w *worker) run() (Result, error) {
 // predecessor. The handshake gives group construction a real per-group
 // communication cost, the role MPI_Comm_split plays in the paper, whose
 // measured CodeGen time scales with the group count C(K, r+1).
-func (w *worker) codeGenStage() error {
+func (w *worker) codeGenStage(ctx *engine.Context) error {
 	var err error
 	w.plan, err = placement.Redundant(w.cfg.K, w.cfg.R, w.cfg.Rows)
 	if err != nil {
@@ -351,14 +333,14 @@ func (w *worker) codeGenStage() error {
 	// then collect from predecessors, so the ring cannot deadlock.
 	for _, g := range w.myGroups {
 		succ := g.members[(g.set.Index(w.rank)+1)%len(g.members)]
-		if err := w.ep.Send(succ, groupTag(tagCodeGen, g.rank, 0), nil); err != nil {
+		if err := ctx.Ep.Send(succ, groupTag(tagCodeGen, g.rank, 0), nil); err != nil {
 			return err
 		}
 	}
 	for _, g := range w.myGroups {
 		idx := g.set.Index(w.rank)
 		pred := g.members[(idx+len(g.members)-1)%len(g.members)]
-		if _, err := w.ep.Recv(pred, groupTag(tagCodeGen, g.rank, 0)); err != nil {
+		if _, err := ctx.Ep.Recv(pred, groupTag(tagCodeGen, g.rank, 0)); err != nil {
 			return err
 		}
 	}
@@ -368,7 +350,7 @@ func (w *worker) codeGenStage() error {
 // mapStage hashes every locally stored file and keeps only the relevant
 // intermediate values (Fig 5). Generation and the per-file scatter run on
 // the worker's Parallelism goroutines.
-func (w *worker) mapStage() error {
+func (w *worker) mapStage(ctx *engine.Context) error {
 	var source func(int) kv.Records
 	if w.cfg.Input != nil {
 		source = func(i int) kv.Records { return w.cfg.Input[i] }
@@ -376,14 +358,14 @@ func (w *worker) mapStage() error {
 		gen := kv.NewGenerator(w.cfg.Seed, w.cfg.Dist)
 		source = func(i int) kv.Records {
 			first, last := w.plan.FileRows(i)
-			return gen.GenerateParallel(first, last-first, w.procs)
+			return gen.GenerateParallel(first, last-first, ctx.Procs)
 		}
 	}
 	if keep := w.cfg.Filter; keep != nil {
 		inner := source
 		source = func(i int) kv.Records { return filterRecords(inner(i), keep) }
 	}
-	w.store = mapRelevant(w.plan, w.cfg.Part, w.rank, source, w.procs)
+	w.store = mapRelevant(w.plan, w.cfg.Part, w.rank, source, ctx.Procs)
 	return nil
 }
 
@@ -398,28 +380,19 @@ func filterRecords(r kv.Records, keep func([]byte) bool) kv.Records {
 	return out
 }
 
-// cleanupSpill releases the spill files of a budget-bounded run.
-func (w *worker) cleanupSpill() {
-	if w.sorter != nil {
-		w.sorter.Close()
-	}
-}
-
 // mapSpillStage is the out-of-core Map: every stored file is consumed
 // block by block (never materialized whole), and each block's partitions
 // route by destiny — records of this node's own partition go straight into
-// the budget-bounded sorter (no coded packet ever references them, see
-// Config.MemBudget), while the remotely relevant intermediate values
-// accumulate in the in-memory store exactly as the monolithic Map builds
-// them, because they are the XOR side information of Algorithms 1 and 2.
-func (w *worker) mapSpillStage() error {
-	sorter, err := extsort.NewSorter(w.cfg.SpillDir, w.cfg.MemBudget/2)
+// the runtime's budget-bounded sorter (no coded packet ever references
+// them, see Config.MemBudget), while the remotely relevant intermediate
+// values accumulate in the in-memory store exactly as the monolithic Map
+// builds them, because they are the XOR side information of Algorithms 1
+// and 2.
+func (w *worker) mapSpillStage(ctx *engine.Context) error {
+	sorter, err := ctx.Sorter()
 	if err != nil {
 		return err
 	}
-	sorter.SetParallelism(w.procs)
-	w.sorter = sorter
-
 	scan := func(i int, fn func(kv.Records) error) error {
 		if w.cfg.Input != nil {
 			return w.cfg.Input[i].ForEachBlock(w.cfg.ChunkRows, fn)
@@ -434,11 +407,11 @@ func (w *worker) mapSpillStage() error {
 			if w.cfg.Filter != nil {
 				block = filterRecords(block, w.cfg.Filter)
 			}
-			parts := partition.SplitParallel(w.cfg.Part, block, w.procs)
+			parts := partition.SplitParallel(w.cfg.Part, block, ctx.Procs)
 			for q := 0; q < w.plan.K; q++ {
 				switch {
 				case q == w.rank:
-					if err := w.sorter.Append(parts[q]); err != nil {
+					if err := sorter.Append(parts[q]); err != nil {
 						return err
 					}
 				case !fileSet.Contains(q):
@@ -457,8 +430,12 @@ func (w *worker) mapSpillStage() error {
 // over the sorted runs (plus the sorter's in-memory tail), emitted in
 // ascending ChunkRows-record blocks. The sorted partition is never
 // materialized unless no OutputSink is set.
-func (w *worker) reduceSpillStage() error {
-	out, err := extsort.DrainSorted(w.sorter, w.cfg.ChunkRows, w.cfg.OutputSink)
+func (w *worker) reduceSpillStage(ctx *engine.Context) error {
+	sorter, err := ctx.Sorter()
+	if err != nil {
+		return err
+	}
+	out, err := extsort.DrainSorted(sorter, w.cfg.ChunkRows, w.cfg.OutputSink)
 	if err != nil {
 		return err
 	}
@@ -506,9 +483,9 @@ func mapRelevant(plan placement.Plan, part partition.Partitioner, rank int, file
 // paper assigns to the Encode stage. Groups are independent (the IV store
 // is read-only here) and packets are indexed by group position, so the
 // C(K-1, r) encodes run on the worker's Parallelism goroutines.
-func (w *worker) encodeStage() error {
+func (w *worker) encodeStage(ctx *engine.Context) error {
 	w.packets = make([][]byte, len(w.myGroups))
-	return parallel.Do(w.procs, len(w.myGroups), func(i int) error {
+	return parallel.Do(ctx.Procs, len(w.myGroups), func(i int) error {
 		g := w.myGroups[i]
 		p, err := codec.EncodePacket(w.store, g.set, w.rank)
 		if err != nil {
@@ -523,61 +500,71 @@ func (w *worker) encodeStage() error {
 // sender at a time (rank order), each broadcasting its coded packets to
 // its groups one after another. Receives run concurrently so the single
 // active sender streams without blocking.
-func (w *worker) multicastStage() error {
+func (w *worker) multicastStage(ctx *engine.Context) error {
 	w.received = make([]map[int][]byte, len(w.myGroups))
 	for i := range w.received {
 		w.received[i] = make(map[int][]byte, w.cfg.R)
 	}
-	// Index of my groups by set for the receive path.
-	groupIdx := make(map[combin.Set]int, len(w.myGroups))
-	for i, g := range w.myGroups {
-		groupIdx[g.set] = i
-	}
+	groupIdx := w.groupIndex()
 
 	recvErr := make(chan error, 1)
 	go func() {
-		universe := combin.Range(w.cfg.K)
-		for u := 0; u < w.cfg.K; u++ {
-			if u == w.rank {
-				continue
+		recvErr <- w.forEachInboundGroup(groupIdx, func(gi int, g group, u int) error {
+			p, err := ctx.Ep.Bcast(g.members, u, groupTag(tagMulticast, g.rank, u), nil)
+			if err != nil {
+				return fmt.Errorf("bcast recv in %v from %d: %w", g.set, u, err)
 			}
-			for _, m := range combin.SubsetsContaining(universe, w.cfg.R+1, u) {
-				if !m.Contains(w.rank) {
-					continue
-				}
-				gi := groupIdx[m]
-				g := w.myGroups[gi]
-				p, err := w.ep.Bcast(g.members, u, groupTag(tagMulticast, g.rank, u), nil)
-				if err != nil {
-					recvErr <- fmt.Errorf("bcast recv in %v from %d: %w", m, u, err)
-					return
-				}
-				w.received[gi][u] = p
-			}
-		}
-		recvErr <- nil
+			w.received[gi][u] = p
+			return nil
+		})
 	}()
 
 	send := func() error {
 		for i, g := range w.myGroups {
-			if _, err := w.ep.Bcast(g.members, w.rank, groupTag(tagMulticast, g.rank, w.rank), w.packets[i]); err != nil {
+			if _, err := ctx.Ep.Bcast(g.members, w.rank, groupTag(tagMulticast, g.rank, w.rank), w.packets[i]); err != nil {
 				return fmt.Errorf("bcast send in %v: %w", g.set, err)
 			}
-			w.result.MulticastBytes += int64(len(w.packets[i]))
-			w.result.MulticastOps++
+			ctx.Counters.SentBytes += int64(len(w.packets[i]))
+			ctx.Counters.SentOps++
 		}
 		return nil
 	}
-	var sendErr error
-	if w.cfg.Parallel {
-		sendErr = send()
-	} else {
-		sendErr = transport.SerialOrder(w.ep, transport.MakeTag(tagToken, 0, 0), send)
-	}
-	if sendErr != nil {
-		return sendErr
+	if err := ctx.Schedule(transport.MakeTag(tagToken, 0, 0), send); err != nil {
+		return err
 	}
 	return <-recvErr
+}
+
+// groupIndex indexes this node's groups by member set for the receive
+// paths.
+func (w *worker) groupIndex() map[combin.Set]int {
+	idx := make(map[combin.Set]int, len(w.myGroups))
+	for i, g := range w.myGroups {
+		idx[g.set] = i
+	}
+	return idx
+}
+
+// forEachInboundGroup visits, in the serial multicast schedule's order,
+// every (group, root) pair this node receives from: roots in ascending
+// rank order, each root's shared groups in subset-enumeration order.
+func (w *worker) forEachInboundGroup(groupIdx map[combin.Set]int, fn func(gi int, g group, u int) error) error {
+	universe := combin.Range(w.cfg.K)
+	for u := 0; u < w.cfg.K; u++ {
+		if u == w.rank {
+			continue
+		}
+		for _, m := range combin.SubsetsContaining(universe, w.cfg.R+1, u) {
+			if !m.Contains(w.rank) {
+				continue
+			}
+			gi := groupIdx[m]
+			if err := fn(gi, w.myGroups[gi], u); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 // streamMulticastStage is the pipelined replacement for Encode+Multicast+
@@ -586,93 +573,76 @@ func (w *worker) multicastStage() error {
 // (chunked Algorithms 1 and 2). The root encodes chunk n+1 while chunk n is
 // in flight, every member decodes each chunk on arrival — retaining only
 // recovered records, never whole packets — and per-chunk credits from all
-// group members bound the root's run-ahead to Window chunks.
-func (w *worker) streamMulticastStage() error {
-	// In budget mode (w.sorter non-nil) decoded chunks spill straight into
-	// the sorter instead of accumulating per-group segments.
-	if w.sorter == nil {
+// group members bound the root's run-ahead to Window chunks. In the spill
+// mode decoded chunks go straight into the runtime's budget-bounded sorter
+// instead of accumulating per-group segments.
+func (w *worker) streamMulticastStage(ctx *engine.Context) error {
+	spilling := ctx.Mode == engine.ModeSpill
+	if !spilling {
 		w.streamSegs = make([]map[int]kv.Records, len(w.myGroups))
 		for i := range w.streamSegs {
 			w.streamSegs[i] = make(map[int]kv.Records, w.cfg.R)
 		}
 	}
-	groupIdx := make(map[combin.Set]int, len(w.myGroups))
-	for i, g := range w.myGroups {
-		groupIdx[g.set] = i
-	}
+	groupIdx := w.groupIndex()
 
-	var chunksRecv atomic.Int64
 	recvErr := make(chan error, 1)
 	go func() {
-		universe := combin.Range(w.cfg.K)
-		for u := 0; u < w.cfg.K; u++ {
-			if u == w.rank {
-				continue
-			}
-			for _, m := range combin.SubsetsContaining(universe, w.cfg.R+1, u) {
-				if !m.Contains(w.rank) {
-					continue
+		recvErr <- w.forEachInboundGroup(groupIdx, func(gi int, g group, u int) error {
+			consume := ctx.SpillAppend
+			seg := kv.MakeRecords(0)
+			if !spilling {
+				consume = func(recs kv.Records) error {
+					seg = seg.AppendRecords(recs)
+					return nil
 				}
-				gi := groupIdx[m]
-				g := w.myGroups[gi]
-				var stream codec.ChunkStream
-				seg := kv.MakeRecords(0)
-				for c := 0; !stream.Done(); c++ {
-					frame, err := w.ep.Bcast(g.members, u, groupTag(tagMulticast, g.rank, u), nil)
+			}
+			rx := engine.ChunkRx{
+				Recv: func() ([]byte, error) {
+					p, err := ctx.Ep.Bcast(g.members, u, groupTag(tagMulticast, g.rank, u), nil)
 					if err != nil {
-						recvErr <- fmt.Errorf("bcast recv in %v from %d: %w", m, u, err)
-						return
+						return nil, fmt.Errorf("bcast recv in %v from %d: %w", g.set, u, err)
 					}
-					if err := transport.StreamAck(w.ep, u, groupTag(tagChunkAck, g.rank, u)); err != nil {
-						recvErr <- err
-						return
-					}
-					payload, _, err := stream.Accept(frame)
-					if err != nil {
-						recvErr <- fmt.Errorf("chunk stream in %v from %d: %w", m, u, err)
-						return
-					}
+					return p, nil
+				},
+				Ack: func() error {
+					return transport.StreamAck(ctx.Ep, u, groupTag(tagChunkAck, g.rank, u))
+				},
+				Decode: func(c int, payload []byte) (kv.Records, error) {
 					part, err := codec.DecodePacketChunk(w.store, g.set, w.rank, u, w.cfg.ChunkRows, c, payload)
 					if err != nil {
-						recvErr <- fmt.Errorf("decode chunk %d in %v from %d: %w", c, m, u, err)
-						return
+						return kv.Records{}, fmt.Errorf("decode chunk %d in %v from %d: %w", c, g.set, u, err)
 					}
-					if w.sorter != nil {
-						w.sorterMu.Lock()
-						err = w.sorter.Append(part)
-						w.sorterMu.Unlock()
-						if err != nil {
-							recvErr <- err
-							return
-						}
-					} else {
-						seg = seg.AppendRecords(part)
-					}
-					chunksRecv.Add(1)
-				}
-				if w.sorter == nil {
-					w.streamSegs[gi][u] = seg
-				}
+					return part, nil
+				},
+				Consume: consume,
+				WrapStreamErr: func(err error) error {
+					return fmt.Errorf("chunk stream in %v from %d: %w", g.set, u, err)
+				},
 			}
-		}
-		recvErr <- nil
+			if err := rx.Run(&ctx.Counters); err != nil {
+				return err
+			}
+			if !spilling {
+				w.streamSegs[gi][u] = seg
+			}
+			return nil
+		})
 	}()
 
 	send := func() error {
 		for _, g := range w.myGroups {
 			others := g.set.Remove(w.rank).Members()
 			ackTag := groupTag(tagChunkAck, g.rank, w.rank)
-			count := codec.PacketChunkCount(w.store, g.set, w.rank, w.cfg.ChunkRows)
-			inflight := 0
-			awaitCredits := func() error {
+			gate := engine.CreditGate{Window: w.cfg.Window, Await: func() error {
 				for _, m := range others {
-					if _, err := w.ep.Recv(m, ackTag); err != nil {
+					if _, err := ctx.Ep.Recv(m, ackTag); err != nil {
 						return err
 					}
 				}
-				inflight--
 				return nil
-			}
+			}}
+			count := codec.PacketChunkCount(w.store, g.set, w.rank, w.cfg.ChunkRows)
 			for c := 0; c < count; c++ {
 				pkt, err := codec.EncodePacketChunk(w.store, g.set, w.rank, w.cfg.ChunkRows, c)
 				if err != nil {
@@ -680,53 +650,39 @@ func (w *worker) streamMulticastStage() error {
 				}
 				frame := codec.FrameChunk(uint32(c), c == count-1, pkt)
 				codec.Recycle(pkt)
-				if inflight >= w.cfg.Window {
-					if err := awaitCredits(); err != nil {
-						return err
-					}
+				if err := gate.Reserve(); err != nil {
+					return err
 				}
-				if _, err := w.ep.Bcast(g.members, w.rank, groupTag(tagMulticast, g.rank, w.rank), frame); err != nil {
+				if _, err := ctx.Ep.Bcast(g.members, w.rank, groupTag(tagMulticast, g.rank, w.rank), frame); err != nil {
 					return fmt.Errorf("bcast send in %v: %w", g.set, err)
 				}
-				inflight++
-				w.result.MulticastBytes += int64(len(frame))
-				w.result.MulticastOps++
-				w.result.ChunksSent++
+				gate.Sent()
+				ctx.Counters.SentBytes += int64(len(frame))
+				ctx.Counters.SentOps++
+				ctx.Counters.ChunksSent++
 				// Bcast does not alias the frame after it returns; back to
 				// the pool for the next chunk.
 				codec.Recycle(frame)
 			}
-			for inflight > 0 {
-				if err := awaitCredits(); err != nil {
-					return err
-				}
+			if err := gate.Drain(); err != nil {
+				return err
 			}
 		}
 		return nil
 	}
-	var sendErr error
-	if w.cfg.Parallel {
-		sendErr = send()
-	} else {
-		sendErr = transport.SerialOrder(w.ep, transport.MakeTag(tagToken, 0, 0), send)
-	}
-	if sendErr != nil {
-		return sendErr
-	}
-	if err := <-recvErr; err != nil {
+	if err := ctx.Schedule(transport.MakeTag(tagToken, 0, 0), send); err != nil {
 		return err
 	}
-	w.result.ChunksReceived = chunksRecv.Load()
-	return nil
+	return <-recvErr
 }
 
 // mergeStage assembles the chunk-decoded segments into the intermediate
 // values the Reduce stage needs (the pipelined remainder of Algorithm 2:
 // decoding happened chunk by chunk during the shuffle, so only the ordered
 // merge across senders is left).
-func (w *worker) mergeStage() error {
+func (w *worker) mergeStage(ctx *engine.Context) error {
 	w.decoded = make([]kv.Records, len(w.myGroups))
-	return parallel.Do(w.procs, len(w.myGroups), func(gi int) error {
+	return parallel.Do(ctx.Procs, len(w.myGroups), func(gi int) error {
 		g := w.myGroups[gi]
 		file := g.set.Remove(w.rank)
 		segs := make([]kv.Records, 0, w.cfg.R)
@@ -747,9 +703,9 @@ func (w *worker) mergeStage() error {
 // (Algorithm 2), then merges the segments in ascending sender order.
 // Groups decode concurrently — each reads only its own received packets
 // and the read-only side-information store, and lands in its own slot.
-func (w *worker) decodeStage() error {
+func (w *worker) decodeStage(ctx *engine.Context) error {
 	w.decoded = make([]kv.Records, len(w.myGroups))
-	return parallel.Do(w.procs, len(w.myGroups), func(gi int) error {
+	return parallel.Do(ctx.Procs, len(w.myGroups), func(gi int) error {
 		g := w.myGroups[gi]
 		file := g.set.Remove(w.rank)
 		segs := make([]kv.Records, 0, w.cfg.R)
@@ -772,7 +728,7 @@ func (w *worker) decodeStage() error {
 // reduceStage concatenates the locally mapped share of partition `rank`
 // ({I^rank_S : rank in S}) with the decoded remote share
 // ({I^rank_S : rank not in S}) and sorts (Section IV-F).
-func (w *worker) reduceStage() error {
+func (w *worker) reduceStage(ctx *engine.Context) error {
 	parts := make([]kv.Records, 0, len(w.decoded)+w.plan.NumFiles())
 	for _, fi := range w.plan.FilesOn(w.rank) {
 		parts = append(parts, w.store.IV(w.rank, w.plan.Files[fi]))
@@ -781,7 +737,7 @@ func (w *worker) reduceStage() error {
 	out := kv.Concat(parts...)
 	// In-place MSD radix: no scratch allocation, parallel over buckets,
 	// deterministic at any Parallelism setting.
-	out.SortRadixMSD(w.procs)
+	out.SortRadixMSD(ctx.Procs)
 	w.result.OutputRows = int64(out.Len())
 	w.result.OutputChecksum = out.Checksum()
 	if sink := w.cfg.OutputSink; sink != nil {

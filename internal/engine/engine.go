@@ -1,0 +1,252 @@
+// Package engine is the stage-graph execution runtime shared by both
+// sorting engines. The paper presents TeraSort and CodedTeraSort as one
+// dataflow parameterized by the redundancy r — the stages Map, Pack/Encode,
+// Shuffle, Unpack/Decode and Reduce differ only in their codec and shuffle
+// topology — so the runtime factors everything else out of the engine
+// packages:
+//
+//   - A job is a declarative Graph of typed stages (Kind) with explicit
+//     data-plane edges (Stage.Needs/Provides) and mode annotations saying
+//     which execution modes a stage participates in.
+//   - The scheduler (Run) derives the active Mode from the Policies knobs
+//     (ChunkRows/Window/MemBudget/Parallelism), selects the stage schedule,
+//     validates its edges, and drives the stages with the paper's
+//     synchronous-stage protocol: each timed stage is charged to the
+//     engine's timeline through per-stage Hooks and followed by a cluster
+//     barrier (Section V-A).
+//   - Cross-cutting behaviors are runtime services on the Context: the
+//     budget-bounded spill sorter lifecycle, transfer accounting, the
+//     serial-vs-parallel sender schedule, and LIFO cleanups.
+//   - The chunk-stream protocol of the pipelined modes is provided once
+//     (ChunkRx for the receive side, CreditGate for multi-receiver credit
+//     windows) so the engines contribute only their codec callbacks.
+//
+// The engine packages are reduced to thin graph builders: placement plans,
+// codec stages, and shuffle topology (serial unicast vs. multicast groups)
+// are the only engine-specific code left.
+package engine
+
+import (
+	"fmt"
+
+	"codedterasort/internal/stats"
+	"codedterasort/internal/transport"
+)
+
+// Kind types a stage. Both engines draw from the same vocabulary — the
+// paper's tables align Pack with Encode and Unpack with Decode, so a Kind
+// maps onto the shared stats.Stage axis for timing.
+type Kind int
+
+const (
+	// KindPlace is untimed input placement/setup (the coordinator's file
+	// distribution stands outside the measured pipeline); it is neither
+	// charged to the timeline nor followed by a barrier.
+	KindPlace Kind = iota
+	// KindCodeGen enumerates multicast groups (CodedTeraSort only).
+	KindCodeGen
+	// KindMap hashes input records into reducer partitions.
+	KindMap
+	// KindPack serializes intermediate values (Encode for CodedTeraSort).
+	KindPack
+	// KindShuffle moves intermediate data between nodes.
+	KindShuffle
+	// KindUnpack deserializes received data (Decode for CodedTeraSort).
+	KindUnpack
+	// KindSort sorts a node's partition as its own stage. Reserved for
+	// graphs that split Reduce into Sort + Reduce; charged to the Reduce
+	// column like KindReduce.
+	KindSort
+	// KindReduce produces the node's sorted output partition.
+	KindReduce
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindPlace:
+		return "Place"
+	case KindCodeGen:
+		return "CodeGen"
+	case KindMap:
+		return "Map"
+	case KindPack:
+		return "Pack"
+	case KindShuffle:
+		return "Shuffle"
+	case KindUnpack:
+		return "Unpack"
+	case KindSort:
+		return "Sort"
+	case KindReduce:
+		return "Reduce"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Stats returns the timeline stage the kind is charged to, and whether it
+// is timed at all (KindPlace is not).
+func (k Kind) Stats() (stats.Stage, bool) {
+	switch k {
+	case KindCodeGen:
+		return stats.StageCodeGen, true
+	case KindMap:
+		return stats.StageMap, true
+	case KindPack:
+		return stats.StagePack, true
+	case KindShuffle:
+		return stats.StageShuffle, true
+	case KindUnpack:
+		return stats.StageUnpack, true
+	case KindSort, KindReduce:
+		return stats.StageReduce, true
+	default:
+		return 0, false
+	}
+}
+
+// Stage is one node of the job graph: a typed unit of work annotated with
+// the execution modes it participates in and its data-plane edges.
+type Stage struct {
+	// Kind types the stage and selects its timeline column.
+	Kind Kind
+	// Modes says which execution modes include this stage. Registering
+	// several stages of the same Kind under disjoint mode sets expresses
+	// per-mode implementations declaratively — the scheduler picks the
+	// active one; the engines hold no mode switches.
+	Modes ModeSet
+	// Needs names the data-plane values this stage consumes. Each must be
+	// provided by an earlier stage of the active mode's schedule.
+	Needs []string
+	// Provides names the data-plane values this stage produces.
+	Provides []string
+	// Run executes the stage body for this rank.
+	Run func(*Context) error
+}
+
+// Graph is an ordered stage DAG for one engine. Stages are scheduled in
+// insertion order, filtered by the active mode; Needs/Provides edges are
+// validated against that schedule.
+type Graph struct {
+	name       string
+	barrierTag func(stats.Stage) transport.Tag
+	stages     []Stage
+}
+
+// NewGraph returns an empty graph. name prefixes run-time errors (it is the
+// engine's package name); barrierTag supplies the engine's tag for the
+// barrier following each timed stage, keeping the two engines' control
+// traffic in their existing disjoint tag ranges.
+func NewGraph(name string, barrierTag func(stats.Stage) transport.Tag) *Graph {
+	return &Graph{name: name, barrierTag: barrierTag}
+}
+
+// Add appends a stage and returns the graph for chaining. It panics on a
+// stage with no Run body or empty mode set — both are builder bugs, not
+// run-time conditions.
+func (g *Graph) Add(s Stage) *Graph {
+	if s.Run == nil {
+		panic(fmt.Sprintf("engine: %s stage %v has no Run body", g.name, s.Kind))
+	}
+	if s.Modes == 0 {
+		panic(fmt.Sprintf("engine: %s stage %v has an empty mode set", g.name, s.Kind))
+	}
+	g.stages = append(g.stages, s)
+	return g
+}
+
+// Schedule returns the stage sequence of mode m after checking its
+// data-plane edges: every Need must be Provided by an earlier stage of the
+// same schedule.
+func (g *Graph) Schedule(m Mode) ([]Stage, error) {
+	var sched []Stage
+	provided := map[string]bool{}
+	for _, s := range g.stages {
+		if !s.Modes.Has(m) {
+			continue
+		}
+		for _, need := range s.Needs {
+			if !provided[need] {
+				return nil, fmt.Errorf("engine: %s %v stage needs %q, provided by no earlier stage in %v mode",
+					g.name, s.Kind, need, m)
+			}
+		}
+		for _, p := range s.Provides {
+			provided[p] = true
+		}
+		sched = append(sched, s)
+	}
+	if len(sched) == 0 {
+		return nil, fmt.Errorf("engine: %s graph has no stages in %v mode", g.name, m)
+	}
+	return sched, nil
+}
+
+// Validate checks the edges of every mode that has at least one stage.
+func (g *Graph) Validate() error {
+	for m := ModeMono; m <= ModeSpill; m++ {
+		populated := false
+		for _, s := range g.stages {
+			if s.Modes.Has(m) {
+				populated = true
+				break
+			}
+		}
+		if !populated {
+			continue
+		}
+		if _, err := g.Schedule(m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Run executes the graph for ep.Rank(): it derives the active mode from the
+// policies, schedules the stages, and drives each one under the paper's
+// synchronous-stage protocol — the stage body runs, its elapsed clock time
+// is reported through the hooks (which charge the engine's timeline), and a
+// cluster-wide barrier follows so stages execute synchronously across nodes
+// and per-stage times stay comparable (Section V-A). The returned Context
+// carries the run's transfer counters; its spill resources are already
+// released.
+func Run(ep transport.Endpoint, g *Graph, p Policies, clock stats.Clock, hooks Hooks) (*Context, error) {
+	// Normalize defensively: the engines pre-normalize (their Configs
+	// expose the derived ChunkRows/Window), and Normalize is idempotent on
+	// normalized policies — but a direct caller of the runtime must not be
+	// able to reach a streaming schedule with no chunk size.
+	p, err := p.Normalize(g.name, ep.Size())
+	if err != nil {
+		return nil, err
+	}
+	mode := p.Mode()
+	sched, err := g.Schedule(mode)
+	if err != nil {
+		return nil, err
+	}
+	ctx := newContext(ep, p, mode)
+	defer ctx.cleanup()
+	for _, s := range sched {
+		st, timed := s.Kind.Stats()
+		if !timed {
+			// Setup stages (file placement) run outside the measured
+			// pipeline: no timeline charge, no barrier, errors unwrapped.
+			if err := s.Run(ctx); err != nil {
+				return ctx, err
+			}
+			continue
+		}
+		hooks.start(ctx.Rank, st)
+		t0 := clock.Now()
+		serr := s.Run(ctx)
+		hooks.end(StageEvent{Rank: ctx.Rank, Stage: st, Elapsed: clock.Now() - t0, Err: serr})
+		if serr != nil {
+			return ctx, fmt.Errorf("%s: rank %d %v stage: %w", g.name, ctx.Rank, st, serr)
+		}
+		if err := ep.Barrier(g.barrierTag(st)); err != nil {
+			return ctx, fmt.Errorf("%s: rank %d barrier after %v: %w", g.name, ctx.Rank, st, err)
+		}
+	}
+	return ctx, nil
+}

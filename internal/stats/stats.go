@@ -180,6 +180,11 @@ type Timeline struct {
 // NewTimeline returns an empty timeline over the clock.
 func NewTimeline(clock Clock) *Timeline { return &Timeline{clock: clock} }
 
+// Clock returns the clock the timeline measures against, so external stage
+// drivers (the engine runtime's per-stage hooks) time against the same
+// wall or virtual time the timeline is charged in.
+func (t *Timeline) Clock() Clock { return t.clock }
+
 // Measure runs fn and charges its elapsed clock time to stage.
 func (t *Timeline) Measure(stage Stage, fn func() error) error {
 	start := t.clock.Now()

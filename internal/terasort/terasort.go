@@ -4,15 +4,21 @@
 // unicast, Fig 9a), Unpack, Reduce. It is the comparison baseline for
 // CodedTeraSort and shares the kv/partition/codec/transport substrates, so
 // measured differences isolate the algorithmic change.
+//
+// The package is a thin stage-graph builder over the internal/engine
+// runtime: it contributes the input placement, the Pack/Unpack codec and
+// the serial-unicast shuffle topology, while scheduling, mode selection
+// (monolithic / chunked / out-of-core), spill-sorter lifecycle, transfer
+// accounting and per-stage instrumentation live in the runtime.
 package terasort
 
 import (
 	"fmt"
 	"os"
 	"sync"
-	"sync/atomic"
 
 	"codedterasort/internal/codec"
+	"codedterasort/internal/engine"
 	"codedterasort/internal/extsort"
 	"codedterasort/internal/kv"
 	"codedterasort/internal/parallel"
@@ -69,6 +75,7 @@ type Config struct {
 	// ChunkRows-record chunks, Pack of chunk n+1 overlaps the flight of
 	// chunk n, and receivers Unpack each chunk on arrival. Zero keeps the
 	// monolithic stage-by-stage schedule bit-identical to the paper's.
+	// A runtime policy knob: it selects the engine.ModeChunked schedule.
 	ChunkRows int
 	// Window bounds unacknowledged in-flight chunks per peer stream when
 	// pipelining, so peak buffered memory is O(ChunkRows x Window) rather
@@ -84,7 +91,8 @@ type Config struct {
 	// memory; output is byte-identical to the in-memory engine. MemBudget
 	// implies the pipelined streaming shuffle — a budget-derived ChunkRows
 	// is chosen when none is set. Zero keeps every path bit-identical to
-	// the in-memory engine.
+	// the in-memory engine. A runtime policy knob: it selects the
+	// engine.ModeSpill schedule.
 	MemBudget int64
 	// SpillDir is the parent directory for spill files when MemBudget is
 	// positive ("" = the system temp directory). Each worker owns a fresh
@@ -110,9 +118,25 @@ type Config struct {
 	// deterministic), so it is a pure throughput knob, distributed by the
 	// coordinator like MemBudget.
 	Parallelism int
+	// Hooks observe each timed stage of the run — the instrumentation API
+	// the cluster runtime uses for its stage log. The timeline is always
+	// charged first, so hook observers see consistent timings.
+	Hooks engine.Hooks
 }
 
-// normalize validates and fills defaults.
+// policies maps the config's runtime knobs onto the engine's scheduler
+// policies.
+func (c Config) policies() engine.Policies {
+	return engine.Policies{
+		ChunkRows: c.ChunkRows, Window: c.Window, DefaultWindow: DefaultWindow,
+		MemBudget: c.MemBudget, SpillDir: c.SpillDir,
+		Parallelism: c.Parallelism, Parallel: c.Parallel,
+	}
+}
+
+// normalize validates and fills defaults. The shared policy knobs
+// (ChunkRows/Window/MemBudget/Parallelism) are validated and derived by the
+// engine runtime.
 func (c Config) normalize() (Config, error) {
 	if c.K <= 0 {
 		return c, fmt.Errorf("terasort: K=%d", c.K)
@@ -129,18 +153,6 @@ func (c Config) normalize() (Config, error) {
 	if c.Input != nil && len(c.Input) != c.K {
 		return c, fmt.Errorf("terasort: %d input files for K=%d", len(c.Input), c.K)
 	}
-	if c.ChunkRows < 0 {
-		return c, fmt.Errorf("terasort: negative ChunkRows")
-	}
-	if c.Window < 0 {
-		return c, fmt.Errorf("terasort: negative Window")
-	}
-	if c.MemBudget < 0 {
-		return c, fmt.Errorf("terasort: negative MemBudget")
-	}
-	if c.Parallelism < 0 {
-		return c, fmt.Errorf("terasort: negative Parallelism")
-	}
 	if c.InputFiles != nil {
 		if c.Input != nil {
 			return c, fmt.Errorf("terasort: both Input and InputFiles set")
@@ -149,19 +161,11 @@ func (c Config) normalize() (Config, error) {
 			return c, fmt.Errorf("terasort: %d input files for K=%d", len(c.InputFiles), c.K)
 		}
 	}
-	if c.MemBudget > 0 {
-		if c.ChunkRows == 0 {
-			c.ChunkRows = extsort.BudgetChunkRows(c.MemBudget, c.K, c.Window)
-		}
-		// Spool blocks are framed at ChunkRows, so the spill-block cap
-		// bounds it.
-		if c.ChunkRows > extsort.MaxBlockRows {
-			return c, fmt.Errorf("terasort: ChunkRows %d exceeds spill block cap %d", c.ChunkRows, extsort.MaxBlockRows)
-		}
+	pol, err := c.policies().Normalize("terasort", c.K)
+	if err != nil {
+		return c, err
 	}
-	if c.ChunkRows > 0 && c.Window == 0 {
-		c.Window = DefaultWindow
-	}
+	c.ChunkRows, c.Window = pol.ChunkRows, pol.Window
 	return c, nil
 }
 
@@ -205,16 +209,22 @@ func Run(ep transport.Endpoint, cfg Config, tl *stats.Timeline) (Result, error) 
 	if tl == nil {
 		tl = stats.NewTimeline(stats.NewWallClock())
 	}
-	w := &worker{ep: ep, cfg: cfg, tl: tl, rank: ep.Rank(), procs: parallel.Resolve(cfg.Parallelism)}
-	return w.run()
+	w := &worker{cfg: cfg, rank: ep.Rank()}
+	hooks := engine.TimelineHooks(tl).Then(cfg.Hooks)
+	ctx, err := engine.Run(ep, w.graph(), cfg.policies(), tl.Clock(), hooks)
+	if err != nil {
+		return Result{}, err
+	}
+	w.result.ShuffleBytes = ctx.Counters.SentBytes
+	w.result.ChunksSent = ctx.Counters.ChunksSent
+	w.result.ChunksReceived = ctx.Counters.ChunksReceived()
+	w.result.Times = tl.Breakdown()
+	return w.result, nil
 }
 
 type worker struct {
-	ep    transport.Endpoint
-	cfg   Config
-	tl    *stats.Timeline
-	rank  int
-	procs int // resolved Parallelism
+	cfg  Config
+	rank int
 
 	local    kv.Records   // this node's input file
 	hashed   []kv.Records // K intermediate values from the Map stage
@@ -223,81 +233,50 @@ type worker struct {
 	unpacked []kv.Records // deserialized IVs, indexed by source
 	result   Result
 
-	// Out-of-core state (MemBudget > 0): the budget-bounded sorter that
-	// collects this node's partition (own records in Map, remote records
-	// as they decode in Shuffle) and the per-destination shuffle spools.
-	// sorterMu serializes the per-source receive goroutines' appends.
-	sorter      *extsort.Sorter
-	sorterMu    sync.Mutex
+	// Out-of-core state (engine.ModeSpill): the per-destination shuffle
+	// spools of the spilling Map stage. The budget-bounded sorter itself is
+	// a runtime service on the engine Context.
 	spools      []*extsort.Spool
 	spoolBlocks []int64
 }
 
-func (w *worker) run() (Result, error) {
-	var steps []struct {
-		stage stats.Stage
-		fn    func() error
-	}
-	switch {
-	case w.cfg.MemBudget > 0:
-		// Out-of-core schedule: Map scans input block by block and spools,
-		// the streaming shuffle spills received partitions to sorted runs,
-		// Reduce is the loser-tree merge over the runs.
-		defer w.cleanupSpill()
-		steps = []struct {
-			stage stats.Stage
-			fn    func() error
-		}{
-			{stats.StageMap, w.mapSpillStage},
-			{stats.StageShuffle, w.streamSpillStage},
-			{stats.StageReduce, w.reduceSpillStage},
-		}
-	case w.cfg.ChunkRows > 0:
-		// Pipelined schedule: Pack, Shuffle and Unpack collapse into one
-		// overlapped streaming stage, charged to Shuffle.
-		if err := w.loadLocal(); err != nil {
-			return Result{}, err
-		}
-		steps = []struct {
-			stage stats.Stage
-			fn    func() error
-		}{
-			{stats.StageMap, w.mapStage},
-			{stats.StageShuffle, w.streamStage},
-			{stats.StageReduce, w.reduceStage},
-		}
-	default:
-		if err := w.loadLocal(); err != nil {
-			return Result{}, err
-		}
-		steps = []struct {
-			stage stats.Stage
-			fn    func() error
-		}{
-			{stats.StageMap, w.mapStage},
-			{stats.StagePack, w.packStage},
-			{stats.StageShuffle, w.shuffleStage},
-			{stats.StageUnpack, w.unpackStage},
-			{stats.StageReduce, w.reduceStage},
-		}
-	}
-	for _, s := range steps {
-		if err := w.tl.Measure(s.stage, s.fn); err != nil {
-			return Result{}, fmt.Errorf("terasort: rank %d %v stage: %w", w.rank, s.stage, err)
-		}
-		// Stages execute synchronously across the cluster (Section V-A);
-		// the barrier also keeps per-stage times comparable across nodes.
-		if err := w.ep.Barrier(transport.MakeTag(tagToken, uint16(s.stage), 0xFFFF)); err != nil {
-			return Result{}, fmt.Errorf("terasort: rank %d barrier after %v: %w", w.rank, s.stage, err)
-		}
-	}
-	w.result.Times = w.tl.Breakdown()
-	return w.result, nil
+// graph declares the TeraSort stage DAG over the engine runtime: the
+// five-stage monolithic pipeline of Section III, the collapsed streaming
+// shuffle of the chunked mode, and the spilling out-of-core variant — one
+// declarative graph, scheduled by the runtime's policy-derived mode. The
+// engine-specific content is exactly the placement (loadLocal), the
+// Pack/Unpack codec, and the serial-unicast shuffle topology.
+func (w *worker) graph() *engine.Graph {
+	g := engine.NewGraph("terasort", func(s stats.Stage) transport.Tag {
+		return transport.MakeTag(tagToken, uint16(s), 0xFFFF)
+	})
+	g.Add(engine.Stage{Kind: engine.KindPlace, Modes: engine.InMemory,
+		Provides: []string{"local"}, Run: w.loadLocal})
+	g.Add(engine.Stage{Kind: engine.KindMap, Modes: engine.InMemory,
+		Needs: []string{"local"}, Provides: []string{"hashed"}, Run: w.mapStage})
+	g.Add(engine.Stage{Kind: engine.KindMap, Modes: engine.In(engine.ModeSpill),
+		Provides: []string{"sorter", "spools"}, Run: w.mapSpillStage})
+	g.Add(engine.Stage{Kind: engine.KindPack, Modes: engine.In(engine.ModeMono),
+		Needs: []string{"hashed"}, Provides: []string{"packed"}, Run: w.packStage})
+	g.Add(engine.Stage{Kind: engine.KindShuffle, Modes: engine.In(engine.ModeMono),
+		Needs: []string{"packed"}, Provides: []string{"received"}, Run: w.shuffleStage})
+	g.Add(engine.Stage{Kind: engine.KindShuffle, Modes: engine.In(engine.ModeChunked),
+		Needs: []string{"hashed"}, Provides: []string{"unpacked"}, Run: w.streamStage})
+	g.Add(engine.Stage{Kind: engine.KindShuffle, Modes: engine.In(engine.ModeSpill),
+		Needs: []string{"sorter", "spools"}, Run: w.streamSpillStage})
+	g.Add(engine.Stage{Kind: engine.KindUnpack, Modes: engine.In(engine.ModeMono),
+		Needs: []string{"received"}, Provides: []string{"unpacked"}, Run: w.unpackStage})
+	g.Add(engine.Stage{Kind: engine.KindReduce, Modes: engine.InMemory,
+		Needs: []string{"hashed", "unpacked"}, Run: w.reduceStage})
+	g.Add(engine.Stage{Kind: engine.KindReduce, Modes: engine.In(engine.ModeSpill),
+		Needs: []string{"sorter"}, Run: w.reduceSpillStage})
+	return g
 }
 
 // loadLocal materializes this node's input file in memory (the in-memory
-// engine's File Placement step).
-func (w *worker) loadLocal() error {
+// engine's File Placement step, untimed like the coordinator's disk
+// placement it stands in for).
+func (w *worker) loadLocal(ctx *engine.Context) error {
 	switch {
 	case w.cfg.Input != nil:
 		// Directly supplied input files.
@@ -321,41 +300,32 @@ func (w *worker) loadLocal() error {
 		// generator stands in for the coordinator's disk placement.
 		gen := kv.NewGenerator(w.cfg.Seed, w.cfg.Dist)
 		first, last := plan.FileRows(w.rank)
-		w.local = gen.GenerateParallel(first, last-first, w.procs)
+		w.local = gen.GenerateParallel(first, last-first, ctx.Procs)
 	}
 	return nil
-}
-
-// cleanupSpill releases the spill files of a budget-bounded run.
-func (w *worker) cleanupSpill() {
-	for _, sp := range w.spools {
-		if sp != nil {
-			sp.Close()
-		}
-	}
-	if w.sorter != nil {
-		w.sorter.Close() // removes the whole spill directory
-	}
 }
 
 // mapSpillStage is the out-of-core Map: it consumes this node's input file
 // block by block — generated, supplied in memory, or read from disk — and
 // routes each block's partitions without ever holding the file: records of
-// the node's own partition enter the budget-bounded sorter, remote-bound
-// records append to per-destination disk spools framed at ChunkRows (the
-// chunk granularity the shuffle will stream them at). Peak memory is one
-// input block plus K partial spool blocks.
-func (w *worker) mapSpillStage() error {
-	// Half the budget bounds the sorter's buffer; the merge cursors, spool
-	// buffers and in-flight chunks share the other half.
-	sorter, err := extsort.NewSorter(w.cfg.SpillDir, w.cfg.MemBudget/2)
+// the node's own partition enter the runtime's budget-bounded sorter,
+// remote-bound records append to per-destination disk spools framed at
+// ChunkRows (the chunk granularity the shuffle will stream them at). Peak
+// memory is one input block plus K partial spool blocks.
+func (w *worker) mapSpillStage(ctx *engine.Context) error {
+	sorter, err := ctx.Sorter()
 	if err != nil {
 		return err
 	}
-	sorter.SetParallelism(w.procs)
-	w.sorter = sorter
 	w.spools = make([]*extsort.Spool, w.cfg.K)
 	w.spoolBlocks = make([]int64, w.cfg.K)
+	ctx.Defer(func() {
+		for _, sp := range w.spools {
+			if sp != nil {
+				sp.Close()
+			}
+		}
+	})
 	for dst := 0; dst < w.cfg.K; dst++ {
 		if dst == w.rank {
 			continue
@@ -367,10 +337,10 @@ func (w *worker) mapSpillStage() error {
 		w.spools[dst] = sp
 	}
 	process := func(block kv.Records) error {
-		parts := partition.SplitParallel(w.cfg.Part, filterRecords(block, w.cfg.Filter), w.procs)
+		parts := partition.SplitParallel(w.cfg.Part, filterRecords(block, w.cfg.Filter), ctx.Procs)
 		for dst := 0; dst < w.cfg.K; dst++ {
 			if dst == w.rank {
-				if err := w.sorter.Append(parts[dst]); err != nil {
+				if err := sorter.Append(parts[dst]); err != nil {
 					return err
 				}
 				continue
@@ -415,8 +385,8 @@ func (w *worker) mapSpillStage() error {
 // mapStage hashes every local record into one of the K partitions
 // (Section III-A3), applying the optional record filter first. The scatter
 // runs on the worker's Parallelism goroutines via per-shard histograms.
-func (w *worker) mapStage() error {
-	w.hashed = partition.SplitParallel(w.cfg.Part, filterRecords(w.local, w.cfg.Filter), w.procs)
+func (w *worker) mapStage(ctx *engine.Context) error {
+	w.hashed = partition.SplitParallel(w.cfg.Part, filterRecords(w.local, w.cfg.Filter), ctx.Procs)
 	return nil
 }
 
@@ -439,9 +409,9 @@ func filterRecords(r kv.Records, keep func([]byte) bool) kv.Records {
 // contiguous payload so the shuffle pushes a single framed message per IV
 // (Section V-A's rationale: one TCP flow per intermediate value). The K-1
 // destinations pack independently, so they pack concurrently.
-func (w *worker) packStage() error {
+func (w *worker) packStage(ctx *engine.Context) error {
 	w.packed = make([][]byte, w.cfg.K)
-	return parallel.Do(w.procs, w.cfg.K, func(dst int) error {
+	return parallel.Do(ctx.Procs, w.cfg.K, func(dst int) error {
 		if dst != w.rank {
 			w.packed[dst] = codec.PackIV(w.hashed[dst])
 		}
@@ -452,7 +422,7 @@ func (w *worker) packStage() error {
 // shuffleStage runs the serial unicast schedule of Fig 9(a): node 0 sends
 // its K-1 intermediate values back-to-back, then node 1, and so on.
 // Receives are posted up front so the single active sender never blocks.
-func (w *worker) shuffleStage() error {
+func (w *worker) shuffleStage(ctx *engine.Context) error {
 	recvErr := make(chan error, 1)
 	w.received = make([][]byte, w.cfg.K)
 	go func() {
@@ -460,7 +430,7 @@ func (w *worker) shuffleStage() error {
 			if src == w.rank {
 				continue
 			}
-			p, err := w.ep.Recv(src, transport.MakeTag(tagShuffle, uint16(src), uint16(w.rank)))
+			p, err := ctx.Ep.Recv(src, transport.MakeTag(tagShuffle, uint16(src), uint16(w.rank)))
 			if err != nil {
 				recvErr <- err
 				return
@@ -474,21 +444,15 @@ func (w *worker) shuffleStage() error {
 			if dst == w.rank {
 				continue
 			}
-			if err := w.ep.Send(dst, transport.MakeTag(tagShuffle, uint16(w.rank), uint16(dst)), w.packed[dst]); err != nil {
+			if err := ctx.Ep.Send(dst, transport.MakeTag(tagShuffle, uint16(w.rank), uint16(dst)), w.packed[dst]); err != nil {
 				return err
 			}
-			w.result.ShuffleBytes += int64(len(w.packed[dst]))
+			ctx.Counters.SentBytes += int64(len(w.packed[dst]))
 		}
 		return nil
 	}
-	var sendErr error
-	if w.cfg.Parallel {
-		sendErr = send()
-	} else {
-		sendErr = transport.SerialOrder(w.ep, transport.MakeTag(tagToken, 0, 0), send)
-	}
-	if sendErr != nil {
-		return sendErr
+	if err := ctx.Schedule(transport.MakeTag(tagToken, 0, 0), send); err != nil {
+		return err
 	}
 	return <-recvErr
 }
@@ -499,13 +463,12 @@ func (w *worker) shuffleStage() error {
 // asynchronous), receivers unpack each chunk on arrival in per-source
 // goroutines, and the windowed credit protocol bounds in-flight chunks so
 // neither side ever materializes a monolithic packed copy of its data.
-func (w *worker) streamStage() error {
+func (w *worker) streamStage(ctx *engine.Context) error {
 	// Receive side: one goroutine per source, each consuming its chunk
 	// stream until the last flag, unpacking and appending records as they
 	// arrive, and returning one credit per chunk.
 	w.unpacked = make([]kv.Records, w.cfg.K)
 	recvErrs := make([]error, w.cfg.K)
-	var chunksRecv atomic.Int64
 	var wg sync.WaitGroup
 	for src := 0; src < w.cfg.K; src++ {
 		if src == w.rank {
@@ -514,38 +477,14 @@ func (w *worker) streamStage() error {
 		wg.Add(1)
 		go func(src int) {
 			defer wg.Done()
-			dataTag := transport.MakeTag(tagChunk, uint16(src), uint16(w.rank))
-			ackTag := transport.MakeTag(tagChunkAck, uint16(w.rank), uint16(src))
-			var stream codec.ChunkStream
 			out := kv.MakeRecords(0)
-			for !stream.Done() {
-				frame, err := w.ep.Recv(src, dataTag)
-				if err != nil {
-					recvErrs[src] = err
-					return
-				}
-				// Credit first: flow control is independent of validation,
-				// so a decode error here never wedges the sender.
-				if err := transport.StreamAck(w.ep, src, ackTag); err != nil {
-					recvErrs[src] = err
-					return
-				}
-				payload, _, err := stream.Accept(frame)
-				if err != nil {
-					recvErrs[src] = fmt.Errorf("chunk stream from rank %d: %w", src, err)
-					return
-				}
-				// Zero-copy unpack: the frame is ours and dies right after
-				// the records are appended (copied) out of it.
-				recs, err := codec.UnpackIVZeroCopy(payload)
-				if err != nil {
-					recvErrs[src] = fmt.Errorf("chunk from rank %d: %w", src, err)
-					return
-				}
+			recvErrs[src] = w.chunkRx(ctx, src, func(recs kv.Records) error {
 				out = out.AppendRecords(recs)
-				chunksRecv.Add(1)
+				return nil
+			}).Run(&ctx.Counters)
+			if recvErrs[src] == nil {
+				w.unpacked[src] = out
 			}
-			w.unpacked[src] = out
 		}(src)
 	}
 
@@ -554,9 +493,7 @@ func (w *worker) streamStage() error {
 			if dst == w.rank {
 				continue
 			}
-			dataTag := transport.MakeTag(tagChunk, uint16(w.rank), uint16(dst))
-			ackTag := transport.MakeTag(tagChunkAck, uint16(dst), uint16(w.rank))
-			s := transport.NewStreamSender(w.ep, dst, dataTag, ackTag, w.cfg.Window)
+			s := w.streamSender(ctx, dst)
 			iv := w.hashed[dst]
 			n := codec.NumChunks(iv.Len(), w.cfg.ChunkRows)
 			for c := 0; c < n; c++ {
@@ -564,13 +501,9 @@ func (w *worker) streamStage() error {
 				// One pooled buffer per chunk, recycled as soon as the
 				// transport hands it back (Send does not alias after
 				// return), so the steady-state stream allocates nothing.
-				frame := codec.FramePackedChunk(uint32(c), c == n-1, iv.Slice(lo, hi))
-				if err := s.Send(frame); err != nil {
+				if err := ship(ctx, s, codec.FramePackedChunk(uint32(c), c == n-1, iv.Slice(lo, hi))); err != nil {
 					return err
 				}
-				w.result.ShuffleBytes += int64(len(frame))
-				w.result.ChunksSent++
-				codec.Recycle(frame)
 			}
 			if err := s.Drain(); err != nil {
 				return err
@@ -578,19 +511,12 @@ func (w *worker) streamStage() error {
 		}
 		return nil
 	}
-	var sendErr error
-	if w.cfg.Parallel {
-		sendErr = send()
-	} else {
-		sendErr = transport.SerialOrder(w.ep, transport.MakeTag(tagToken, 0, 0), send)
-	}
-	if sendErr != nil {
+	if err := ctx.Schedule(transport.MakeTag(tagToken, 0, 0), send); err != nil {
 		// Mirror shuffleStage: don't wait for receivers whose sources may
 		// be gone; they unblock with ErrClosed at teardown.
-		return sendErr
+		return err
 	}
 	wg.Wait()
-	w.result.ChunksReceived = chunksRecv.Load()
 	for _, err := range recvErrs {
 		if err != nil {
 			return err
@@ -603,11 +529,10 @@ func (w *worker) streamStage() error {
 // pipelined chunk protocol of streamStage, but neither side holds a
 // stream's records: the sender reads each per-destination spool back block
 // by block (one chunk per spool block), and receivers append every decoded
-// chunk to the budget-bounded sorter, which spills sorted runs as the
-// budget fills.
-func (w *worker) streamSpillStage() error {
+// chunk to the runtime's budget-bounded sorter, which spills sorted runs as
+// the budget fills.
+func (w *worker) streamSpillStage(ctx *engine.Context) error {
 	recvErrs := make([]error, w.cfg.K)
-	var chunksRecv atomic.Int64
 	var wg sync.WaitGroup
 	for src := 0; src < w.cfg.K; src++ {
 		if src == w.rank {
@@ -616,38 +541,7 @@ func (w *worker) streamSpillStage() error {
 		wg.Add(1)
 		go func(src int) {
 			defer wg.Done()
-			dataTag := transport.MakeTag(tagChunk, uint16(src), uint16(w.rank))
-			ackTag := transport.MakeTag(tagChunkAck, uint16(w.rank), uint16(src))
-			var stream codec.ChunkStream
-			for !stream.Done() {
-				frame, err := w.ep.Recv(src, dataTag)
-				if err != nil {
-					recvErrs[src] = err
-					return
-				}
-				if err := transport.StreamAck(w.ep, src, ackTag); err != nil {
-					recvErrs[src] = err
-					return
-				}
-				payload, _, err := stream.Accept(frame)
-				if err != nil {
-					recvErrs[src] = fmt.Errorf("chunk stream from rank %d: %w", src, err)
-					return
-				}
-				recs, err := codec.UnpackIVZeroCopy(payload)
-				if err != nil {
-					recvErrs[src] = fmt.Errorf("chunk from rank %d: %w", src, err)
-					return
-				}
-				w.sorterMu.Lock()
-				err = w.sorter.Append(recs)
-				w.sorterMu.Unlock()
-				if err != nil {
-					recvErrs[src] = err
-					return
-				}
-				chunksRecv.Add(1)
-			}
+			recvErrs[src] = w.chunkRx(ctx, src, ctx.SpillAppend).Run(&ctx.Counters)
 		}(src)
 	}
 
@@ -656,21 +550,10 @@ func (w *worker) streamSpillStage() error {
 			if dst == w.rank {
 				continue
 			}
-			dataTag := transport.MakeTag(tagChunk, uint16(w.rank), uint16(dst))
-			ackTag := transport.MakeTag(tagChunkAck, uint16(dst), uint16(w.rank))
-			s := transport.NewStreamSender(w.ep, dst, dataTag, ackTag, w.cfg.Window)
-			ship := func(frame []byte) error {
-				if err := s.Send(frame); err != nil {
-					return err
-				}
-				w.result.ShuffleBytes += int64(len(frame))
-				w.result.ChunksSent++
-				codec.Recycle(frame)
-				return nil
-			}
+			s := w.streamSender(ctx, dst)
 			if n := w.spoolBlocks[dst]; n == 0 {
 				// Empty stream: one last-flagged empty chunk closes it.
-				if err := ship(codec.FramePackedChunk(0, true, kv.Records{})); err != nil {
+				if err := ship(ctx, s, codec.FramePackedChunk(0, true, kv.Records{})); err != nil {
 					return err
 				}
 			} else {
@@ -683,7 +566,7 @@ func (w *worker) streamSpillStage() error {
 					if err != nil {
 						return fmt.Errorf("spool for rank %d: %w", dst, err)
 					}
-					if err := ship(codec.FramePackedChunk(uint32(c), c == n-1, block)); err != nil {
+					if err := ship(ctx, s, codec.FramePackedChunk(uint32(c), c == n-1, block)); err != nil {
 						return err
 					}
 				}
@@ -694,17 +577,10 @@ func (w *worker) streamSpillStage() error {
 		}
 		return nil
 	}
-	var sendErr error
-	if w.cfg.Parallel {
-		sendErr = send()
-	} else {
-		sendErr = transport.SerialOrder(w.ep, transport.MakeTag(tagToken, 0, 0), send)
-	}
-	if sendErr != nil {
-		return sendErr
+	if err := ctx.Schedule(transport.MakeTag(tagToken, 0, 0), send); err != nil {
+		return err
 	}
 	wg.Wait()
-	w.result.ChunksReceived = chunksRecv.Load()
 	for _, err := range recvErrs {
 		if err != nil {
 			return err
@@ -713,12 +589,59 @@ func (w *worker) streamSpillStage() error {
 	return nil
 }
 
+// chunkRx builds the receive driver of one inbound unicast chunk stream:
+// point-to-point receives from src, per-chunk credits, and the zero-copy
+// packed-IV decode (the frame is ours and dies right after the records are
+// copied out of it by consume).
+func (w *worker) chunkRx(ctx *engine.Context, src int, consume func(kv.Records) error) engine.ChunkRx {
+	dataTag := transport.MakeTag(tagChunk, uint16(src), uint16(w.rank))
+	ackTag := transport.MakeTag(tagChunkAck, uint16(w.rank), uint16(src))
+	return engine.ChunkRx{
+		Recv: func() ([]byte, error) { return ctx.Ep.Recv(src, dataTag) },
+		Ack:  func() error { return transport.StreamAck(ctx.Ep, src, ackTag) },
+		Decode: func(_ int, payload []byte) (kv.Records, error) {
+			recs, err := codec.UnpackIVZeroCopy(payload)
+			if err != nil {
+				return kv.Records{}, fmt.Errorf("chunk from rank %d: %w", src, err)
+			}
+			return recs, nil
+		},
+		Consume: consume,
+		WrapStreamErr: func(err error) error {
+			return fmt.Errorf("chunk stream from rank %d: %w", src, err)
+		},
+	}
+}
+
+// streamSender opens the windowed unicast chunk stream to dst.
+func (w *worker) streamSender(ctx *engine.Context, dst int) *transport.StreamSender {
+	dataTag := transport.MakeTag(tagChunk, uint16(w.rank), uint16(dst))
+	ackTag := transport.MakeTag(tagChunkAck, uint16(dst), uint16(w.rank))
+	return transport.NewStreamSender(ctx.Ep, dst, dataTag, ackTag, w.cfg.Window)
+}
+
+// ship sends one framed chunk, accounts it, and recycles the frame buffer
+// (Send does not alias it after return).
+func ship(ctx *engine.Context, s *transport.StreamSender, frame []byte) error {
+	if err := s.Send(frame); err != nil {
+		return err
+	}
+	ctx.Counters.SentBytes += int64(len(frame))
+	ctx.Counters.ChunksSent++
+	codec.Recycle(frame)
+	return nil
+}
+
 // reduceSpillStage is the out-of-core Reduce: a streaming loser-tree merge
 // over the sorted runs (plus the sorter's in-memory tail), emitted in
 // ascending ChunkRows-record blocks. The sorted partition is never
 // materialized unless no OutputSink is set.
-func (w *worker) reduceSpillStage() error {
-	out, err := extsort.DrainSorted(w.sorter, w.cfg.ChunkRows, w.cfg.OutputSink)
+func (w *worker) reduceSpillStage(ctx *engine.Context) error {
+	sorter, err := ctx.Sorter()
+	if err != nil {
+		return err
+	}
+	out, err := extsort.DrainSorted(sorter, w.cfg.ChunkRows, w.cfg.OutputSink)
 	if err != nil {
 		return err
 	}
@@ -732,9 +655,9 @@ func (w *worker) reduceSpillStage() error {
 // unpackStage deserializes the received payloads back to record buffers.
 // The unpack is zero-copy — the worker owns the received buffers and keeps
 // them until Reduce — and the K-1 sources validate concurrently.
-func (w *worker) unpackStage() error {
+func (w *worker) unpackStage(ctx *engine.Context) error {
 	w.unpacked = make([]kv.Records, w.cfg.K)
-	return parallel.Do(w.procs, w.cfg.K, func(src int) error {
+	return parallel.Do(ctx.Procs, w.cfg.K, func(src int) error {
 		p := w.received[src]
 		if src == w.rank || p == nil {
 			return nil
@@ -750,7 +673,7 @@ func (w *worker) unpackStage() error {
 
 // reduceStage concatenates the node's own partition-k records with the
 // K-1 received intermediate values and sorts them (Section III-A5).
-func (w *worker) reduceStage() error {
+func (w *worker) reduceStage(ctx *engine.Context) error {
 	parts := make([]kv.Records, 0, w.cfg.K)
 	parts = append(parts, w.hashed[w.rank])
 	for src, iv := range w.unpacked {
@@ -763,7 +686,7 @@ func (w *worker) reduceStage() error {
 	// In-place MSD radix: no scratch allocation (the partition is the
 	// worker's largest live object here), buckets sorted on procs
 	// goroutines, deterministic at any setting.
-	out.SortRadixMSD(w.procs)
+	out.SortRadixMSD(ctx.Procs)
 	w.result.OutputRows = int64(out.Len())
 	w.result.OutputChecksum = out.Checksum()
 	if sink := w.cfg.OutputSink; sink != nil {

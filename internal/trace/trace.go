@@ -176,6 +176,69 @@ func Write(w io.Writer, events []Event) error {
 	return nil
 }
 
+// StageRecord is one node's completed stage execution, reported through
+// the engine runtime's per-stage hooks — the stage-level counterpart of
+// the transport-level Event.
+type StageRecord struct {
+	// At is the clock time at stage completion.
+	At time.Duration
+	// Node is the rank that ran the stage.
+	Node int
+	// Stage is the timeline column the stage was charged to.
+	Stage stats.Stage
+	// Elapsed is the stage's measured duration.
+	Elapsed time.Duration
+	// Err is the stage error text ("" = success).
+	Err string
+}
+
+// String renders the record as one log line.
+func (r StageRecord) String() string {
+	s := fmt.Sprintf("%12v node %2d stage %-13s %12v", r.At, r.Node, r.Stage, r.Elapsed)
+	if r.Err != "" {
+		s += "  ERR " + r.Err
+	}
+	return s
+}
+
+// StageLog collects StageRecords from several nodes against a shared
+// clock. It is the sink the cluster runtime wires into the engines'
+// per-stage hooks, replacing inline instrumentation.
+type StageLog struct {
+	clock stats.Clock
+
+	mu      sync.Mutex
+	records []StageRecord
+}
+
+// NewStageLog returns an empty log stamping records with clock.
+func NewStageLog(clock stats.Clock) *StageLog {
+	return &StageLog{clock: clock}
+}
+
+// Record appends one completed stage. Safe for concurrent use by all
+// worker goroutines of an in-process cluster.
+func (l *StageLog) Record(node int, stage stats.Stage, elapsed time.Duration, err error) {
+	msg := ""
+	if err != nil {
+		msg = err.Error()
+	}
+	l.mu.Lock()
+	l.records = append(l.records, StageRecord{
+		At: l.clock.Now(), Node: node, Stage: stage, Elapsed: elapsed, Err: msg,
+	})
+	l.mu.Unlock()
+}
+
+// Records returns a snapshot in completion order (ties in record order).
+func (l *StageLog) Records() []StageRecord {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := append([]StageRecord(nil), l.records...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
 // SenderOrder returns the distinct sender ranks of the send events in
 // first-appearance order — the tool for asserting the Fig 9 serial
 // schedule (senders must appear in rank order, each completing before the

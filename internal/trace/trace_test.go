@@ -1,9 +1,11 @@
 package trace
 
 import (
+	"errors"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"codedterasort/internal/coded"
 	"codedterasort/internal/kv"
@@ -208,5 +210,50 @@ func TestFig9bSerialMulticastObserved(t *testing.T) {
 		if lastOf[rank] > firstOf[rank+1] {
 			t.Fatalf("root %d still multicasting after root %d started", rank, rank+1)
 		}
+	}
+}
+
+// TestStageLog: records from several nodes merge into completion order,
+// errors are captured as text, and String renders one line per record.
+func TestStageLog(t *testing.T) {
+	clock := &stats.VirtualClock{}
+	log := NewStageLog(clock)
+	clock.Advance(10 * time.Millisecond)
+	log.Record(1, stats.StageMap, 3*time.Millisecond, nil)
+	clock.Advance(10 * time.Millisecond)
+	log.Record(0, stats.StageMap, 5*time.Millisecond, errors.New("boom"))
+
+	recs := log.Records()
+	if len(recs) != 2 {
+		t.Fatalf("%d records, want 2", len(recs))
+	}
+	if recs[0].Node != 1 || recs[0].At != 10*time.Millisecond || recs[0].Err != "" {
+		t.Fatalf("first record: %+v", recs[0])
+	}
+	if recs[1].Node != 0 || recs[1].Err != "boom" {
+		t.Fatalf("second record: %+v", recs[1])
+	}
+	if s := recs[1].String(); !strings.Contains(s, "Map") || !strings.Contains(s, "ERR boom") {
+		t.Fatalf("render: %q", s)
+	}
+}
+
+// TestStageLogConcurrent: concurrent per-worker hook calls are safe and
+// all land.
+func TestStageLogConcurrent(t *testing.T) {
+	log := NewStageLog(stats.NewWallClock())
+	var wg sync.WaitGroup
+	for n := 0; n < 8; n++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			for s := stats.StageCodeGen; s < stats.NumStages; s++ {
+				log.Record(n, s, time.Microsecond, nil)
+			}
+		}(n)
+	}
+	wg.Wait()
+	if got := len(log.Records()); got != 8*int(stats.NumStages) {
+		t.Fatalf("%d records, want %d", got, 8*int(stats.NumStages))
 	}
 }
