@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet fmt-check test race fuzz bench bench-smoke cover vuln ci
+.PHONY: all build vet fmt-check docs-check examples-smoke test race fuzz bench bench-smoke cover vuln ci
 
 all: ci
 
@@ -15,6 +15,25 @@ vet:
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# Docs gate: every package and command must carry a godoc comment
+# ("// Package ..." or "// Command ...") in a non-test file. Keeps the
+# package-level documentation from rotting as the tree grows.
+docs-check:
+	@fail=0; \
+	for dir in $$($(GO) list -f '{{.Dir}}' ./...); do \
+		files=$$(find "$$dir" -maxdepth 1 -name '*.go' ! -name '*_test.go'); \
+		if ! grep -qE '^// (Package|Command) ' $$files; then \
+			echo "docs gate: missing package doc comment in $$dir"; fail=1; fi; \
+	done; \
+	if [ "$$fail" -ne 0 ]; then exit 1; fi; \
+	echo "docs gate: every package and command documented"
+
+# Examples must keep compiling (and vetting) — they are the README's
+# executable documentation.
+examples-smoke:
+	$(GO) build ./examples/...
+	$(GO) vet ./examples/...
 
 test:
 	$(GO) test ./...
@@ -62,4 +81,4 @@ vuln:
 		echo "govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; \
 	fi
 
-ci: build vet fmt-check race vuln
+ci: build vet fmt-check docs-check examples-smoke race vuln

@@ -1,12 +1,22 @@
 #!/bin/sh
-# The standard gate: build + vet + gofmt cleanliness + race-enabled tests,
-# plus a govulncheck pass against the known-vulnerability database when the
-# tool is installed (CI installs it; offline machines skip with a notice).
+# The standard gate: build + vet + gofmt cleanliness + docs gate (every
+# package/command carries a godoc comment) + race-enabled tests, plus a
+# govulncheck pass against the known-vulnerability database when the tool
+# is installed (CI installs it; offline machines skip with a notice).
 # Equivalent to `make ci` for environments without make.
 set -eux
 go build ./...
 go vet ./...
 test -z "$(gofmt -l .)"
+# Docs gate. (The examples compile smoke needs no separate step here:
+# `go build ./...` and `go vet ./...` above already cover examples/.)
+for dir in $(go list -f '{{.Dir}}' ./...); do
+	files=$(find "$dir" -maxdepth 1 -name '*.go' ! -name '*_test.go')
+	if ! grep -qE '^// (Package|Command) ' $files; then
+		echo "docs gate: missing package doc comment in $dir"
+		exit 1
+	fi
+done
 go test -race ./...
 if command -v govulncheck >/dev/null 2>&1; then
 	govulncheck ./...

@@ -76,6 +76,31 @@ func currentHost() hostInfo {
 	}
 }
 
+// stragglerResult is one engine's completion time with and without an
+// injected straggler (one rank's egress slowed by Factor under rate
+// shaping) — the live counterpart of the paper-scale simnet straggler
+// tables. Coding moves ~r times fewer shuffle bytes, so the same slow
+// NIC costs the coded engine less absolute time: DeltaNs(coded) <
+// DeltaNs(terasort) is the coded-resilience claim this section records.
+type stragglerResult struct {
+	Name        string  `json:"name"`
+	Factor      float64 `json:"factor"`
+	HealthyNs   float64 `json:"healthy_ns_per_op"`
+	StraggledNs float64 `json:"straggled_ns_per_op"`
+	DeltaNs     float64 `json:"delta_ns"`
+	Ratio       float64 `json:"ratio"`
+}
+
+// recoveryResult is one engine's completion time for a job that loses a
+// worker mid-Map and recovers by supervised re-execution (attempt-scoped
+// respawn), versus its healthy time.
+type recoveryResult struct {
+	Name        string  `json:"name"`
+	Attempts    int     `json:"attempts"`
+	HealthyNs   float64 `json:"healthy_ns_per_op"`
+	RecoveredNs float64 `json:"recovered_ns_per_op"`
+}
+
 // benchFile is the BENCH_pipeline.json document.
 type benchFile struct {
 	Host    hostInfo      `json:"host"`
@@ -84,6 +109,11 @@ type benchFile struct {
 	// Micro tracks the multicore worker kernels, so per-PR perf work on
 	// the hot paths is visible without running a whole cluster.
 	Micro []microResult `json:"micro"`
+	// Straggler and Recovery track the fault-resilience trajectory: how
+	// much a 4x egress straggler and a recovered mid-Map death cost each
+	// engine.
+	Straggler []stragglerResult `json:"straggler"`
+	Recovery  []recoveryResult  `json:"recovery"`
 }
 
 func main() {
@@ -290,6 +320,76 @@ func runMicro(rows int64, benchtime time.Duration) ([]microResult, error) {
 	return append(out, byteRef, word), nil
 }
 
+// stragglerSpecs returns the engine pair of the straggler benchmark:
+// rate-shaped serial-schedule jobs, so one slowed rank stretches the
+// shuffle by its egress share exactly as in the paper's schedules.
+func stragglerSpecs(rows int64) map[string]cluster.Spec {
+	return map[string]cluster.Spec{
+		"terasort": {Algorithm: cluster.AlgTeraSort, K: 4, Rows: rows, Seed: 11, RateMbps: 800},
+		"coded":    {Algorithm: cluster.AlgCoded, K: 4, R: 2, Rows: rows, Seed: 11, RateMbps: 800},
+	}
+}
+
+// stragglerFactor is the injected egress slow-down (the acceptance
+// scenario's 4x straggler).
+const stragglerFactor = 4
+
+// runStraggler measures both engines healthy and with one rank's egress
+// slowed by stragglerFactor.
+func runStraggler(rows int64, benchtime time.Duration) ([]stragglerResult, error) {
+	var out []stragglerResult
+	for _, name := range []string{"terasort", "coded"} {
+		spec := stragglerSpecs(rows)[name]
+		healthy, _, err := measure(name+"/healthy", spec, benchtime)
+		if err != nil {
+			return nil, err
+		}
+		spec.StragglerFactor = stragglerFactor
+		spec.StragglerRank = 1
+		straggled, _, err := measure(name+"/straggled", spec, benchtime)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, stragglerResult{
+			Name:        name,
+			Factor:      stragglerFactor,
+			HealthyNs:   healthy.NsPerOp,
+			StraggledNs: straggled.NsPerOp,
+			DeltaNs:     straggled.NsPerOp - healthy.NsPerOp,
+			Ratio:       straggled.NsPerOp / healthy.NsPerOp,
+		})
+	}
+	return out, nil
+}
+
+// runRecovery measures both engines recovering from a worker death
+// injected mid-Map (supervised re-execution, two attempts).
+func runRecovery(rows int64, benchtime time.Duration) ([]recoveryResult, error) {
+	var out []recoveryResult
+	for _, name := range []string{"terasort", "coded"} {
+		spec := stragglerSpecs(rows)[name]
+		spec.RateMbps = 0 // recovery cost, not wire time
+		healthy, _, err := measure(name+"/healthy", spec, benchtime)
+		if err != nil {
+			return nil, err
+		}
+		spec.Faults = []cluster.FaultSpec{{Rank: 1, Stage: "Map", Kind: "kill"}}
+		spec.StageDeadline = 30 * time.Second // crash detection is immediate; the deadline only backstops
+		spec.MaxAttempts = 2
+		recovered, job, err := measure(name+"/recovered", spec, benchtime)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, recoveryResult{
+			Name:        name,
+			Attempts:    job.Attempts,
+			HealthyNs:   healthy.NsPerOp,
+			RecoveredNs: recovered.NsPerOp,
+		})
+	}
+	return out, nil
+}
+
 func run(out string, rows int64, benchtime time.Duration) error {
 	spillDir, err := os.MkdirTemp("", "benchjson-*")
 	if err != nil {
@@ -299,7 +399,7 @@ func run(out string, rows int64, benchtime time.Duration) error {
 
 	doc := benchFile{Host: currentHost(), Rows: rows}
 	for _, w := range workloads(rows, spillDir) {
-		res, err := measure(w.name, w.spec, benchtime)
+		res, _, err := measure(w.name, w.spec, benchtime)
 		if err != nil {
 			return fmt.Errorf("%s: %w", w.name, err)
 		}
@@ -320,6 +420,24 @@ func run(out string, rows int64, benchtime time.Duration) error {
 		fmt.Printf("micro/%-20s p=%d %12.0f ns/op  %8.1f MB/s%s\n",
 			m.Name, m.Procs, m.NsPerOp, m.MBPerSec, extra)
 	}
+	straggler, err := runStraggler(rows, benchtime)
+	if err != nil {
+		return err
+	}
+	doc.Straggler = straggler
+	for _, s := range straggler {
+		fmt.Printf("straggler/%-16s x%g %12.0f -> %12.0f ns/op  delta %12.0f ns (%.3fx)\n",
+			s.Name, s.Factor, s.HealthyNs, s.StraggledNs, s.DeltaNs, s.Ratio)
+	}
+	recovery, err := runRecovery(rows, benchtime)
+	if err != nil {
+		return err
+	}
+	doc.Recovery = recovery
+	for _, r := range recovery {
+		fmt.Printf("recovery/%-17s %12.0f -> %12.0f ns/op (%d attempts, mid-Map death)\n",
+			r.Name, r.HealthyNs, r.RecoveredNs, r.Attempts)
+	}
 	p, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		return err
@@ -329,7 +447,7 @@ func run(out string, rows int64, benchtime time.Duration) error {
 
 // measure runs one workload repeatedly for at least benchtime, sampling
 // the peak live heap throughout.
-func measure(name string, spec cluster.Spec, benchtime time.Duration) (benchResult, error) {
+func measure(name string, spec cluster.Spec, benchtime time.Duration) (benchResult, *cluster.JobReport, error) {
 	runtime.GC()
 	stop := make(chan struct{})
 	peakCh := make(chan uint64)
@@ -360,7 +478,7 @@ func measure(name string, spec cluster.Spec, benchtime time.Duration) (benchResu
 		if err != nil {
 			close(stop)
 			<-peakCh
-			return benchResult{}, err
+			return benchResult{}, nil, err
 		}
 		iters++
 	}
@@ -379,5 +497,5 @@ func measure(name string, spec cluster.Spec, benchtime time.Duration) (benchResu
 		ChunksShuffled: job.ChunksShuffled,
 		SpilledRuns:    job.SpilledRuns,
 		PeakHeapBytes:  peak,
-	}, nil
+	}, job, nil
 }

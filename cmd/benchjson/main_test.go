@@ -46,4 +46,21 @@ func TestRunEmitsValidJSON(t *testing.T) {
 			}
 		}
 	}
+	// The fault-resilience sections: one straggler and one recovery entry
+	// per engine, with sane shapes (the straggled run cannot be faster
+	// than healthy minus noise; the recovered run took 2 attempts).
+	if len(doc.Straggler) != 2 || len(doc.Recovery) != 2 {
+		t.Fatalf("straggler/recovery sections: %d/%d entries, want 2/2",
+			len(doc.Straggler), len(doc.Recovery))
+	}
+	for _, s := range doc.Straggler {
+		if s.HealthyNs <= 0 || s.StraggledNs <= 0 || s.Factor != stragglerFactor {
+			t.Fatalf("degenerate straggler entry %+v", s)
+		}
+	}
+	for _, r := range doc.Recovery {
+		if r.HealthyNs <= 0 || r.RecoveredNs <= r.HealthyNs || r.Attempts != 2 {
+			t.Fatalf("degenerate recovery entry %+v", r)
+		}
+	}
 }

@@ -25,6 +25,7 @@ func main() {
 	var j flags.Job
 	j.RegisterCommon(flag.CommandLine, 8)
 	j.RegisterCoded(flag.CommandLine, 3)
+	j.RegisterFaults(flag.CommandLine)
 	compare := flag.Bool("compare", false, "also run the TeraSort baseline and report speedup")
 	flag.Parse()
 
@@ -37,6 +38,9 @@ func main() {
 	}
 	fmt.Printf("CodedTeraSort: K=%d, r=%d, %d records (%.1f MB), validated=%v, wall time %.2fs\n",
 		j.K, j.R, j.Rows, float64(j.Rows)*100/1e6, job.Validated, time.Since(start).Seconds())
+	if job.Attempts > 1 {
+		fmt.Printf("recovery: %d attempts, recovered from %v\n", job.Attempts, job.Recovered)
+	}
 
 	rows := []stats.Row{}
 	if *compare {

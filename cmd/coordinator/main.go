@@ -7,6 +7,12 @@
 //
 //	coordinator -listen :7077 -alg codedterasort -k 4 -r 2 -rows 1000000
 //	(then start 4 `worker -coord host:7077` processes)
+//
+// With -deadline the monitored protocol is armed: workers stream per-stage
+// progress and heartbeats, and a worker that dies or falls a deadline
+// behind its fastest peer aborts the job fast with the suspect named
+// instead of hanging it. -stragglers (with -rate or -permsg) injects one
+// egress-slowed rank to observe the coded-vs-uncoded degradation live.
 package main
 
 import (
@@ -25,6 +31,7 @@ func main() {
 	var j flags.Job
 	j.RegisterCommon(flag.CommandLine, 4)
 	j.RegisterCoded(flag.CommandLine, 2)
+	j.RegisterFaults(flag.CommandLine)
 	flag.Parse()
 
 	spec := j.Spec(cluster.Algorithm(*alg))

@@ -19,20 +19,24 @@ const ProcsUsage = "per-worker compute goroutines for the map/sort/code hot path
 // Job collects the job-spec flags. Zero value + Register* calls bind it to
 // a FlagSet; after Parse, Spec() yields the cluster job spec.
 type Job struct {
-	K         int
-	R         int
-	Rows      int64
-	Seed      uint64
-	Skewed    bool
-	Tree      bool
-	Rate      float64
-	PerMsg    time.Duration
-	Chunk     int
-	Window    int
-	MemBudget int64
-	SpillDir  string
-	InDir     string
-	Procs     int
+	K             int
+	R             int
+	Rows          int64
+	Seed          uint64
+	Skewed        bool
+	Tree          bool
+	Rate          float64
+	PerMsg        time.Duration
+	Chunk         int
+	Window        int
+	MemBudget     int64
+	SpillDir      string
+	InDir         string
+	Procs         int
+	Stragglers    float64
+	StragglerRank int
+	Deadline      time.Duration
+	MaxAttempts   int
 }
 
 // RegisterCommon binds the flags every job shape shares: cluster size,
@@ -60,6 +64,19 @@ func (j *Job) RegisterCoded(fs *flag.FlagSet, defaultR int) {
 	fs.BoolVar(&j.Tree, "tree", false, "binomial-tree multicast instead of serial")
 }
 
+// RegisterFaults binds the straggler/failure-resilience flags: the
+// -stragglers egress slow-down injection and the detection/recovery knobs
+// of the supervised runtime.
+func (j *Job) RegisterFaults(fs *flag.FlagSet) {
+	fs.Float64Var(&j.Stragglers, "stragglers", 0,
+		"inject one straggler: slow the straggler rank's egress by this factor (0 or 1 = healthy; effective with -rate or -permsg)")
+	fs.IntVar(&j.StragglerRank, "straggler-rank", 0, "which rank the -stragglers injection slows")
+	fs.DurationVar(&j.Deadline, "deadline", 0,
+		"stage deadline arming straggler detection: a rank this far behind its fastest peer on a stage is declared faulty (0 = detection off)")
+	fs.IntVar(&j.MaxAttempts, "max-attempts", 0,
+		"recovery attempt cap for supervised local runs (0 = default: 3 with -deadline, else 1)")
+}
+
 // RegisterInDir binds the file-backed input flag (TeraSort only).
 func (j *Job) RegisterInDir(fs *flag.FlagSet) {
 	fs.StringVar(&j.InDir, "indir", "", "read input from the part files teragen -disk wrote here instead of generating it")
@@ -81,7 +98,12 @@ func (j *Job) Spec(alg cluster.Algorithm) cluster.Spec {
 		TreeMulticast: j.Tree, RateMbps: j.Rate, PerMessage: j.PerMsg,
 		ChunkRows: j.Chunk, Window: j.Window,
 		MemBudget: j.MemBudget, SpillDir: j.SpillDir, InputDir: j.InDir,
-		Parallelism: j.Procs,
+		Parallelism:   j.Procs,
+		StageDeadline: j.Deadline, MaxAttempts: j.MaxAttempts,
+	}
+	if j.Stragglers > 1 {
+		spec.StragglerFactor = j.Stragglers
+		spec.StragglerRank = j.StragglerRank
 	}
 	if alg == cluster.AlgTeraSort {
 		spec.R = 0

@@ -5,14 +5,16 @@
 //
 // Usage:
 //
-//	sweep            # r-sweep at K=16 and K-sweep at r=3
+//	sweep                  # r-sweep at K=16 and K-sweep at r=3
 //	sweep -k 20 -r 5
+//	sweep -stragglers 4    # + straggler and failure-recovery tables
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"codedterasort/internal/simnet"
 )
@@ -20,6 +22,9 @@ import (
 func main() {
 	k := flag.Int("k", 16, "worker count for the r-sweep")
 	r := flag.Int("r", 3, "redundancy for the K-sweep")
+	stragglers := flag.Float64("stragglers", 0,
+		"also sweep straggler resilience: slow one rank's shuffle egress by this factor and model kill-at-stage recovery")
+	deadline := flag.Duration("deadline", 10*time.Second, "detection deadline of the failure-recovery model")
 	flag.Parse()
 	cm := simnet.Default()
 
@@ -53,4 +58,27 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Print(simnet.RenderSweep(fmt.Sprintf("Impact of K (r=%d, 12 GB, 100 Mbps)", *r), ptsK))
+
+	if *stragglers > 1 {
+		fmt.Println()
+		rs := []int{}
+		for i := 1; i < *k && i <= 8; i++ {
+			rs = append(rs, i)
+		}
+		sp, err := simnet.SweepStragglers(*k, rs, *stragglers, cm)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sweep:", err)
+			os.Exit(1)
+		}
+		fmt.Print(simnet.RenderStragglers(
+			fmt.Sprintf("One straggler, %gx slower shuffle egress (K=%d, 12 GB, 100 Mbps)", *stragglers, *k), sp))
+		fmt.Println()
+		fp, err := simnet.SweepFailures(*k, *r, *deadline, cm)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sweep:", err)
+			os.Exit(1)
+		}
+		fmt.Print(simnet.RenderFailures(
+			fmt.Sprintf("Kill-at-stage recovery, %v detection deadline (K=%d, r=%d)", *deadline, *k, *r), fp))
+	}
 }

@@ -25,6 +25,7 @@ func main() {
 	var j flags.Job
 	j.RegisterCommon(flag.CommandLine, 8)
 	j.RegisterInDir(flag.CommandLine)
+	j.RegisterFaults(flag.CommandLine)
 	flag.Parse()
 
 	spec := j.Spec(cluster.AlgTeraSort)
@@ -53,5 +54,8 @@ func main() {
 	if j.MemBudget > 0 {
 		fmt.Printf("external sort: %d runs spilled under a %.1f MB/worker budget\n",
 			job.SpilledRuns, float64(j.MemBudget)/1e6)
+	}
+	if job.Attempts > 1 {
+		fmt.Printf("recovery: %d attempts, recovered from %v\n", job.Attempts, job.Recovered)
 	}
 }

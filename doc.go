@@ -24,6 +24,17 @@
 // sorting and per-group packet encode/decode on deterministic parallel
 // kernels (internal/parallel) that produce byte-identical output at any
 // goroutine count.
+// Execution is straggler-resilient: the cluster runtime supervises every
+// run — crash signals and peer-relative stage deadlines (heartbeat-fed
+// over TCP) declare dead or straggling ranks, the attempt is canceled so
+// no peer ever hangs at a faulty rank's barrier, and RunLocal re-executes
+// with the faulty worker respawned until the job completes byte-identical
+// to a healthy run (Spec.StageDeadline/MaxAttempts/Faults; -deadline and
+// -stragglers on the CLIs; DESIGN.md section 11). Coding's redundancy
+// doubles as fault tolerance: a straggler's penalty scales with shuffle
+// volume, which coding cuts by ~r, and a dead rank's input survives on
+// its r-1 placement replicas — the straggler-mitigation story of the
+// coded-computing literature the paper cites.
 // The benchmarks in bench_test.go regenerate every table and figure of
 // the paper's evaluation; the tests in internal/simnet pin the reproduced
 // values against the paper's tables; cmd/benchjson tracks the pipeline

@@ -1,4 +1,4 @@
-// cmr_fig1 reproduces the worked example of the paper's Fig 1 and Section
+// Command cmr_fig1 reproduces the worked example of the paper's Fig 1 and Section
 // II: distributed computing of Q=3 functions from N=6 inputs on K=3 nodes.
 //
 //   - Uncoded, r=1 (Fig 1a): each node maps 2 files and needs 4 remote

@@ -1,4 +1,4 @@
-// coded_grep demonstrates the paper's "Beyond Sorting Algorithms" future
+// Command coded_grep demonstrates the paper's "Beyond Sorting Algorithms" future
 // direction (Section VI): the same structured redundancy and coded
 // multicast shuffling applied to Grep, another application the paper names
 // as shuffle-limited. Each worker scans its files for records whose value

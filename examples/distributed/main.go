@@ -1,4 +1,4 @@
-// distributed runs the paper's Fig 8 deployment end to end in one command:
+// Command distributed runs the paper's Fig 8 deployment end to end in one command:
 // a coordinator and K worker processes-worth of protocol over real TCP
 // sockets on loopback. Each worker registers, receives its rank and the
 // job spec, joins the worker mesh, sorts, and reports; the coordinator

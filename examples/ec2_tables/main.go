@@ -1,4 +1,4 @@
-// ec2_tables regenerates the paper's full evaluation (Tables I, II, III:
+// Command ec2_tables regenerates the paper's full evaluation (Tables I, II, III:
 // 12 GB sorted by K=16 and K=20 EC2 workers at 100 Mbps) on the
 // virtual-time simulator and prints simulated-vs-published values for
 // every cell, ending with the aggregate fit quality.

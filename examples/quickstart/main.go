@@ -1,6 +1,6 @@
-// Quickstart: sort one million 100-byte records on an in-process cluster
-// of 8 workers with both algorithms — conventional TeraSort and
-// CodedTeraSort with redundancy r=3 — verify both outputs, and compare
+// Command quickstart sorts one million 100-byte records on an in-process
+// cluster of 8 workers with both algorithms — conventional TeraSort and
+// CodedTeraSort with redundancy r=3 — verifies both outputs, and compares
 // their stage breakdowns and communication loads.
 //
 //	go run ./examples/quickstart

@@ -1,4 +1,4 @@
-// ratelimited reproduces the paper's experimental condition at laptop
+// Command ratelimited reproduces the paper's experimental condition at laptop
 // scale: every worker's egress is traffic-shaped (the role `tc` plays on
 // the paper's EC2 instances, Section V-B), which makes the shuffle
 // bandwidth-bound — and then CodedTeraSort beats TeraSort in real wall

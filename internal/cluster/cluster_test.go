@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 	"time"
@@ -94,6 +95,14 @@ func TestSpecValidation(t *testing.T) {
 		{Algorithm: AlgCoded, K: 4, R: 0},
 		{Algorithm: AlgCoded, K: 4, R: 9},
 		{Algorithm: AlgTeraSort, K: 2, Rows: -1},
+		{Algorithm: AlgTeraSort, K: 2, StageDeadline: -time.Second},
+		{Algorithm: AlgTeraSort, K: 2, MaxAttempts: -1},
+		// Heartbeats must flow faster than the liveness deadline, or every
+		// healthy worker is condemned before its first ping.
+		{Algorithm: AlgTeraSort, K: 2, StageDeadline: time.Second, Heartbeat: time.Second},
+		{Algorithm: AlgTeraSort, K: 2, Faults: []FaultSpec{{Rank: 5, Stage: "Map", Kind: "kill"}}},
+		{Algorithm: AlgTeraSort, K: 2, Faults: []FaultSpec{{Rank: 0, Stage: "Nope", Kind: "kill"}}},
+		{Algorithm: AlgTeraSort, K: 2, Faults: []FaultSpec{{Rank: 0, Stage: "Map", Kind: "maim"}}},
 	}
 	for i, s := range bad {
 		if err := s.Validate(); err == nil {
@@ -104,7 +113,9 @@ func TestSpecValidation(t *testing.T) {
 
 func TestSpecWireRoundTrip(t *testing.T) {
 	s := Spec{Algorithm: AlgCoded, K: 16, R: 5, Rows: 1 << 20, Seed: 9,
-		Skewed: true, TreeMulticast: true, RateMbps: 100, PerMessage: 50 * time.Millisecond}
+		Skewed: true, TreeMulticast: true, RateMbps: 100, PerMessage: 50 * time.Millisecond,
+		StageDeadline: time.Second, Heartbeat: 100 * time.Millisecond, MaxAttempts: 2,
+		Faults: []FaultSpec{{Rank: 3, Stage: "Shuffle", Kind: "slow", Factor: 4, Delay: time.Second}}}
 	p, err := s.Marshal()
 	if err != nil {
 		t.Fatal(err)
@@ -113,7 +124,7 @@ func TestSpecWireRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got != s {
+	if fmt.Sprintf("%+v", got) != fmt.Sprintf("%+v", s) {
 		t.Fatalf("roundtrip: %+v != %+v", got, s)
 	}
 	if _, err := UnmarshalSpec([]byte("{")); err == nil {

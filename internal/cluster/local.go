@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
@@ -70,8 +71,14 @@ type JobReport struct {
 	Validated bool
 	// Stages is the cluster-wide stage timeline, recorded through the
 	// engine runtime's per-stage hooks: every worker's completed stages in
-	// completion order (in-process runs only).
+	// completion order, attempt-tagged across recovery re-executions
+	// (in-process runs only).
 	Stages []trace.StageRecord
+	// Attempts counts the job executions recovery used (1 = ran clean).
+	Attempts int
+	// Recovered lists the faults detected and recovered from, in detection
+	// order (empty when the job ran clean).
+	Recovered []Suspect
 }
 
 // Total returns the cluster-level total execution time.
@@ -85,17 +92,86 @@ func (j JobReport) Total() float64 { return j.Times.Total().Seconds() }
 // partitions are never materialized: each worker streams its output blocks
 // into a verify.PartitionChecker, so verification itself runs in O(block)
 // memory.
+//
+// RunLocal is also the supervised deployment: it detects dead and
+// straggling workers (crash signals always; peer-relative stage deadlines
+// when Spec.StageDeadline is armed) and recovers by attempt-scoped
+// re-execution — the attempt is canceled, which unblocks every peer stuck
+// at the faulty rank's barrier, and the job re-runs with the faulty rank's
+// worker respawned, up to Spec.MaxAttempts. Recovered jobs produce output
+// byte-identical to a clean run; the attempt history is reported in
+// Attempts/Recovered and the attempt-tagged stage log.
 func RunLocal(spec Spec) (*JobReport, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
+	// One stage log spans all attempts, so the recovery timeline (failed
+	// attempts' partial records included) survives into the report.
+	stageLog := trace.NewStageLog(stats.NewWallClock())
+	maxAttempts := spec.attempts()
+	consumed := map[int]bool{}
+	var recovered []Suspect
+	for attempt := 1; ; attempt++ {
+		job, suspects, err := runAttempt(spec, consumed, attempt, stageLog)
+		if err == nil {
+			job.Attempts = attempt
+			job.Recovered = recovered
+			job.Stages = stageLog.Records()
+			return job, nil
+		}
+		if len(suspects) == 0 {
+			// A genuine failure, not a detected fault: no recovery.
+			return nil, err
+		}
+		if allFailed(suspects) {
+			// A worker exited with its own error (bad input file,
+			// unwritable spill dir): the cancel already unblocked its
+			// peers, but re-executing a deterministic failure only wastes
+			// attempts — surface the error instead of recovering.
+			return nil, err
+		}
+		recovered = append(recovered, suspects...)
+		if attempt >= maxAttempts {
+			return nil, fmt.Errorf("cluster: job failed after %d attempt(s), unrecovered faults %v: %w",
+				attempt, suspects, err)
+		}
+		// Respawn: replacement workers take over the detected ranks, so
+		// their injected faults are consumed and do not strike again.
+		for _, s := range suspects {
+			consumed[s.Rank] = true
+		}
+		stageLog.NewAttempt()
+	}
+}
+
+// allFailed reports whether every suspect is a genuine worker error
+// rather than a death or straggle — the unrecoverable kind.
+func allFailed(suspects []Suspect) bool {
+	for _, s := range suspects {
+		if s.Reason != "failed" {
+			return false
+		}
+	}
+	return true
+}
+
+// runAttempt executes one supervised attempt. On a detected fault it
+// returns the suspects alongside the error; an error with no suspects is a
+// genuine (unrecoverable) failure.
+func runAttempt(spec Spec, consumed map[int]bool, attempt int, stageLog *trace.StageLog) (*JobReport, []Suspect, error) {
+	faults, err := spec.engineFaults(consumed)
+	if err != nil {
+		return nil, nil, err
+	}
 	mesh := memnet.NewMesh(spec.K)
 	defer mesh.Close()
 
-	// Every worker's per-stage hooks feed one shared stage log — the
-	// cluster's stage-level instrumentation rides on the engine runtime
-	// rather than on inline timing in the engines.
-	stageLog := trace.NewStageLog(stats.NewWallClock())
+	// Detection: crash signals from worker goroutines plus the
+	// peer-relative stage deadline; cancel closes the mesh, unblocking
+	// every rank stuck on the faulty one with ErrClosed.
+	mon := newMonitor(spec.K, spec.StageDeadline, false, attempt, func() { mesh.Close() })
+	mon.Watch()
+	defer mon.Stop()
 
 	streaming := spec.MemBudget > 0 && !spec.KeepOutput
 	var checkers []*verify.PartitionChecker
@@ -131,10 +207,26 @@ func RunLocal(spec Spec) (*JobReport, error) {
 			}
 			hooks := engine.Hooks{StageEnd: func(ev engine.StageEvent) {
 				stageLog.Record(ev.Rank, ev.Stage, ev.Elapsed, ev.Err)
+				if ev.Err == nil {
+					mon.StageEnd(ev.Rank, ev.Stage)
+				}
 			}}
-			rep, out, err := runWorker(ep, spec, sink, hooks)
+			rep, out, err := runWorker(ep, spec, faults, sink, hooks)
 			if err != nil {
 				errs[rank] = err
+				// Any exited worker strands its peers at a barrier or a
+				// pending receive, so every worker error cancels the
+				// attempt (the supervisor's crash signal; over TCP it is
+				// the worker's broken coordinator connection). A killed
+				// rank is recorded as a death; a genuine error as a
+				// failure — but first-detection freezing means casualties
+				// of the cancellation itself are never blamed.
+				var killed *engine.KilledError
+				if errors.As(err, &killed) {
+					mon.Crashed(killed.Rank, killed.Stage)
+				} else {
+					mon.Errored(rank)
+				}
 				return
 			}
 			rep.Rank = rank
@@ -144,13 +236,29 @@ func RunLocal(spec Spec) (*JobReport, error) {
 		}(r)
 	}
 	wg.Wait()
+	if suspects := mon.Suspects(); len(suspects) > 0 {
+		// Prefer the detected rank's own error over a casualty's ErrClosed.
+		werr := errs[suspects[0].Rank]
+		if werr == nil {
+			for _, e := range errs {
+				if e != nil {
+					werr = e
+					break
+				}
+			}
+		}
+		err := fmt.Errorf("cluster: attempt %d canceled, detected %v", attempt, suspects)
+		if werr != nil {
+			err = fmt.Errorf("cluster: attempt %d canceled, detected %v: %w", attempt, suspects, werr)
+		}
+		return nil, suspects, err
+	}
 	for r, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("cluster: worker %d: %w", r, err)
+			return nil, nil, fmt.Errorf("cluster: worker %d: %w", r, err)
 		}
 	}
 	var job *JobReport
-	var err error
 	if streaming {
 		sums := make([]verify.Summary, spec.K)
 		for r, c := range checkers {
@@ -161,10 +269,9 @@ func RunLocal(spec Spec) (*JobReport, error) {
 		job, err = assemble(spec, reports, outputs, nil)
 	}
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	job.Stages = stageLog.Records()
-	return job, nil
+	return job, nil, nil
 }
 
 // inputFiles lists the K part files of a teragen -disk directory.
@@ -198,8 +305,10 @@ func describeInput(spec Spec) (verify.Input, error) {
 
 // runWorker executes the spec's algorithm on one endpoint. A non-nil sink
 // receives the sorted partition as ascending blocks instead of it being
-// returned; hooks observe each completed stage through the engine runtime.
-func runWorker(ep transport.Endpoint, spec Spec, sink func(kv.Records) error, hooks engine.Hooks) (WorkerReport, kv.Records, error) {
+// returned; hooks observe each completed stage through the engine runtime;
+// faults is the attempt's injected failure set (the engines filter by
+// rank).
+func runWorker(ep transport.Endpoint, spec Spec, faults engine.Faults, sink func(kv.Records) error, hooks engine.Hooks) (WorkerReport, kv.Records, error) {
 	var rep WorkerReport
 	var out kv.Records
 	switch spec.Algorithm {
@@ -212,6 +321,7 @@ func runWorker(ep transport.Endpoint, spec Spec, sink func(kv.Records) error, ho
 			OutputSink:  sink,
 			Parallelism: spec.Parallelism,
 			Hooks:       hooks,
+			Faults:      faults,
 		}
 		if spec.InputDir != "" {
 			cfg.InputFiles = inputFiles(spec.InputDir, spec.K)
@@ -238,6 +348,7 @@ func runWorker(ep transport.Endpoint, spec Spec, sink func(kv.Records) error, ho
 			OutputSink:  sink,
 			Parallelism: spec.Parallelism,
 			Hooks:       hooks,
+			Faults:      faults,
 		}, nil)
 		if err != nil {
 			return rep, out, err

@@ -6,14 +6,20 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"time"
 
 	"codedterasort/internal/stats"
 )
 
 // Control-plane wire protocol between coordinator and workers: 4-byte
-// big-endian length followed by a JSON document. Three message types flow:
-// register (worker -> coordinator), assign (coordinator -> worker) and
-// report (worker -> coordinator).
+// big-endian length followed by a JSON document. Register (worker ->
+// coordinator), assign (coordinator -> worker) and report (worker ->
+// coordinator) always flow. With Spec.StageDeadline armed the monitored
+// protocol is active on both sides: workers wrap their post-assignment
+// traffic in workerMsg frames carrying per-stage progress events and
+// periodic liveness heartbeats alongside the final report, and the
+// coordinator may send an abort frame that tells a worker to cancel its
+// attempt (close its mesh) instead of waiting forever on a dead peer.
 
 // maxControlFrame caps control messages; they carry no record data.
 const maxControlFrame = 16 << 20
@@ -44,6 +50,29 @@ type reportMsg struct {
 	ChunksSent       int64           `json:"chunks_sent,omitempty"`
 	ChunksReceived   int64           `json:"chunks_received,omitempty"`
 	SpilledRuns      int64           `json:"spilled_runs,omitempty"`
+}
+
+// progressMsg is one liveness/progress event of the monitored protocol:
+// a completed stage (Stage set, named per stats.ParseStage) or a bare
+// heartbeat (Stage empty). Either form proves the worker alive.
+type progressMsg struct {
+	Rank    int           `json:"rank"`
+	Stage   string        `json:"stage,omitempty"`
+	Elapsed time.Duration `json:"elapsed,omitempty"`
+}
+
+// workerMsg is the monitored protocol's worker -> coordinator frame: a
+// progress event or the final report, exactly one set.
+type workerMsg struct {
+	Progress *progressMsg `json:"progress,omitempty"`
+	Report   *reportMsg   `json:"report,omitempty"`
+}
+
+// abortMsg is the monitored protocol's coordinator -> worker frame: cancel
+// the attempt (the worker closes its mesh, unblocking its run with
+// ErrClosed) because a peer was declared dead or straggling.
+type abortMsg struct {
+	Reason string `json:"reason"`
 }
 
 // writeFrame sends one length-prefixed JSON message.

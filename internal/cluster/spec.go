@@ -15,7 +15,9 @@ import (
 	"fmt"
 	"time"
 
+	"codedterasort/internal/engine"
 	"codedterasort/internal/kv"
+	"codedterasort/internal/stats"
 	"codedterasort/internal/transport"
 )
 
@@ -98,6 +100,97 @@ type Spec struct {
 	// paths, higher values pin the worker count. Output is byte-identical
 	// at every setting; the coordinator distributes it like MemBudget.
 	Parallelism int `json:"parallelism,omitempty"`
+	// Faults injects node death and slowness at chosen stages — the
+	// deterministic failure model behind the straggler-detection and
+	// recovery machinery (see engine.Fault). Distributed with the spec so
+	// every worker agrees on which rank misbehaves where.
+	Faults []FaultSpec `json:"faults,omitempty"`
+	// StageDeadline, when positive, arms straggler detection: a rank that
+	// has not finished a stage StageDeadline after the first rank finished
+	// it is declared straggling and the attempt is canceled. RunLocal then
+	// re-executes the job with the faulty rank's worker respawned (up to
+	// MaxAttempts); the TCP coordinator aborts the job and fails fast with
+	// the suspect named instead of hanging. The deadline must exceed the
+	// natural per-stage skew of the cluster, so it is opt-in.
+	StageDeadline time.Duration `json:"stage_deadline,omitempty"`
+	// Heartbeat is the interval at which TCP workers send liveness frames
+	// to the coordinator when StageDeadline is armed (0 derives
+	// StageDeadline/3). A worker silent for a full StageDeadline is
+	// declared dead even if no stage completes anywhere.
+	Heartbeat time.Duration `json:"heartbeat,omitempty"`
+	// MaxAttempts caps the total job executions RunLocal's recovery may
+	// use (first run included). 0 derives the default: 3 when
+	// StageDeadline is armed, 1 (no recovery) otherwise.
+	MaxAttempts int `json:"max_attempts,omitempty"`
+}
+
+// FaultSpec is the wire form of one injected fault (see engine.Fault):
+// rank Rank dies ("kill") or stalls ("slow", by Factor x stage time plus
+// Delay) at the named stage ("Map", "Shuffle", ..., with "Encode"/"Decode"
+// accepted for the coded columns).
+type FaultSpec struct {
+	Rank   int           `json:"rank"`
+	Stage  string        `json:"stage"`
+	Kind   string        `json:"kind"`
+	Factor float64       `json:"factor,omitempty"`
+	Delay  time.Duration `json:"delay,omitempty"`
+}
+
+// fault parses the wire form into the engine's fault model.
+func (f FaultSpec) fault() (engine.Fault, error) {
+	st, err := stats.ParseStage(f.Stage)
+	if err != nil {
+		return engine.Fault{}, err
+	}
+	var kind engine.FaultKind
+	switch f.Kind {
+	case "kill":
+		kind = engine.FaultKill
+	case "slow":
+		kind = engine.FaultSlow
+	default:
+		return engine.Fault{}, fmt.Errorf("cluster: unknown fault kind %q (want kill or slow)", f.Kind)
+	}
+	return engine.Fault{Rank: f.Rank, Stage: st, Kind: kind, Factor: f.Factor, Delay: f.Delay}, nil
+}
+
+// engineFaults converts the spec's fault list for the engines, dropping
+// the ranks already consumed by recovery respawns.
+func (s Spec) engineFaults(consumed map[int]bool) (engine.Faults, error) {
+	if len(s.Faults) == 0 {
+		return nil, nil
+	}
+	out := make(engine.Faults, 0, len(s.Faults))
+	for _, fs := range s.Faults {
+		f, err := fs.fault()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, f)
+	}
+	for rank := range consumed {
+		out = out.Without(rank)
+	}
+	return out, nil
+}
+
+// attempts resolves the MaxAttempts default.
+func (s Spec) attempts() int {
+	if s.MaxAttempts > 0 {
+		return s.MaxAttempts
+	}
+	if s.StageDeadline > 0 {
+		return 3
+	}
+	return 1
+}
+
+// heartbeat resolves the Heartbeat default.
+func (s Spec) heartbeat() time.Duration {
+	if s.Heartbeat > 0 {
+		return s.Heartbeat
+	}
+	return s.StageDeadline / 3
 }
 
 // Validate checks the spec's internal consistency.
@@ -130,6 +223,28 @@ func (s Spec) Validate() error {
 	}
 	if s.InputDir != "" && s.Algorithm != AlgTeraSort {
 		return fmt.Errorf("cluster: input dir is TeraSort-only")
+	}
+	if s.StageDeadline < 0 {
+		return fmt.Errorf("cluster: negative stage deadline")
+	}
+	if s.Heartbeat < 0 {
+		return fmt.Errorf("cluster: negative heartbeat interval")
+	}
+	// The liveness rule declares a worker dead after a silent
+	// StageDeadline, so heartbeats must flow faster than that or every
+	// healthy worker is condemned before its first ping.
+	if s.StageDeadline > 0 && s.Heartbeat >= s.StageDeadline {
+		return fmt.Errorf("cluster: heartbeat interval %v not below stage deadline %v", s.Heartbeat, s.StageDeadline)
+	}
+	if s.MaxAttempts < 0 {
+		return fmt.Errorf("cluster: negative max attempts")
+	}
+	faults, err := s.engineFaults(nil)
+	if err != nil {
+		return err
+	}
+	if err := faults.Validate("cluster", s.K); err != nil {
+		return err
 	}
 	return nil
 }

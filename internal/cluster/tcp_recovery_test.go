@@ -1,0 +1,111 @@
+package cluster
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// runMonitored starts a coordinator and K worker goroutines speaking the
+// real TCP protocol with the monitored extensions armed, and returns the
+// coordinator's verdict plus every worker's error.
+func runMonitored(t *testing.T, spec Spec) (jobErr error, workerErrs []error) {
+	t.Helper()
+	coord, err := NewCoordinator("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	workerErrs = make([]error, spec.K)
+	var wg sync.WaitGroup
+	for i := 0; i < spec.K; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			workerErrs[i] = RunWorker(coord.Addr(), WorkerOptions{})
+		}(i)
+	}
+	_, jobErr = coord.RunJob(spec)
+	wg.Wait()
+	return jobErr, workerErrs
+}
+
+// TestTCPMonitoredHealthy: the monitored protocol (heartbeats, progress
+// frames, workerMsg framing) carries a clean job end to end exactly like
+// the legacy protocol.
+func TestTCPMonitoredHealthy(t *testing.T) {
+	spec := Spec{Algorithm: AlgCoded, K: 4, R: 2, Rows: 4000, Seed: 31,
+		StageDeadline: 10 * time.Second, Heartbeat: 20 * time.Millisecond}
+	coord, err := NewCoordinator("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	var wg sync.WaitGroup
+	workerErrs := make([]error, spec.K)
+	for i := 0; i < spec.K; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			workerErrs[i] = RunWorker(coord.Addr(), WorkerOptions{})
+		}(i)
+	}
+	job, err := coord.RunJob(spec)
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, werr := range workerErrs {
+		if werr != nil {
+			t.Fatalf("worker %d: %v", i, werr)
+		}
+	}
+	if !job.Validated {
+		t.Fatal("monitored job not validated")
+	}
+}
+
+// TestTCPWorkerDeathFailsFast: a worker process dying mid-Map (simulated
+// by the injected kill: the worker drops its coordinator connection and
+// mesh without reporting) must not hang the job. The coordinator detects
+// the broken connection, aborts the survivors, and fails fast naming the
+// dead rank; every surviving worker returns instead of blocking at the
+// dead rank's barrier.
+func TestTCPWorkerDeathFailsFast(t *testing.T) {
+	start := time.Now()
+	spec := Spec{Algorithm: AlgTeraSort, K: 4, Rows: 4000, Seed: 32,
+		StageDeadline: 5 * time.Second, Heartbeat: 20 * time.Millisecond,
+		Faults: []FaultSpec{{Rank: 1, Stage: "Map", Kind: "kill"}}}
+	jobErr, workerErrs := runMonitored(t, spec)
+	if jobErr == nil {
+		t.Fatal("job with a dead worker reported success")
+	}
+	if !strings.Contains(jobErr.Error(), "rank 1 died") {
+		t.Fatalf("verdict does not name the dead rank: %v", jobErr)
+	}
+	for i, werr := range workerErrs {
+		if werr == nil {
+			t.Fatalf("worker %d reported success in an aborted job", i)
+		}
+	}
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("death took %v to surface — fail-fast is broken", elapsed)
+	}
+}
+
+// TestTCPStragglerDetected: a worker stalled far past the stage deadline
+// is flagged by the peer-relative detector over the progress frames, and
+// the job aborts naming it.
+func TestTCPStragglerDetected(t *testing.T) {
+	spec := Spec{Algorithm: AlgTeraSort, K: 4, Rows: 4000, Seed: 33,
+		StageDeadline: 300 * time.Millisecond, Heartbeat: 20 * time.Millisecond,
+		Faults: []FaultSpec{{Rank: 2, Stage: "Shuffle", Kind: "slow", Factor: 1, Delay: 3 * time.Second}}}
+	jobErr, _ := runMonitored(t, spec)
+	if jobErr == nil {
+		t.Fatal("job with a straggler past deadline reported success")
+	}
+	if !strings.Contains(jobErr.Error(), "rank 2 missed deadline") {
+		t.Fatalf("verdict does not name the straggler: %v", jobErr)
+	}
+}

@@ -1,8 +1,10 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"net"
+	"sync"
 	"time"
 
 	"codedterasort/internal/engine"
@@ -75,17 +77,23 @@ func RunWorker(coordAddr string, opts WorkerOptions) error {
 	if opts.Parallelism > 0 {
 		spec.Parallelism = opts.Parallelism
 	}
+	// The monitored protocol is active exactly when the distributed spec
+	// arms the stage deadline; both sides key off the same field.
+	var tx *ctrlSender
+	if spec.StageDeadline > 0 {
+		tx = &ctrlSender{conn: conn}
+	}
 	if err := spec.Validate(); err != nil {
-		return reportFailure(conn, assign.Rank, err)
+		return reportFailure(conn, tx, assign.Rank, err)
 	}
 	if assign.Rank < 0 || assign.Rank >= len(assign.Addrs) || len(assign.Addrs) != spec.K {
-		return reportFailure(conn, assign.Rank, fmt.Errorf("cluster: bad assignment rank=%d addrs=%d k=%d",
+		return reportFailure(conn, tx, assign.Rank, fmt.Errorf("cluster: bad assignment rank=%d addrs=%d k=%d",
 			assign.Rank, len(assign.Addrs), spec.K))
 	}
 
 	mesh, err := tcpnet.NewWithListener(assign.Rank, assign.Addrs, meshLn)
 	if err != nil {
-		return reportFailure(conn, assign.Rank, err)
+		return reportFailure(conn, tx, assign.Rank, err)
 	}
 	meshOwned = false
 	defer mesh.Close()
@@ -112,13 +120,55 @@ func RunWorker(coordAddr string, opts WorkerOptions) error {
 			}
 		}
 	}
-	rep, _, err := runWorker(ep, spec, sink, hooks)
+
+	// The monitored protocol (stage deadline armed): per-stage progress
+	// frames and periodic heartbeats flow to the coordinator, and an abort
+	// frame (or a vanished coordinator) cancels the run by closing the
+	// mesh — a worker never waits forever on a peer the coordinator has
+	// declared dead.
+	monitored := tx != nil
+	if monitored {
+		hooks = hooks.Then(engine.Hooks{StageEnd: func(ev engine.StageEvent) {
+			if ev.Err == nil {
+				tx.send(workerMsg{Progress: &progressMsg{
+					Rank: assign.Rank, Stage: ev.Stage.String(), Elapsed: ev.Elapsed,
+				}})
+			}
+		}})
+		stopBeat := make(chan struct{})
+		defer close(stopBeat)
+		go heartbeat(tx, assign.Rank, spec.heartbeat(), stopBeat)
+		go func() {
+			// Abort listener: any inbound frame (or coordinator loss) ends
+			// the attempt. The mesh close is idempotent, so racing the
+			// normal teardown is harmless.
+			var ab abortMsg
+			_ = readFrame(conn, &ab)
+			mesh.Close()
+		}()
+	}
+
+	faults, err := spec.engineFaults(nil)
 	if err != nil {
-		return reportFailure(conn, assign.Rank, err)
+		return reportFailure(conn, tx, assign.Rank, err)
+	}
+	rep, _, err := runWorker(ep, spec, faults, sink, hooks)
+	if err != nil {
+		var killed *engine.KilledError
+		if monitored && errors.As(err, &killed) {
+			// Simulate the process death the fault models: drop the
+			// coordinator connection and the mesh without reporting. The
+			// coordinator sees the broken connection — the real crash
+			// signal — and peers are released by its abort broadcast.
+			conn.Close()
+			mesh.Close()
+			return err
+		}
+		return reportFailure(conn, tx, assign.Rank, err)
 	}
 	rep.Rank = assign.Rank
 	rep.WireBytes = meter.Counters().SentBytes
-	return writeFrame(conn, reportMsg{
+	msg := reportMsg{
 		Rank:             rep.Rank,
 		Times:            rep.Times,
 		OutputRows:       rep.OutputRows,
@@ -129,11 +179,53 @@ func RunWorker(coordAddr string, opts WorkerOptions) error {
 		ChunksSent:       rep.ChunksSent,
 		ChunksReceived:   rep.ChunksReceived,
 		SpilledRuns:      rep.SpilledRuns,
-	})
+	}
+	if monitored {
+		return tx.send(workerMsg{Report: &msg})
+	}
+	return writeFrame(conn, msg)
 }
 
-// reportFailure best-effort reports err to the coordinator and returns err.
-func reportFailure(conn net.Conn, rank int, err error) error {
-	_ = writeFrame(conn, reportMsg{Rank: rank, Err: err.Error()})
+// ctrlSender serializes control-plane writes: heartbeats, stage progress
+// and the final report race on one coordinator connection.
+type ctrlSender struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+func (s *ctrlSender) send(v any) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return writeFrame(s.conn, v)
+}
+
+// heartbeat sends liveness frames every interval until stopped.
+func heartbeat(tx *ctrlSender, rank int, interval time.Duration, stop <-chan struct{}) {
+	if interval <= 0 {
+		return
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			if tx.send(workerMsg{Progress: &progressMsg{Rank: rank}}) != nil {
+				return
+			}
+		}
+	}
+}
+
+// reportFailure best-effort reports err to the coordinator (through the
+// monitored-protocol sender when active) and returns err.
+func reportFailure(conn net.Conn, tx *ctrlSender, rank int, err error) error {
+	msg := reportMsg{Rank: rank, Err: err.Error()}
+	if tx != nil {
+		_ = tx.send(workerMsg{Report: &msg})
+	} else {
+		_ = writeFrame(conn, msg)
+	}
 	return err
 }

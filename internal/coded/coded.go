@@ -144,6 +144,9 @@ type Config struct {
 	// the cluster runtime uses for its stage log. The timeline is always
 	// charged first, so hook observers see consistent timings.
 	Hooks engine.Hooks
+	// Faults injects node death and slowness at chosen stages (the cluster
+	// runtime's failure model; see engine.Fault). Empty injects nothing.
+	Faults engine.Faults
 }
 
 // policies maps the config's runtime knobs onto the engine's scheduler
@@ -153,6 +156,7 @@ func (c Config) policies() engine.Policies {
 		ChunkRows: c.ChunkRows, Window: c.Window, DefaultWindow: DefaultWindow,
 		MemBudget: c.MemBudget, SpillDir: c.SpillDir,
 		Parallelism: c.Parallelism, Parallel: c.Parallel,
+		Faults: c.Faults,
 	}
 }
 

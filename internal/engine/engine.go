@@ -227,6 +227,7 @@ func Run(ep transport.Endpoint, g *Graph, p Policies, clock stats.Clock, hooks H
 	}
 	ctx := newContext(ep, p, mode)
 	defer ctx.cleanup()
+	faulted := map[stats.Stage]bool{}
 	for _, s := range sched {
 		st, timed := s.Kind.Stats()
 		if !timed {
@@ -237,9 +238,26 @@ func Run(ep transport.Endpoint, g *Graph, p Policies, clock stats.Clock, hooks H
 			}
 			continue
 		}
+		// Injected faults strike the first stage charged to their timeline
+		// column (KindSort and KindReduce share one column). A kill exits
+		// before the body, hooks and barrier — a dead node reports nothing,
+		// so detection is the supervisor's job, not the scheduler's.
+		fault := (*Fault)(nil)
+		if !faulted[st] {
+			fault = p.Faults.Find(ctx.Rank, st)
+			faulted[st] = true
+		}
+		if fault != nil && fault.Kind == FaultKill {
+			return ctx, &KilledError{Rank: ctx.Rank, Stage: st}
+		}
 		hooks.start(ctx.Rank, st)
 		t0 := clock.Now()
 		serr := s.Run(ctx)
+		if fault != nil && fault.Kind == FaultSlow && serr == nil {
+			// The straggler stalls before reporting the stage, so the
+			// inflated Elapsed is what peers and the detection layer see.
+			fault.stall(clock.Now() - t0)
+		}
 		hooks.end(StageEvent{Rank: ctx.Rank, Stage: st, Elapsed: clock.Now() - t0, Err: serr})
 		if serr != nil {
 			return ctx, fmt.Errorf("%s: rank %d %v stage: %w", g.name, ctx.Rank, st, serr)

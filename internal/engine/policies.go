@@ -91,6 +91,10 @@ type Policies struct {
 	// Context.Schedule runs senders concurrently instead of passing the
 	// rank token.
 	Parallel bool
+	// Faults injects node death and slowness at chosen stages — the
+	// deterministic failure model behind the cluster runtime's straggler
+	// detection and recovery. Empty injects nothing.
+	Faults Faults
 }
 
 // Mode derives the execution mode: MemBudget forces out-of-core, ChunkRows
@@ -123,6 +127,9 @@ func (p Policies) Normalize(name string, streams int) (Policies, error) {
 	}
 	if p.Parallelism < 0 {
 		return p, fmt.Errorf("%s: negative Parallelism", name)
+	}
+	if err := p.Faults.Validate(name, streams); err != nil {
+		return p, err
 	}
 	if p.MemBudget > 0 {
 		if p.ChunkRows == 0 {

@@ -149,6 +149,22 @@ func (m TimeModel) OptimalSpeedup() float64 {
 	return float64(m.Baseline()) / float64(m.OptimalTotal())
 }
 
+// StragglerDelta returns the Eq. 4-level completion-time penalty of one
+// straggling rank whose shuffle egress runs at 1/f speed. Under the serial
+// one-sender-at-a-time schedule every rank transmits for 1/K of the
+// shuffle, so the cluster waits an extra (f-1)·T_shuffle(r)/K — with
+// T_shuffle(r) = T_shuffle/r, the straggler penalty shrinks by the same
+// factor r as the load itself: coding converts its redundancy into
+// straggler resilience, the flagship application of the coded-computing
+// literature the paper cites ([11]).
+func (m TimeModel) StragglerDelta(r float64, k int, f float64) time.Duration {
+	checkKR(k, r)
+	if f <= 1 {
+		return 0
+	}
+	return time.Duration((f - 1) * float64(m.TShuffle) / r / float64(k))
+}
+
 // Groups returns C(K, r+1), the number of multicast groups CodeGen must
 // initialize — the quantity the paper observes dominating at large r
 // (Section V-C: "the time spent in the CodeGen stage is proportional to

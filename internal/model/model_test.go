@@ -248,3 +248,20 @@ func TestRStarPanicsWithoutMapTime(t *testing.T) {
 	}()
 	TimeModel{TShuffle: time.Second}.RStar()
 }
+
+// TestStragglerDelta: the Eq. 4-level straggler penalty scales with the
+// shuffle volume — halving with doubled r — and vanishes at factor <= 1.
+func TestStragglerDelta(t *testing.T) {
+	m := TimeModel{TMap: 15 * time.Second, TShuffle: 960 * time.Second, TReduce: 170 * time.Second}
+	d1 := m.StragglerDelta(1, 16, 4)
+	d2 := m.StragglerDelta(2, 16, 4)
+	if d1 != 3*960*time.Second/16 {
+		t.Fatalf("uncoded delta %v", d1)
+	}
+	if d2 != d1/2 {
+		t.Fatalf("delta at r=2 is %v, want half of %v", d2, d1)
+	}
+	if m.StragglerDelta(3, 16, 1) != 0 {
+		t.Fatalf("factor 1 must cost nothing")
+	}
+}

@@ -1,0 +1,211 @@
+package simnet
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"codedterasort/internal/kv"
+	"codedterasort/internal/stats"
+)
+
+// This file models the two failure scenarios of the straggler-mitigation
+// literature the paper cites ([11], Coded MapReduce) at EC2 scale, the
+// live counterparts of which are injected by cluster.FaultSpec:
+//
+//   - A straggler: one rank whose shuffle egress runs at 1/factor speed
+//     (the netem SlowFactor injection). Under the serial schedules of
+//     Fig 9 every rank transmits for ~1/K of the shuffle, so the cluster
+//     pays an extra (factor-1)/K of the shuffle time — and because coding
+//     cuts shuffle time by ~r, the same slow NIC costs a coded job ~r
+//     times less wall time. Redundancy doubles as straggler resilience.
+//   - A kill-at-stage failure: one rank dies at a stage and is respawned
+//     after a detection deadline (the cluster runtime's recovery loop).
+//     The respawned rank must catch up — re-execute its own share of
+//     every stage from Map through the failed stage — before the cluster
+//     can finish. Uncoded placement holds the only copy of the dead
+//     rank's input, so recovery additionally re-distributes that file
+//     from the source over the wire; coded placement keeps r-1 surviving
+//     replicas of every file the dead rank stored, so the backup reads
+//     them locally and the lost multicast groups are regenerated without
+//     touching the source. That asymmetry is what turns the coded
+//     redundancy from a bandwidth trick into a fault-tolerance asset.
+
+// StraggleShuffle returns the breakdown with one rank's shuffle egress
+// slowed by factor: the serial schedule stretches by the straggler's 1/K
+// share, the parallel schedule (max over concurrent links) by the whole
+// factor. Factors at or below 1 change nothing.
+func StraggleShuffle(b stats.Breakdown, k int, factor float64, parallel bool) stats.Breakdown {
+	if factor <= 1 || k <= 0 {
+		return b
+	}
+	out := b
+	s := float64(b[stats.StageShuffle])
+	if parallel {
+		out[stats.StageShuffle] = time.Duration(s * factor)
+	} else {
+		out[stats.StageShuffle] = time.Duration(s * (1 + (factor-1)/float64(k)))
+	}
+	return out
+}
+
+// StragglerPoint compares one configuration's completion time with and
+// without a straggler. Coded is false for the uncoded baseline row.
+type StragglerPoint struct {
+	K, R   int
+	Coded  bool
+	Factor float64
+	// HealthySec and StraggledSec are full-job completion times.
+	HealthySec, StraggledSec float64
+	// DeltaSec is the absolute slowdown the straggler inflicts; Ratio is
+	// StraggledSec/HealthySec.
+	DeltaSec float64
+	Ratio    float64
+}
+
+// stragglerPoint simulates one workload under a shuffle straggler.
+func stragglerPoint(w Workload, factor float64, cm CostModel) (StragglerPoint, error) {
+	b, _, err := Simulate(w, cm)
+	if err != nil {
+		return StragglerPoint{}, err
+	}
+	sb := StraggleShuffle(b, w.K, factor, w.ParallelShuffle)
+	healthy := b.Total().Seconds()
+	straggled := sb.Total().Seconds()
+	return StragglerPoint{
+		K: w.K, R: w.R, Coded: w.Coded, Factor: factor,
+		HealthySec: healthy, StraggledSec: straggled,
+		DeltaSec: straggled - healthy, Ratio: straggled / healthy,
+	}, nil
+}
+
+// SweepStragglers simulates the full-scale (12 GB) completion-time impact
+// of one shuffle straggler slowed by factor: the uncoded baseline at K
+// followed by the coded runs at every r in rs — the Table-2-style story of
+// how much less a coded job degrades under the same slow node.
+func SweepStragglers(k int, rs []int, factor float64, cm CostModel) ([]StragglerPoint, error) {
+	base, err := stragglerPoint(Workload{Rows: Rows12GB, K: k}, factor, cm)
+	if err != nil {
+		return nil, fmt.Errorf("simnet: straggler baseline: %w", err)
+	}
+	out := []StragglerPoint{base}
+	for _, r := range rs {
+		p, err := stragglerPoint(Workload{Rows: Rows12GB, K: k, R: r, Coded: true}, factor, cm)
+		if err != nil {
+			return nil, fmt.Errorf("simnet: straggler r=%d: %w", r, err)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// RenderStragglers formats straggler points as a text table.
+func RenderStragglers(title string, pts []StragglerPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%-10s %4s  %11s %12s %10s %8s\n",
+		"scheme", "r", "healthy(s)", "straggled(s)", "delta(s)", "ratio")
+	fmt.Fprintf(&b, "%s\n", strings.Repeat("-", 62))
+	for _, p := range pts {
+		scheme := "uncoded"
+		r := "-"
+		if p.Coded {
+			scheme = "coded"
+			r = fmt.Sprintf("%d", p.R)
+		}
+		fmt.Fprintf(&b, "%-10s %4s  %11.2f %12.2f %10.2f %7.3fx\n",
+			scheme, r, p.HealthySec, p.StraggledSec, p.DeltaSec, p.Ratio)
+	}
+	return b.String()
+}
+
+// FailurePoint compares one configuration's completion time with and
+// without a kill-at-stage failure recovered by respawn.
+type FailurePoint struct {
+	K, R      int
+	Coded     bool
+	FailStage stats.Stage
+	// HealthySec is the clean completion time; RecoveredSec includes the
+	// detection deadline and the respawned rank's catch-up; OverheadSec is
+	// their difference.
+	HealthySec, RecoveredSec, OverheadSec float64
+}
+
+// SimulateFailure models one rank dying at failStage and being respawned
+// after the detection deadline: the cluster's completion time becomes the
+// healthy total plus the deadline plus the replacement's catch-up — its
+// own per-node share of every stage from Map through failStage (compute
+// stages are per-node times already; the serial shuffle charges the rank
+// its 1/K egress share). An uncoded respawn additionally pays the wire
+// time of re-distributing the dead rank's input file from the source: the
+// sole copy died with the rank, whereas coded placement leaves r-1
+// replicas of each of its files on the survivors.
+func SimulateFailure(w Workload, cm CostModel, failStage stats.Stage, deadline time.Duration) (FailurePoint, error) {
+	if failStage < stats.StageMap || failStage >= stats.NumStages {
+		return FailurePoint{}, fmt.Errorf("simnet: failure stage %v outside Map..Reduce", failStage)
+	}
+	b, _, err := Simulate(w, cm)
+	if err != nil {
+		return FailurePoint{}, err
+	}
+	var catchup time.Duration
+	for st := stats.StageMap; st <= failStage; st++ {
+		share := b[st]
+		if st == stats.StageShuffle && !w.ParallelShuffle {
+			share = b[st] / time.Duration(w.K)
+		}
+		catchup += share
+	}
+	overhead := deadline + catchup
+	if !w.Coded {
+		// Source re-placement of the lost 1/K input split.
+		lost := float64(w.Rows) * kv.RecordSize / float64(w.K)
+		overhead += cm.WireTime(lost)
+	}
+	healthy := b.Total()
+	return FailurePoint{
+		K: w.K, R: w.R, Coded: w.Coded, FailStage: failStage,
+		HealthySec:   healthy.Seconds(),
+		RecoveredSec: (healthy + overhead).Seconds(),
+		OverheadSec:  overhead.Seconds(),
+	}, nil
+}
+
+// SweepFailures simulates the full-scale recovery overhead of a death at
+// every stage from Map through Reduce, for the uncoded baseline and the
+// coded scheme at r.
+func SweepFailures(k, r int, deadline time.Duration, cm CostModel) ([]FailurePoint, error) {
+	var out []FailurePoint
+	for st := stats.StageMap; st < stats.NumStages; st++ {
+		u, err := SimulateFailure(Workload{Rows: Rows12GB, K: k}, cm, st, deadline)
+		if err != nil {
+			return nil, err
+		}
+		c, err := SimulateFailure(Workload{Rows: Rows12GB, K: k, R: r, Coded: true}, cm, st, deadline)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, u, c)
+	}
+	return out, nil
+}
+
+// RenderFailures formats failure points as a text table.
+func RenderFailures(title string, pts []FailurePoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%-14s %-10s %4s  %11s %13s %12s\n",
+		"died at", "scheme", "r", "healthy(s)", "recovered(s)", "overhead(s)")
+	fmt.Fprintf(&b, "%s\n", strings.Repeat("-", 70))
+	for _, p := range pts {
+		scheme := "uncoded"
+		r := "-"
+		if p.Coded {
+			scheme = "coded"
+			r = fmt.Sprintf("%d", p.R)
+		}
+		fmt.Fprintf(&b, "%-14s %-10s %4s  %11.2f %13.2f %12.2f\n",
+			p.FailStage.String(), scheme, r, p.HealthySec, p.RecoveredSec, p.OverheadSec)
+	}
+	return b.String()
+}

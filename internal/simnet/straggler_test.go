@@ -1,0 +1,117 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+
+	"codedterasort/internal/stats"
+)
+
+// TestStraggleShuffle: the serial schedule pays the straggler's 1/K share,
+// the parallel schedule the full factor, and factors <= 1 are no-ops.
+func TestStraggleShuffle(t *testing.T) {
+	var b stats.Breakdown
+	b[stats.StageShuffle] = 160 * time.Second
+	b[stats.StageMap] = 10 * time.Second
+
+	serial := StraggleShuffle(b, 16, 4, false)
+	want := time.Duration(float64(160*time.Second) * (1 + 3.0/16))
+	if got := serial[stats.StageShuffle]; got != want {
+		t.Fatalf("serial straggled shuffle %v, want %v", got, want)
+	}
+	if serial[stats.StageMap] != b[stats.StageMap] {
+		t.Fatalf("straggler perturbed a compute stage")
+	}
+	parallel := StraggleShuffle(b, 16, 4, true)
+	if got := parallel[stats.StageShuffle]; got != 640*time.Second {
+		t.Fatalf("parallel straggled shuffle %v, want 640s", got)
+	}
+	if noop := StraggleShuffle(b, 16, 1, false); noop != b {
+		t.Fatalf("factor 1 changed the breakdown")
+	}
+}
+
+// TestStragglerCodedDegradesLess is the model-level Table-2 story: under
+// the same 4x shuffle straggler, every coded configuration loses less
+// absolute time AND degrades by a smaller ratio than uncoded TeraSort,
+// and the loss shrinks as r grows (the penalty scales with the shuffle
+// volume, which coding cuts by ~r).
+func TestStragglerCodedDegradesLess(t *testing.T) {
+	pts, err := SweepStragglers(16, []int{3, 5}, 4, Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 || pts[0].Coded {
+		t.Fatalf("sweep shape: %+v", pts)
+	}
+	base := pts[0]
+	if base.DeltaSec <= 0 {
+		t.Fatalf("straggler cost the uncoded baseline nothing: %+v", base)
+	}
+	for _, p := range pts[1:] {
+		if p.DeltaSec >= base.DeltaSec {
+			t.Errorf("coded r=%d delta %.2fs not below uncoded %.2fs", p.R, p.DeltaSec, base.DeltaSec)
+		}
+		if p.Ratio >= base.Ratio {
+			t.Errorf("coded r=%d ratio %.3f not below uncoded %.3f", p.R, p.Ratio, base.Ratio)
+		}
+	}
+	if pts[2].DeltaSec >= pts[1].DeltaSec {
+		t.Errorf("delta did not shrink with r: r=3 %.2fs vs r=5 %.2fs", pts[1].DeltaSec, pts[2].DeltaSec)
+	}
+}
+
+// TestFailureRecoveryModel: a death at Shuffle recovered by respawn costs
+// the uncoded job more than the coded one — the uncoded respawn must
+// re-fetch the lost input split from the source over the 100 Mbps wire,
+// while the coded backup reads the r-1 surviving replicas locally.
+func TestFailureRecoveryModel(t *testing.T) {
+	cm := Default()
+	const deadline = 10 * time.Second
+	u, err := SimulateFailure(Workload{Rows: Rows12GB, K: 16}, cm, stats.StageShuffle, deadline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := SimulateFailure(Workload{Rows: Rows12GB, K: 16, R: 3, Coded: true}, cm, stats.StageShuffle, deadline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []FailurePoint{u, c} {
+		if p.RecoveredSec <= p.HealthySec {
+			t.Fatalf("recovery was free: %+v", p)
+		}
+		if p.OverheadSec < deadline.Seconds() {
+			t.Fatalf("overhead below the detection deadline: %+v", p)
+		}
+	}
+	// The lost 1/K split is 750 MB; its 100 Mbps re-placement alone is
+	// 60 s of the uncoded overhead.
+	rePlace := cm.WireTime(float64(Rows12GB) * 100 / 16).Seconds()
+	if u.OverheadSec < rePlace {
+		t.Fatalf("uncoded overhead %.2fs below the re-placement wire time %.2fs", u.OverheadSec, rePlace)
+	}
+	if c.OverheadSec >= u.OverheadSec {
+		t.Fatalf("coded recovery overhead %.2fs not below uncoded %.2fs", c.OverheadSec, u.OverheadSec)
+	}
+	// Sweep sanity: every stage yields a (uncoded, coded) pair.
+	pts, err := SweepFailures(16, 3, deadline, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2*int(stats.NumStages-stats.StageMap) {
+		t.Fatalf("failure sweep has %d points", len(pts))
+	}
+	if s := RenderFailures("t", pts); len(s) == 0 {
+		t.Fatal("empty render")
+	}
+	if s := RenderStragglers("t", []StragglerPoint{u2s(u), u2s(c)}); len(s) == 0 {
+		t.Fatal("empty render")
+	}
+}
+
+// u2s adapts a failure point for the straggler renderer smoke check.
+func u2s(p FailurePoint) StragglerPoint {
+	return StragglerPoint{K: p.K, R: p.R, Coded: p.Coded,
+		HealthySec: p.HealthySec, StraggledSec: p.RecoveredSec,
+		DeltaSec: p.OverheadSec, Ratio: p.RecoveredSec / p.HealthySec}
+}

@@ -104,6 +104,29 @@ func (s Stage) String() string {
 	}
 }
 
+// ParseStage parses a stage name back to its axis position. It accepts the
+// table-column names String renders plus the per-engine aliases the paper
+// uses ("Pack" or "Encode" for the coding column, "Unpack" or "Decode" for
+// its inverse) — the form job specs and CLI flags name fault stages in.
+func ParseStage(name string) (Stage, error) {
+	switch name {
+	case "CodeGen":
+		return StageCodeGen, nil
+	case "Map":
+		return StageMap, nil
+	case "Pack", "Encode", "Pack/Encode":
+		return StagePack, nil
+	case "Shuffle":
+		return StageShuffle, nil
+	case "Unpack", "Decode", "Unpack/Decode":
+		return StageUnpack, nil
+	case "Reduce", "Sort":
+		return StageReduce, nil
+	default:
+		return 0, fmt.Errorf("stats: unknown stage %q", name)
+	}
+}
+
 // Breakdown holds one duration per stage.
 type Breakdown [NumStages]time.Duration
 

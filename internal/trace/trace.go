@@ -182,6 +182,9 @@ func Write(w io.Writer, events []Event) error {
 type StageRecord struct {
 	// At is the clock time at stage completion.
 	At time.Duration
+	// Attempt is the recovery attempt the stage ran under (1 for a job's
+	// first execution; higher after straggler/failure re-execution).
+	Attempt int
 	// Node is the rank that ran the stage.
 	Node int
 	// Stage is the timeline column the stage was charged to.
@@ -195,6 +198,9 @@ type StageRecord struct {
 // String renders the record as one log line.
 func (r StageRecord) String() string {
 	s := fmt.Sprintf("%12v node %2d stage %-13s %12v", r.At, r.Node, r.Stage, r.Elapsed)
+	if r.Attempt > 1 {
+		s += fmt.Sprintf("  attempt %d", r.Attempt)
+	}
 	if r.Err != "" {
 		s += "  ERR " + r.Err
 	}
@@ -208,12 +214,25 @@ type StageLog struct {
 	clock stats.Clock
 
 	mu      sync.Mutex
+	attempt int
 	records []StageRecord
 }
 
-// NewStageLog returns an empty log stamping records with clock.
+// NewStageLog returns an empty log stamping records with clock; records
+// carry attempt number 1 until NewAttempt is called.
 func NewStageLog(clock stats.Clock) *StageLog {
-	return &StageLog{clock: clock}
+	return &StageLog{clock: clock, attempt: 1}
+}
+
+// NewAttempt advances the attempt number stamped on subsequent records and
+// returns it — called by the cluster supervisor when straggler/failure
+// recovery re-executes a job, so one log holds the whole recovery timeline
+// (the failed attempt's partial records included).
+func (l *StageLog) NewAttempt() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.attempt++
+	return l.attempt
 }
 
 // Record appends one completed stage. Safe for concurrent use by all
@@ -225,7 +244,7 @@ func (l *StageLog) Record(node int, stage stats.Stage, elapsed time.Duration, er
 	}
 	l.mu.Lock()
 	l.records = append(l.records, StageRecord{
-		At: l.clock.Now(), Node: node, Stage: stage, Elapsed: elapsed, Err: msg,
+		At: l.clock.Now(), Attempt: l.attempt, Node: node, Stage: stage, Elapsed: elapsed, Err: msg,
 	})
 	l.mu.Unlock()
 }
