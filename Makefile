@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet fmt-check docs-check examples-smoke test race fuzz bench bench-smoke cover vuln ci
+.PHONY: all build vet fmt-check docs-check examples-smoke test race fuzz bench bench-smoke cover cover-gate vuln ci
 
 all: ci
 
@@ -54,6 +54,7 @@ fuzz:
 		$(GO) test -run=Fuzz -fuzz=$$target -fuzztime=5s ./internal/codec/ || exit 1; \
 	done; \
 	$(GO) test -run=Fuzz -fuzz=FuzzRunReader -fuzztime=5s ./internal/extsort/
+	$(GO) test -run=Fuzz -fuzz=FuzzMapReduceKernels -fuzztime=5s ./internal/mapreduce/
 
 bench:
 	$(GO) test -run=XXX -bench=. -benchmem ./...
@@ -71,6 +72,25 @@ cover:
 	$(GO) test -coverprofile=cover.out ./...
 	$(GO) tool cover -func=cover.out | tail -n 20
 
+# Coverage floor on the framework-critical packages: the stage-graph
+# runtime and the MapReduce layer riding it must keep >= 80% statement
+# coverage — they are the surfaces every kernel and both engines depend on.
+COVER_GATE_PKGS = ./internal/engine ./internal/mapreduce
+COVER_GATE_MIN  = 80
+cover-gate:
+	@fail=0; \
+	for pkg in $(COVER_GATE_PKGS); do \
+		pct=$$($(GO) test -cover $$pkg | sed -n 's/.*coverage: \([0-9.]*\)%.*/\1/p'); \
+		if [ -z "$$pct" ]; then echo "cover gate: no coverage figure for $$pkg"; fail=1; continue; fi; \
+		ok=$$(awk "BEGIN{print ($$pct >= $(COVER_GATE_MIN)) ? 1 : 0}"); \
+		if [ "$$ok" -ne 1 ]; then \
+			echo "cover gate: $$pkg at $$pct% (< $(COVER_GATE_MIN)% floor)"; fail=1; \
+		else \
+			echo "cover gate: $$pkg at $$pct% (floor $(COVER_GATE_MIN)%)"; \
+		fi; \
+	done; \
+	if [ "$$fail" -ne 0 ]; then exit 1; fi
+
 # Known-vulnerability scan over the module and its call graph. Part of the
 # gate where the tool is installed (CI installs it); offline machines skip
 # with a notice instead of failing.
@@ -81,4 +101,4 @@ vuln:
 		echo "govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; \
 	fi
 
-ci: build vet fmt-check docs-check examples-smoke race vuln
+ci: build vet fmt-check docs-check examples-smoke race cover-gate vuln

@@ -23,3 +23,14 @@ if command -v govulncheck >/dev/null 2>&1; then
 else
 	echo "govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"
 fi
+# Coverage floor on the framework-critical packages (mirrors `make
+# cover-gate`): the stage-graph runtime and the MapReduce layer must keep
+# >= 80% statement coverage.
+for pkg in ./internal/engine ./internal/mapreduce; do
+	pct=$(go test -cover "$pkg" | sed -n 's/.*coverage: \([0-9.]*\)%.*/\1/p')
+	if [ -z "$pct" ] || [ "$(awk "BEGIN{print ($pct >= 80) ? 1 : 0}")" -ne 1 ]; then
+		echo "cover gate: $pkg at ${pct:-?}% (< 80% floor)"
+		exit 1
+	fi
+	echo "cover gate: $pkg at $pct% (floor 80%)"
+done

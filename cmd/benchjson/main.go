@@ -23,6 +23,7 @@ import (
 	"codedterasort/internal/coded"
 	"codedterasort/internal/combin"
 	"codedterasort/internal/kv"
+	"codedterasort/internal/mapreduce"
 	"codedterasort/internal/parallel"
 	"codedterasort/internal/partition"
 	"codedterasort/internal/placement"
@@ -101,6 +102,23 @@ type recoveryResult struct {
 	RecoveredNs float64 `json:"recovered_ns_per_op"`
 }
 
+// mapreduceResult is one MapReduce kernel's communication-load
+// measurement: the bytes its intermediate data costs to shuffle uncoded
+// versus coded at the same (K, R, rows). Loads are deterministic functions
+// of the job (not timings), so one run per engine suffices; the section
+// tracks the per-kernel gain the framework inherits from the coded
+// shuffle.
+type mapreduceResult struct {
+	Kernel       string  `json:"kernel"`
+	K            int     `json:"k"`
+	R            int     `json:"r"`
+	Rows         int64   `json:"rows"`
+	ReducedRows  int64   `json:"reduced_rows"`
+	UncodedBytes int64   `json:"uncoded_shuffle_bytes"`
+	CodedBytes   int64   `json:"coded_shuffle_bytes"`
+	Gain         float64 `json:"gain"`
+}
+
 // benchFile is the BENCH_pipeline.json document.
 type benchFile struct {
 	Host    hostInfo      `json:"host"`
@@ -114,6 +132,9 @@ type benchFile struct {
 	// engine.
 	Straggler []stragglerResult `json:"straggler"`
 	Recovery  []recoveryResult  `json:"recovery"`
+	// Mapreduce tracks the per-kernel shuffle loads of the MapReduce
+	// framework's built-in kernels, uncoded vs coded.
+	Mapreduce []mapreduceResult `json:"mapreduce"`
 }
 
 func main() {
@@ -390,6 +411,36 @@ func runRecovery(rows int64, benchtime time.Duration) ([]recoveryResult, error) 
 	return out, nil
 }
 
+// runMapReduce records every built-in kernel's shuffle load uncoded and
+// coded at K=4, R=2 over a quarter of the pipeline row count (the text
+// kernels expand each input record into several intermediate ones).
+func runMapReduce(rows int64) ([]mapreduceResult, error) {
+	const k, r = 4, 2
+	mrRows := rows / 4
+	if mrRows < 1000 {
+		mrRows = 1000
+	}
+	var out []mapreduceResult
+	for _, kern := range mapreduce.Kernels() {
+		plainRep, err := mapreduce.RunLocal(kern.Job(k, 1, mrRows, 11), mapreduce.LocalOptions{})
+		if err != nil {
+			return nil, fmt.Errorf("mapreduce %s uncoded: %w", kern.Name, err)
+		}
+		codedRep, err := mapreduce.RunLocal(kern.Job(k, r, mrRows, 11), mapreduce.LocalOptions{})
+		if err != nil {
+			return nil, fmt.Errorf("mapreduce %s coded: %w", kern.Name, err)
+		}
+		out = append(out, mapreduceResult{
+			Kernel: kern.Name, K: k, R: r, Rows: mrRows,
+			ReducedRows:  codedRep.Rows,
+			UncodedBytes: plainRep.ShuffleLoadBytes,
+			CodedBytes:   codedRep.ShuffleLoadBytes,
+			Gain:         float64(plainRep.ShuffleLoadBytes) / float64(codedRep.ShuffleLoadBytes),
+		})
+	}
+	return out, nil
+}
+
 func run(out string, rows int64, benchtime time.Duration) error {
 	spillDir, err := os.MkdirTemp("", "benchjson-*")
 	if err != nil {
@@ -437,6 +488,15 @@ func run(out string, rows int64, benchtime time.Duration) error {
 	for _, r := range recovery {
 		fmt.Printf("recovery/%-17s %12.0f -> %12.0f ns/op (%d attempts, mid-Map death)\n",
 			r.Name, r.HealthyNs, r.RecoveredNs, r.Attempts)
+	}
+	mr, err := runMapReduce(rows)
+	if err != nil {
+		return err
+	}
+	doc.Mapreduce = mr
+	for _, m := range mr {
+		fmt.Printf("mapreduce/%-16s %8.1f KB uncoded -> %8.1f KB coded (gain %.2fx)\n",
+			m.Kernel, float64(m.UncodedBytes)/1e3, float64(m.CodedBytes)/1e3, m.Gain)
 	}
 	p, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {

@@ -35,6 +35,14 @@
 // volume, which coding cuts by ~r, and a dead rank's input survives on
 // its r-1 placement replicas — the straggler-mitigation story of the
 // coded-computing literature the paper cites.
+// The paper's "Beyond Sorting Algorithms" direction is first-class:
+// internal/mapreduce runs arbitrary Mapper/Reducer kernels over the same
+// engines — the replication factor alone selects uncoded or coded
+// execution — with four built-in kernels (word count, grep, inverted
+// index, log aggregation) exposed by cmd/codedmr, and a kernel-generic
+// equivalence harness (internal/mapreduce/mrtest) gating every registered
+// kernel to byte-identical output across engines, execution modes,
+// parallelism and recovered runs (DESIGN.md section 12).
 // The benchmarks in bench_test.go regenerate every table and figure of
 // the paper's evaluation; the tests in internal/simnet pin the reproduced
 // values against the paper's tables; cmd/benchjson tracks the pipeline

@@ -1,9 +1,10 @@
 // Command coded_grep demonstrates the paper's "Beyond Sorting Algorithms" future
 // direction (Section VI): the same structured redundancy and coded
 // multicast shuffling applied to Grep, another application the paper names
-// as shuffle-limited. Each worker scans its files for records whose value
-// contains a pattern, and only the (coded) matches are shuffled; reducers
-// output the sorted matches of their key range.
+// as shuffle-limited. The grep kernel of the MapReduce framework scans
+// each worker's files for records whose value contains a pattern; only the
+// (coded) matches are shuffled, and reducers output the sorted matches of
+// their key range.
 //
 //	go run ./examples/coded_grep
 package main
@@ -12,13 +13,9 @@ import (
 	"bytes"
 	"fmt"
 	"log"
-	"sync"
 
-	"codedterasort/internal/coded"
 	"codedterasort/internal/kv"
-	"codedterasort/internal/terasort"
-	"codedterasort/internal/transport"
-	"codedterasort/internal/transport/memnet"
+	"codedterasort/internal/mapreduce"
 )
 
 func main() {
@@ -28,67 +25,31 @@ func main() {
 		rows = 300_000
 		seed = 21
 	)
-	pattern := []byte("QQ") // ~0.13% of uniform 26-letter filler values
-	match := func(rec []byte) bool {
-		return bytes.Contains(rec[kv.KeySize:], pattern)
-	}
+	pattern := "QQ" // ~0.13% of uniform 26-letter filler values
+	kern := mapreduce.Grep(pattern)
 
 	fmt.Printf("Coded Grep: pattern %q over %d records on %d workers (r=%d)\n\n",
 		pattern, rows, k, r)
 
-	run := func(codedRun bool) (int, int64) {
-		mesh := memnet.NewMesh(k)
-		defer mesh.Close()
-		var wg sync.WaitGroup
-		matches := make([]int, k)
-		var loadBytes int64
-		var mu sync.Mutex
-		for rank := 0; rank < k; rank++ {
-			wg.Add(1)
-			go func(rank int) {
-				defer wg.Done()
-				ep := transport.WithCollectives(mesh.Endpoint(rank), transport.BcastSequential)
-				if codedRun {
-					res, err := coded.Run(ep, coded.Config{
-						K: k, R: r, Rows: rows, Seed: seed, Filter: match,
-					}, nil)
-					if err != nil {
-						log.Fatal(err)
-					}
-					mu.Lock()
-					matches[rank] = res.Output.Len()
-					loadBytes += res.MulticastBytes
-					mu.Unlock()
-				} else {
-					res, err := terasort.Run(ep, terasort.Config{
-						K: k, Rows: rows, Seed: seed, Filter: match,
-					}, nil)
-					if err != nil {
-						log.Fatal(err)
-					}
-					mu.Lock()
-					matches[rank] = res.Output.Len()
-					loadBytes += res.ShuffleBytes
-					mu.Unlock()
-				}
-			}(rank)
+	// One kernel, both engines: the replication factor alone decides
+	// whether the job compiles onto the uncoded or the coded graph. The
+	// supervised runner owns the workers and their errors — no goroutine
+	// plumbing in the application.
+	run := func(rr int) (int, int64) {
+		rep, err := mapreduce.RunLocal(kern.Job(k, rr, rows, seed), mapreduce.LocalOptions{})
+		if err != nil {
+			log.Fatal(err)
 		}
-		wg.Wait()
-		total := 0
-		for _, m := range matches {
-			total += m
-		}
-		return total, loadBytes
+		return int(rep.Rows), rep.ShuffleLoadBytes
 	}
-
-	plainMatches, plainLoad := run(false)
-	codedMatches, codedLoad := run(true)
+	plainMatches, plainLoad := run(1)
+	codedMatches, codedLoad := run(r)
 
 	// Reference scan.
 	data := kv.NewGenerator(seed, kv.DistUniform).Generate(0, rows)
 	want := 0
 	for i := 0; i < data.Len(); i++ {
-		if match(data.Record(i)) {
+		if bytes.Contains(data.Record(i)[kv.KeySize:], []byte(pattern)) {
 			want++
 		}
 	}

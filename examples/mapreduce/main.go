@@ -1,0 +1,81 @@
+// Command mapreduce tours the coded-MapReduce framework: it runs the four
+// built-in kernels (word count, grep, inverted index, log aggregation)
+// coded and uncoded on an in-process cluster, verifies the reduced outputs
+// are byte-identical, and then defines a custom kernel inline — a
+// vocabulary histogram — to show that a new computation is just a Mapper
+// and a Reducer; the coded shuffle, streaming, spilling and recovery come
+// from the framework.
+//
+//	go run ./examples/mapreduce
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"strconv"
+
+	"codedterasort/internal/kv"
+	"codedterasort/internal/mapreduce"
+)
+
+const (
+	k    = 6
+	r    = 3
+	rows = 100_000
+	seed = 42
+)
+
+// runBoth executes the kernel uncoded and coded, checks byte-identity of
+// the reduced outputs, and returns (reduced rows, uncoded load, coded load).
+func runBoth(kern mapreduce.Kernel) (int64, int64, int64) {
+	plain, err := mapreduce.RunLocal(kern.Job(k, 1, rows, seed), mapreduce.LocalOptions{})
+	if err != nil {
+		log.Fatalf("%s uncoded: %v", kern.Name, err)
+	}
+	coded, err := mapreduce.RunLocal(kern.Job(k, r, rows, seed), mapreduce.LocalOptions{})
+	if err != nil {
+		log.Fatalf("%s coded: %v", kern.Name, err)
+	}
+	for rank := 0; rank < k; rank++ {
+		if !bytes.Equal(plain.Output(rank).Bytes(), coded.Output(rank).Bytes()) {
+			log.Fatalf("%s: rank %d outputs differ between engines", kern.Name, rank)
+		}
+	}
+	return coded.Rows, plain.ShuffleLoadBytes, coded.ShuffleLoadBytes
+}
+
+func main() {
+	fmt.Printf("Coded MapReduce: %d records on %d workers, r=%d\n\n", rows, k, r)
+	fmt.Printf("%-14s %12s %14s %12s %6s\n", "kernel", "reduced rows", "uncoded KB", "coded KB", "gain")
+	for _, kern := range mapreduce.Kernels() {
+		out, plainLoad, codedLoad := runBoth(kern)
+		fmt.Printf("%-14s %12d %14.1f %12.1f %5.2fx\n",
+			kern.Name, out, float64(plainLoad)/1e3, float64(codedLoad)/1e3,
+			float64(plainLoad)/float64(codedLoad))
+	}
+
+	// A custom kernel is just a Mapper and a Reducer: count the distinct
+	// documents each word length appears in. Everything else — placement,
+	// coding, shuffle, sorting, grouping — is the framework's.
+	custom := mapreduce.Kernel{
+		Name: "wordlen",
+		Doc:  "histogram vocabulary word lengths over the text corpus",
+		Mapper: mapreduce.MapperFunc(func(rec []byte, emit mapreduce.Emit) {
+			for _, w := range bytes.Fields(mapreduce.TrimPad(rec[kv.KeySize:])) {
+				emit(strconv.AppendInt([]byte("len"), int64(len(w)), 10), []byte{1})
+			}
+		}),
+		Reducer: mapreduce.ReducerFunc(func(key []byte, values [][]byte, emit mapreduce.Emit) {
+			emit(key, strconv.AppendInt(nil, int64(len(values)), 10))
+		}),
+		Input: mapreduce.TextInput,
+	}
+	out, plainLoad, codedLoad := runBoth(custom)
+	fmt.Printf("%-14s %12d %14.1f %12.1f %5.2fx   (defined in this file)\n",
+		custom.Name, out, float64(plainLoad)/1e3, float64(codedLoad)/1e3,
+		float64(plainLoad)/float64(codedLoad))
+
+	fmt.Println("\nEvery kernel's coded and uncoded reduced outputs are byte-identical;")
+	fmt.Println("the coded shuffle moved each at a fraction of the uncoded load.")
+}

@@ -94,6 +94,15 @@ type Config struct {
 	// file must produce identical intermediate values for the XOR
 	// cancellation to hold.
 	Filter func(record []byte) bool
+	// Transform, when non-nil, rewrites each surviving input record into
+	// zero or more intermediate records during the Map stage (after
+	// Filter) — the general map hook behind internal/mapreduce: the coded
+	// shuffle moves whatever records the transform emits. Each emitted
+	// record must be kv.RecordSize bytes. Like Filter, the function must
+	// be pure and identical on all workers: every replica of a file must
+	// produce identical intermediate values for the XOR cancellation to
+	// hold.
+	Transform func(record []byte, emit func([]byte))
 	// ChunkRows, when positive, enables the streaming pipelined shuffle
 	// (Section VII's "Asynchronous Execution" direction): every coded
 	// packet is built and multicast as a stream of chunk packets, each the
@@ -365,12 +374,21 @@ func (w *worker) mapStage(ctx *engine.Context) error {
 			return gen.GenerateParallel(first, last-first, ctx.Procs)
 		}
 	}
-	if keep := w.cfg.Filter; keep != nil {
+	if w.cfg.Filter != nil || w.cfg.Transform != nil {
 		inner := source
-		source = func(i int) kv.Records { return filterRecords(inner(i), keep) }
+		source = func(i int) kv.Records { return w.mapRecords(inner(i)) }
 	}
 	w.store = mapRelevant(w.plan, w.cfg.Part, w.rank, source, ctx.Procs)
 	return nil
+}
+
+// mapRecords applies the Map-stage record hooks in order: Filter selects,
+// Transform rewrites. Both nil returns r unchanged (aliased).
+func (w *worker) mapRecords(r kv.Records) kv.Records {
+	if keep := w.cfg.Filter; keep != nil {
+		r = filterRecords(r, keep)
+	}
+	return kv.TransformRecords(r, w.cfg.Transform)
 }
 
 // filterRecords returns the accepted subset of r.
@@ -408,10 +426,7 @@ func (w *worker) mapSpillStage(ctx *engine.Context) error {
 	for _, fi := range w.plan.FilesOn(w.rank) {
 		fileSet := w.plan.Files[fi]
 		if err := scan(fi, func(block kv.Records) error {
-			if w.cfg.Filter != nil {
-				block = filterRecords(block, w.cfg.Filter)
-			}
-			parts := partition.SplitParallel(w.cfg.Part, block, ctx.Procs)
+			parts := partition.SplitParallel(w.cfg.Part, w.mapRecords(block), ctx.Procs)
 			for q := 0; q < w.plan.K; q++ {
 				switch {
 				case q == w.rank:

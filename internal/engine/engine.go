@@ -183,8 +183,20 @@ func (g *Graph) Schedule(m Mode) ([]Stage, error) {
 	return sched, nil
 }
 
-// Validate checks the edges of every mode that has at least one stage.
+// Validate checks the whole graph: every stage's mode set must name only
+// known modes (bits outside AllModes would make a stage silently
+// unschedulable), every populated mode's schedule must have well-formed
+// data-plane edges, and no mode may schedule two stages of the same timed
+// Kind — per-mode variants of a stage must carry disjoint mode sets, and a
+// duplicate would also confuse the fault injector, which strikes the first
+// stage of a timeline column. Untimed KindPlace stages may repeat (setup
+// can be multi-part).
 func (g *Graph) Validate() error {
+	for _, s := range g.stages {
+		if s.Modes&^AllModes != 0 {
+			return fmt.Errorf("engine: %s %v stage has unknown mode bits %#x", g.name, s.Kind, uint8(s.Modes&^AllModes))
+		}
+	}
 	for m := ModeMono; m <= ModeSpill; m++ {
 		populated := false
 		for _, s := range g.stages {
@@ -196,8 +208,19 @@ func (g *Graph) Validate() error {
 		if !populated {
 			continue
 		}
-		if _, err := g.Schedule(m); err != nil {
+		sched, err := g.Schedule(m)
+		if err != nil {
 			return err
+		}
+		seen := map[Kind]bool{}
+		for _, s := range sched {
+			if s.Kind == KindPlace {
+				continue
+			}
+			if seen[s.Kind] {
+				return fmt.Errorf("engine: %s schedules two %v stages in %v mode", g.name, s.Kind, m)
+			}
+			seen[s.Kind] = true
 		}
 	}
 	return nil

@@ -120,6 +120,22 @@ func (r Records) ForEachBlock(blockRows int, fn func(Records) error) error {
 	return nil
 }
 
+// TransformRecords applies a per-record rewrite: fn is called once per
+// record in order and may emit zero or more replacement records (each
+// RecordSize bytes, copied on emit). It is the record-level Map hook of the
+// MapReduce framework — a nil fn returns r unchanged (aliased).
+func TransformRecords(r Records, fn func(rec []byte, emit func([]byte))) Records {
+	if fn == nil {
+		return r
+	}
+	out := MakeRecords(r.Len())
+	emit := func(rec []byte) { out = out.Append(rec) }
+	for i := 0; i < r.Len(); i++ {
+		fn(r.Record(i), emit)
+	}
+	return out
+}
+
 // Less reports whether record i's key sorts strictly before record j's.
 func (r Records) Less(i, j int) bool {
 	return bytes.Compare(r.Key(i), r.Key(j)) < 0

@@ -1,0 +1,70 @@
+package mapreduce_test
+
+import (
+	"strconv"
+	"testing"
+
+	"codedterasort/internal/kv"
+	"codedterasort/internal/mapreduce"
+	"codedterasort/internal/mapreduce/mrtest"
+)
+
+// TestKernelEquivalence gates every registered kernel with the generic
+// harness: all four built-ins (and anything registered later) must produce
+// byte-identical reduced output across engines, modes, parallelism and
+// recovered runs.
+func TestKernelEquivalence(t *testing.T) {
+	kernels := mapreduce.Kernels()
+	if len(kernels) < 4 {
+		t.Fatalf("only %d registered kernels, want the 4 built-ins", len(kernels))
+	}
+	for _, kern := range kernels {
+		kern := kern
+		t.Run(kern.Name, func(t *testing.T) {
+			t.Parallel()
+			mrtest.Check(t, kern)
+		})
+	}
+}
+
+// toyKernel is a fifth kernel defined entirely in this test: it histograms
+// sentence lengths (words per document) over the text corpus. Registering
+// it and calling the harness is all the gating a new kernel needs — no
+// harness changes.
+func toyKernel() mapreduce.Kernel {
+	return mapreduce.Kernel{
+		Name: "sentlen",
+		Doc:  "histogram sentence lengths over the generated text corpus",
+		Mapper: mapreduce.MapperFunc(func(rec []byte, emit mapreduce.Emit) {
+			words := 0
+			inWord := false
+			for _, c := range mapreduce.TrimPad(rec[kv.KeySize:]) {
+				if c == ' ' {
+					inWord = false
+				} else if !inWord {
+					inWord = true
+					words++
+				}
+			}
+			emit(strconv.AppendInt([]byte("len"), int64(words), 10), []byte{1})
+		}),
+		Reducer: mapreduce.ReducerFunc(func(key []byte, values [][]byte, emit mapreduce.Emit) {
+			emit(key, strconv.AppendInt(nil, int64(len(values)), 10))
+		}),
+		Input: mapreduce.TextInput,
+	}
+}
+
+// TestFifthToyKernel registers a kernel that exists nowhere in the
+// framework and runs it through the unchanged harness.
+func TestFifthToyKernel(t *testing.T) {
+	kern := toyKernel()
+	if _, ok := mapreduce.Lookup(kern.Name); !ok {
+		mapreduce.Register(kern)
+	}
+	reg, ok := mapreduce.Lookup(kern.Name)
+	if !ok {
+		t.Fatalf("kernel %q did not register", kern.Name)
+	}
+	mrtest.CheckConfig(t, reg, mrtest.Config{Rows: 1000})
+}

@@ -1,0 +1,92 @@
+package mapreduce
+
+import (
+	"fmt"
+
+	"codedterasort/internal/kv"
+)
+
+// The deterministic corpora behind the text-shaped kernels. Like the
+// TeraGen generator, every record is a pure function of (seed, row), so
+// every replica of a split materializes identical bytes — the property
+// coded execution requires — and any row range can be produced without the
+// rest of the dataset.
+
+// vocabulary is the word pool of the text corpus: common words of at most
+// kv.KeySize bytes (words are intermediate keys), Zipf-ish by position.
+var vocabulary = []string{
+	"the", "of", "and", "to", "in", "is", "that", "it", "was", "for",
+	"on", "are", "as", "with", "his", "they", "at", "be", "this", "have",
+	"from", "or", "one", "had", "by", "word", "but", "not", "what", "all",
+	"were", "we", "when", "your", "can", "said", "there", "use", "an", "each",
+	"which", "she", "do", "how", "their", "if", "will", "up", "other", "about",
+	"out", "many", "then", "them", "these", "so", "some", "her", "would", "make",
+	"like", "him", "into", "time", "has", "look", "two", "more", "write", "go",
+	"see", "number", "no", "way", "could", "people", "my", "than", "first", "been",
+}
+
+// logLevels and logServices parameterize the log corpus.
+var logLevels = []string{"INFO", "INFO", "INFO", "INFO", "WARN", "WARN", "ERROR"}
+
+// splitmix64 is the SplitMix64 step: a bijective 64-bit mixer, the
+// standard seed expander.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// rowRNG returns the per-row random stream head for (seed, row).
+func rowRNG(seed uint64, row int64) uint64 {
+	return splitmix64(seed ^ splitmix64(uint64(row)+1))
+}
+
+// TextInput generates a rows-record document corpus: record i's key is the
+// document id ("doc" + 7 digits) and its value a short sentence of
+// vocabulary words (Zipf-ish: low vocabulary positions appear more often).
+// The natural input of the word-count and inverted-index kernels.
+func TextInput(rows int64, seed uint64) kv.Records {
+	out := kv.MakeRecords(int(rows))
+	var key, value []byte
+	for i := int64(0); i < rows; i++ {
+		x := rowRNG(seed, i)
+		key = append(key[:0], fmt.Sprintf("doc%07d", i)...)
+		value = value[:0]
+		words := 6 + int(x%5)
+		for w := 0; w < words; w++ {
+			x = splitmix64(x)
+			// Squaring the unit draw skews toward low positions.
+			u := float64(x%1024) / 1024
+			word := vocabulary[int(u*u*float64(len(vocabulary)))]
+			if w > 0 {
+				value = append(value, ' ')
+			}
+			value = append(value, word...)
+		}
+		out = out.Append(MakeRecord(key, value))
+	}
+	return out
+}
+
+// LogInput generates a rows-record service log: record i's key is a
+// timestamp-ordered line id and its value "LEVEL svcN BYTES" — the natural
+// input of the log-aggregation kernel.
+func LogInput(rows int64, seed uint64) kv.Records {
+	out := kv.MakeRecords(int(rows))
+	var key, value []byte
+	for i := int64(0); i < rows; i++ {
+		x := rowRNG(seed, i)
+		key = append(key[:0], fmt.Sprintf("t%09d", i)...)
+		level := logLevels[x%uint64(len(logLevels))]
+		x = splitmix64(x)
+		svc := x % 8
+		x = splitmix64(x)
+		value = append(value[:0], fmt.Sprintf("%s svc%d %d", level, svc, 100+x%4000)...)
+		out = out.Append(MakeRecord(key, value))
+	}
+	return out
+}

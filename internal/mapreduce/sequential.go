@@ -1,0 +1,36 @@
+package mapreduce
+
+import (
+	"codedterasort/internal/kv"
+	"codedterasort/internal/partition"
+)
+
+// Sequential computes the job's reference output on one goroutine with no
+// engine, no shuffle and no sorting machinery beyond the stdlib: map the
+// whole input in row order, partition the intermediate records with the
+// job's partitioner, sort each partition by key, and group-reduce. By the
+// framework's determinism contract the distributed engines must reproduce
+// these bytes rank for rank — Sequential is the oracle the mrtest harness
+// compares every execution mode against.
+func Sequential(job Job) ([]kv.Records, error) {
+	job, err := job.normalize()
+	if err != nil {
+		return nil, err
+	}
+	input := job.Input
+	if input.Len() == 0 {
+		input = kv.NewGenerator(job.Seed, job.Dist).Generate(0, job.Rows)
+	}
+	mapped := kv.TransformRecords(input, job.transform())
+	parts := partition.SplitParallel(job.Part, mapped, 1)
+	outs := make([]kv.Records, job.K)
+	for rank, part := range parts {
+		part.Sort()
+		g := newGrouper(job.Reducer)
+		if err := g.Feed(part); err != nil {
+			return nil, err
+		}
+		outs[rank] = g.finish(Result{}).Output
+	}
+	return outs, nil
+}

@@ -69,6 +69,13 @@ type Config struct {
 	// SelfJoin): select in Map, shuffle only matches, reduce sorted
 	// matches. The function must be pure and identical on all workers.
 	Filter func(record []byte) bool
+	// Transform, when non-nil, rewrites each surviving input record into
+	// zero or more intermediate records during the Map stage (after
+	// Filter) — the general map hook behind internal/mapreduce: the engine
+	// shuffles and sorts whatever records the transform emits. Each
+	// emitted record must be kv.RecordSize bytes. Like Filter, the
+	// function must be pure and identical on all workers.
+	Transform func(record []byte, emit func([]byte))
 	// ChunkRows, when positive, enables the streaming pipelined shuffle
 	// (the paper's Section VII "Asynchronous Execution" direction): each
 	// per-destination intermediate value is packed and shipped in
@@ -341,7 +348,7 @@ func (w *worker) mapSpillStage(ctx *engine.Context) error {
 		w.spools[dst] = sp
 	}
 	process := func(block kv.Records) error {
-		parts := partition.SplitParallel(w.cfg.Part, filterRecords(block, w.cfg.Filter), ctx.Procs)
+		parts := partition.SplitParallel(w.cfg.Part, w.mapRecords(block), ctx.Procs)
 		for dst := 0; dst < w.cfg.K; dst++ {
 			if dst == w.rank {
 				if err := sorter.Append(parts[dst]); err != nil {
@@ -387,11 +394,18 @@ func (w *worker) mapSpillStage(ctx *engine.Context) error {
 }
 
 // mapStage hashes every local record into one of the K partitions
-// (Section III-A3), applying the optional record filter first. The scatter
-// runs on the worker's Parallelism goroutines via per-shard histograms.
+// (Section III-A3), applying the optional record filter and transform
+// first. The scatter runs on the worker's Parallelism goroutines via
+// per-shard histograms.
 func (w *worker) mapStage(ctx *engine.Context) error {
-	w.hashed = partition.SplitParallel(w.cfg.Part, filterRecords(w.local, w.cfg.Filter), ctx.Procs)
+	w.hashed = partition.SplitParallel(w.cfg.Part, w.mapRecords(w.local), ctx.Procs)
 	return nil
+}
+
+// mapRecords applies the Map-stage record hooks in order: Filter selects,
+// Transform rewrites. Both nil returns r unchanged (aliased).
+func (w *worker) mapRecords(r kv.Records) kv.Records {
+	return kv.TransformRecords(filterRecords(r, w.cfg.Filter), w.cfg.Transform)
 }
 
 // filterRecords returns r unchanged for a nil filter, else the accepted
