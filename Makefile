@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet fmt-check docs-check examples-smoke test race fuzz bench bench-smoke cover cover-gate vuln ci
+.PHONY: all build vet fmt-check lint docs-check examples-smoke test race fuzz bench bench-smoke bench-compare cover cover-gate service-smoke vuln ci
 
 all: ci
 
@@ -38,11 +38,23 @@ examples-smoke:
 test:
 	$(GO) test ./...
 
+# Static analysis beyond vet: staticcheck, pinned in CI so the required
+# gate only changes when deliberately bumped. Offline machines without the
+# tool skip with a notice instead of failing (the govulncheck pattern).
+lint:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@2025.1.1)"; \
+	fi
+
 # The race wall: the pipelined engines are concurrent by construction
 # (per-source receive goroutines, windowed senders, spilling receivers), so
 # the race detector is part of the standard gate, not an optional extra.
+# -shuffle=on randomizes test order so inter-test state dependencies
+# cannot hide; the seed is printed for replay on failure.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -shuffle=on ./...
 
 # Short fuzz smoke over the wire- and disk-facing surfaces (chunk framing,
 # packed IVs, coded packets, spill-file blocks). One shell with set -e so
@@ -73,9 +85,10 @@ cover:
 	$(GO) tool cover -func=cover.out | tail -n 20
 
 # Coverage floor on the framework-critical packages: the stage-graph
-# runtime and the MapReduce layer riding it must keep >= 80% statement
-# coverage — they are the surfaces every kernel and both engines depend on.
-COVER_GATE_PKGS = ./internal/engine ./internal/mapreduce
+# runtime, the MapReduce layer riding it, and the multi-tenant serving
+# layer must keep >= 80% statement coverage — they are the surfaces every
+# kernel, both engines, and every service client depend on.
+COVER_GATE_PKGS = ./internal/engine ./internal/mapreduce ./internal/service
 COVER_GATE_MIN  = 80
 cover-gate:
 	@fail=0; \
@@ -91,6 +104,21 @@ cover-gate:
 	done; \
 	if [ "$$fail" -ne 0 ]; then exit 1; fi
 
+# End-to-end service smoke: build sortd and sortctl, start the daemon,
+# run concurrent multi-tenant jobs (including an injected-fault recovery),
+# scrape /metrics, and drain via SIGTERM. Every wait inside is bounded so
+# the target can never hang a CI runner.
+service-smoke:
+	./scripts/service_smoke.sh
+
+# Advisory benchmark comparison against the committed baseline: one quick
+# iteration per workload at the baseline's row count, timing ratios
+# printed for information only, hard failure only when a workload shuffles
+# more than 2x its baseline's bytes (shuffle byte counts are deterministic
+# per spec; wall-clock on shared runners is not).
+bench-compare:
+	$(GO) run ./cmd/benchjson -out $${TMPDIR:-/tmp}/bench_fresh.json -benchtime 1ms -compare BENCH_pipeline.json
+
 # Known-vulnerability scan over the module and its call graph. Part of the
 # gate where the tool is installed (CI installs it); offline machines skip
 # with a notice instead of failing.
@@ -101,4 +129,4 @@ vuln:
 		echo "govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; \
 	fi
 
-ci: build vet fmt-check docs-check examples-smoke race cover-gate vuln
+ci: build vet fmt-check lint docs-check examples-smoke race cover-gate service-smoke vuln

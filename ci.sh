@@ -1,13 +1,20 @@
 #!/bin/sh
-# The standard gate: build + vet + gofmt cleanliness + docs gate (every
-# package/command carries a godoc comment) + race-enabled tests, plus a
-# govulncheck pass against the known-vulnerability database when the tool
-# is installed (CI installs it; offline machines skip with a notice).
+# The standard gate: build + vet + gofmt cleanliness + staticcheck (when
+# installed) + docs gate (every package/command carries a godoc comment) +
+# race-enabled tests in shuffled order + the coverage floor + the
+# end-to-end service smoke, plus a govulncheck pass against the
+# known-vulnerability database when the tool is installed (CI installs it;
+# offline machines skip with a notice).
 # Equivalent to `make ci` for environments without make.
 set -eux
 go build ./...
 go vet ./...
 test -z "$(gofmt -l .)"
+if command -v staticcheck >/dev/null 2>&1; then
+	staticcheck ./...
+else
+	echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@2025.1.1)"
+fi
 # Docs gate. (The examples compile smoke needs no separate step here:
 # `go build ./...` and `go vet ./...` above already cover examples/.)
 for dir in $(go list -f '{{.Dir}}' ./...); do
@@ -17,16 +24,16 @@ for dir in $(go list -f '{{.Dir}}' ./...); do
 		exit 1
 	fi
 done
-go test -race ./...
+go test -race -shuffle=on ./...
 if command -v govulncheck >/dev/null 2>&1; then
 	govulncheck ./...
 else
 	echo "govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"
 fi
 # Coverage floor on the framework-critical packages (mirrors `make
-# cover-gate`): the stage-graph runtime and the MapReduce layer must keep
-# >= 80% statement coverage.
-for pkg in ./internal/engine ./internal/mapreduce; do
+# cover-gate`): the stage-graph runtime, the MapReduce layer, and the
+# multi-tenant serving layer must keep >= 80% statement coverage.
+for pkg in ./internal/engine ./internal/mapreduce ./internal/service; do
 	pct=$(go test -cover "$pkg" | sed -n 's/.*coverage: \([0-9.]*\)%.*/\1/p')
 	if [ -z "$pct" ] || [ "$(awk "BEGIN{print ($pct >= 80) ? 1 : 0}")" -ne 1 ]; then
 		echo "cover gate: $pkg at ${pct:-?}% (< 80% floor)"
@@ -34,3 +41,6 @@ for pkg in ./internal/engine ./internal/mapreduce; do
 	fi
 	echo "cover gate: $pkg at $pct% (floor 80%)"
 done
+# End-to-end service smoke: sortd + sortctl, concurrent multi-tenant jobs,
+# metrics scrape, SIGTERM drain. Every wait inside is bounded.
+./scripts/service_smoke.sh

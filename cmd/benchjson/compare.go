@@ -1,0 +1,74 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// shuffleRegressionFactor is the only hard-failing comparison: wall-clock
+// is too noisy for shared CI runners, but the shuffle byte counts are
+// deterministic for a given spec, so a workload moving more than this
+// multiple of its baseline's bytes means the communication-load story of
+// the paper regressed, not the machine.
+const shuffleRegressionFactor = 2.0
+
+// compareFiles loads a fresh benchmark document and a committed baseline
+// and diffs the pipeline workloads by name. Timing ratios are printed as
+// advisory only; the returned list names the workloads whose shuffle
+// bytes regressed past shuffleRegressionFactor.
+func compareFiles(freshPath, basePath string, w io.Writer) ([]string, error) {
+	var fresh, base benchFile
+	for path, doc := range map[string]*benchFile{freshPath: &fresh, basePath: &base} {
+		p, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		if err := json.Unmarshal(p, doc); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+	}
+	return compareDocs(fresh, base, w), nil
+}
+
+// compareDocs diffs fresh against base workload by workload. Workloads
+// are matched by name and only compared when their row counts agree (a
+// -rows override against a full baseline would make every ratio
+// meaningless).
+func compareDocs(fresh, base benchFile, w io.Writer) []string {
+	baseline := make(map[string]benchResult, len(base.Results))
+	for _, r := range base.Results {
+		baseline[r.Name] = r
+	}
+	var regressions []string
+	for _, r := range fresh.Results {
+		b, ok := baseline[r.Name]
+		if !ok {
+			fmt.Fprintf(w, "%-28s new workload, no baseline\n", r.Name)
+			continue
+		}
+		if b.Rows != r.Rows {
+			fmt.Fprintf(w, "%-28s rows %d vs baseline %d, skipped\n", r.Name, r.Rows, b.Rows)
+			continue
+		}
+		nsRatio := ratio(r.NsPerOp, b.NsPerOp)
+		bytesRatio := ratio(float64(r.BytesShuffled), float64(b.BytesShuffled))
+		verdict := "ok"
+		if b.BytesShuffled > 0 && float64(r.BytesShuffled) > shuffleRegressionFactor*float64(b.BytesShuffled) {
+			verdict = fmt.Sprintf("SHUFFLE REGRESSION (>%.0fx)", shuffleRegressionFactor)
+			regressions = append(regressions, r.Name)
+		}
+		fmt.Fprintf(w, "%-28s ns/op %.2fx (advisory)  shuffle bytes %.2fx  %s\n",
+			r.Name, nsRatio, bytesRatio, verdict)
+	}
+	return regressions
+}
+
+// ratio guards the zero-baseline division.
+func ratio(fresh, base float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return fresh / base
+}

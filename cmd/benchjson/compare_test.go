@@ -1,0 +1,81 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeDoc(t *testing.T, dir, name string, doc benchFile) string {
+	t.Helper()
+	p, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, p, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompareDocs(t *testing.T) {
+	base := benchFile{Results: []benchResult{
+		{Name: "terasort/serial", Rows: 1000, NsPerOp: 100, BytesShuffled: 10_000},
+		{Name: "coded/serial", Rows: 1000, NsPerOp: 200, BytesShuffled: 6_000},
+		{Name: "coded/chunked", Rows: 2000, NsPerOp: 300, BytesShuffled: 9_000},
+	}}
+	fresh := benchFile{Results: []benchResult{
+		// Slower but same shuffle: advisory only, no regression.
+		{Name: "terasort/serial", Rows: 1000, NsPerOp: 300, BytesShuffled: 10_000},
+		// Shuffle bytes more than doubled: the hard failure.
+		{Name: "coded/serial", Rows: 1000, NsPerOp: 190, BytesShuffled: 13_000},
+		// Row count differs from baseline: skipped, never a regression.
+		{Name: "coded/chunked", Rows: 1000, NsPerOp: 100, BytesShuffled: 90_000},
+		// Not in the baseline at all.
+		{Name: "coded/new", Rows: 1000, NsPerOp: 100, BytesShuffled: 1},
+	}}
+
+	var out strings.Builder
+	regressions := compareDocs(fresh, base, &out)
+	if len(regressions) != 1 || regressions[0] != "coded/serial" {
+		t.Fatalf("regressions %v, want only coded/serial", regressions)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"terasort/serial",
+		"ns/op 3.00x (advisory)",
+		"SHUFFLE REGRESSION",
+		"rows 1000 vs baseline 2000, skipped",
+		"new workload, no baseline",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("compare output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestCompareFiles(t *testing.T) {
+	dir := t.TempDir()
+	doc := benchFile{Results: []benchResult{
+		{Name: "terasort/serial", Rows: 500, NsPerOp: 100, BytesShuffled: 4_000},
+	}}
+	freshPath := writeDoc(t, dir, "fresh.json", doc)
+	basePath := writeDoc(t, dir, "base.json", doc)
+	var out strings.Builder
+	regressions, err := compareFiles(freshPath, basePath, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regressions) != 0 {
+		t.Fatalf("identical docs regressed: %v", regressions)
+	}
+	if !strings.Contains(out.String(), "shuffle bytes 1.00x  ok") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+	if _, err := compareFiles(filepath.Join(dir, "missing.json"), basePath, &out); err == nil {
+		t.Fatal("missing fresh file did not error")
+	}
+}

@@ -141,11 +141,25 @@ func main() {
 	out := flag.String("out", "BENCH_pipeline.json", "output JSON path")
 	rows := flag.Int64("rows", 200000, "input size in records per workload")
 	benchtime := flag.Duration("benchtime", time.Second, "minimum measuring time per workload")
+	compare := flag.String("compare", "",
+		"baseline JSON to diff the fresh results against: ns/op ratios are advisory, but a workload shuffling more than 2x its baseline's bytes fails the run")
 	flag.Parse()
 
 	if err := run(*out, *rows, *benchtime); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
+	}
+	if *compare != "" {
+		fmt.Printf("\ncomparing %s against baseline %s\n", *out, *compare)
+		regressions, err := compareFiles(*out, *compare, os.Stdout)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		if len(regressions) > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: shuffle-bytes regression in %v\n", regressions)
+			os.Exit(1)
+		}
 	}
 }
 

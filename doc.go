@@ -43,6 +43,13 @@
 // equivalence harness (internal/mapreduce/mrtest) gating every registered
 // kernel to byte-identical output across engines, execution modes,
 // parallelism and recovered runs (DESIGN.md section 12).
+// The whole runtime also serves: internal/service is a multi-tenant
+// serving layer — a priority job queue with per-tenant admission control
+// (internal/service/tenant), job-scoped spill namespaces, an HTTP JSON
+// API with a Go client, Prometheus-style /metrics and graceful drain —
+// run as the long-lived cmd/sortd daemon over a shared executor Pool of
+// reusable rank lifecycles and driven by cmd/sortctl (DESIGN.md
+// section 13).
 // The benchmarks in bench_test.go regenerate every table and figure of
 // the paper's evaluation; the tests in internal/simnet pin the reproduced
 // values against the paper's tables; cmd/benchjson tracks the pipeline

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -102,17 +103,57 @@ func (j JobReport) Total() float64 { return j.Times.Total().Seconds() }
 // byte-identical to a clean run; the attempt history is reported in
 // Attempts/Recovered and the attempt-tagged stage log.
 func RunLocal(spec Spec) (*JobReport, error) {
+	return RunLocalOpts(context.Background(), spec, Options{})
+}
+
+// Options tunes a supervised in-process run beyond what the wire-portable
+// Spec carries: live observation and executor placement. The zero value
+// reproduces RunLocal exactly.
+type Options struct {
+	// OnStage, when non-nil, receives every completed stage record as it
+	// is logged, across all ranks and recovery attempts — the live feed a
+	// serving layer turns into job progress and metrics. It runs on worker
+	// goroutines, so it must be cheap and safe for concurrent use.
+	OnStage func(trace.StageRecord)
+	// spawn runs one rank lifecycle; nil spawns a fresh goroutine per
+	// rank per attempt. A Pool lease sets it so rank lifecycles execute on
+	// reusable pooled executors instead.
+	spawn func(task func())
+}
+
+// start runs one rank lifecycle through the configured spawner.
+func (o Options) start(task func()) {
+	if o.spawn != nil {
+		o.spawn(task)
+		return
+	}
+	go task()
+}
+
+// RunLocalOpts is RunLocal with cancellation and run options. Canceling
+// ctx checkpoint-cancels the job: the current attempt's mesh is closed,
+// which unblocks every rank at its next transport operation exactly like
+// fault recovery's attempt cancelation, and the job returns ctx's error
+// instead of recovering. Long-lived callers (the sortd service) use it to
+// drain without waiting out a slow job.
+func RunLocalOpts(ctx context.Context, spec Spec, opts Options) (*JobReport, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
 	// One stage log spans all attempts, so the recovery timeline (failed
 	// attempts' partial records included) survives into the report.
 	stageLog := trace.NewStageLog(stats.NewWallClock())
+	if opts.OnStage != nil {
+		stageLog.Observe(opts.OnStage)
+	}
 	maxAttempts := spec.attempts()
 	consumed := map[int]bool{}
 	var recovered []Suspect
 	for attempt := 1; ; attempt++ {
-		job, suspects, err := runAttempt(spec, consumed, attempt, stageLog)
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("cluster: job canceled: %w", err)
+		}
+		job, suspects, err := runAttempt(ctx, spec, opts, consumed, attempt, stageLog)
 		if err == nil {
 			job.Attempts = attempt
 			job.Recovered = recovered
@@ -158,13 +199,19 @@ func allFailed(suspects []Suspect) bool {
 // runAttempt executes one supervised attempt. On a detected fault it
 // returns the suspects alongside the error; an error with no suspects is a
 // genuine (unrecoverable) failure.
-func runAttempt(spec Spec, consumed map[int]bool, attempt int, stageLog *trace.StageLog) (*JobReport, []Suspect, error) {
+func runAttempt(ctx context.Context, spec Spec, opts Options, consumed map[int]bool, attempt int, stageLog *trace.StageLog) (*JobReport, []Suspect, error) {
 	faults, err := spec.engineFaults(consumed)
 	if err != nil {
 		return nil, nil, err
 	}
 	mesh := memnet.NewMesh(spec.K)
 	defer mesh.Close()
+
+	// Cancellation rides the recovery machinery: closing the mesh unblocks
+	// every rank at its next transport operation with ErrClosed, the same
+	// way a detected fault cancels an attempt.
+	stopCancel := context.AfterFunc(ctx, func() { mesh.Close() })
+	defer stopCancel()
 
 	// Detection: crash signals from worker goroutines plus the
 	// peer-relative stage deadline; cancel closes the mesh, unblocking
@@ -189,7 +236,8 @@ func runAttempt(spec Spec, consumed map[int]bool, attempt int, stageLog *trace.S
 	var wg sync.WaitGroup
 	for r := 0; r < spec.K; r++ {
 		wg.Add(1)
-		go func(rank int) {
+		rank := r
+		opts.start(func() {
 			defer wg.Done()
 			var conn transport.Conn = mesh.Endpoint(rank)
 			if spec.RateMbps > 0 || spec.PerMessage > 0 {
@@ -233,9 +281,14 @@ func runAttempt(spec Spec, consumed map[int]bool, attempt int, stageLog *trace.S
 			rep.WireBytes = meter.Counters().SentBytes
 			reports[rank] = rep
 			outputs[rank] = out
-		}(r)
+		})
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		// A canceled job is not a fault: no suspects, no recovery — the
+		// caller asked for the stop.
+		return nil, nil, fmt.Errorf("cluster: job canceled: %w", err)
+	}
 	if suspects := mon.Suspects(); len(suspects) > 0 {
 		// Prefer the detected rank's own error over a casualty's ErrClosed.
 		werr := errs[suspects[0].Rank]

@@ -1,0 +1,170 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+)
+
+// Client speaks the sortd HTTP API — the library behind cmd/sortctl and
+// the end-to-end tests.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient returns a client for a sortd at addr ("host:port" or a full
+// http:// URL).
+func NewClient(addr string) *Client {
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	return &Client{base: strings.TrimRight(addr, "/"), hc: &http.Client{}}
+}
+
+// do issues one request and decodes the JSON response into out (skipped
+// when out is nil), converting error envelopes into errors.
+func (c *Client) do(ctx context.Context, method, path string, body any, out any) error {
+	var rd io.Reader
+	if body != nil {
+		p, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(p)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	p, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode >= 300 {
+		var e apiError
+		if json.Unmarshal(p, &e) == nil && e.Error != "" {
+			return fmt.Errorf("sortd: %s (HTTP %d)", e.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("sortd: HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(p)))
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(p, out)
+}
+
+// Submit submits one job and returns its queued status.
+func (c *Client) Submit(ctx context.Context, req SubmitRequest) (JobStatus, error) {
+	var st JobStatus
+	err := c.do(ctx, http.MethodPost, "/v1/jobs", req, &st)
+	return st, err
+}
+
+// Job fetches one job's status.
+func (c *Client) Job(ctx context.Context, id string) (JobStatus, error) {
+	var st JobStatus
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+url.PathEscape(id), nil, &st)
+	return st, err
+}
+
+// WaitJob long-polls until the job reaches a terminal state or ctx is
+// done, and returns the last status seen.
+func (c *Client) WaitJob(ctx context.Context, id string) (JobStatus, error) {
+	for {
+		var st JobStatus
+		err := c.do(ctx, http.MethodGet,
+			"/v1/jobs/"+url.PathEscape(id)+"?wait="+url.QueryEscape("10s"), nil, &st)
+		if err != nil {
+			return st, err
+		}
+		if st.State.Finished() {
+			return st, nil
+		}
+		if err := ctx.Err(); err != nil {
+			return st, fmt.Errorf("sortd: job %s still %s: %w", id, st.State, err)
+		}
+	}
+}
+
+// Jobs lists jobs, optionally filtered by tenant.
+func (c *Client) Jobs(ctx context.Context, tenantFilter string) ([]JobStatus, error) {
+	path := "/v1/jobs"
+	if tenantFilter != "" {
+		path += "?tenant=" + url.QueryEscape(tenantFilter)
+	}
+	var out []JobStatus
+	err := c.do(ctx, http.MethodGet, path, nil, &out)
+	return out, err
+}
+
+// Metrics fetches the raw Prometheus exposition text.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	p, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("sortd: metrics: HTTP %d", resp.StatusCode)
+	}
+	return string(p), nil
+}
+
+// Drain asks the server to begin graceful drain.
+func (c *Client) Drain(ctx context.Context) error {
+	return c.do(ctx, http.MethodPost, "/v1/drain", nil, nil)
+}
+
+// Healthy reports whether the server is up and admitting (false while
+// draining; error when unreachable).
+func (c *Client) Healthy(ctx context.Context) (bool, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)
+	if err != nil {
+		return false, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode == http.StatusOK, nil
+}
+
+// WaitHealthy polls /healthz until the server answers (healthy or
+// draining) or ctx is done — the startup handshake scripts use.
+func (c *Client) WaitHealthy(ctx context.Context) error {
+	for {
+		if _, err := c.Healthy(ctx); err == nil {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("sortd: server never became reachable: %w", ctx.Err())
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+}

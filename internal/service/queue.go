@@ -1,0 +1,73 @@
+package service
+
+import "container/heap"
+
+// jobQueue orders admitted jobs by tenant priority (higher first), then
+// submission order (FIFO within a priority band). The dispatcher may skip
+// over jobs whose tenant is at its running cap, so removal by position is
+// supported too.
+type jobQueue struct {
+	items []*job
+}
+
+// Len implements heap.Interface.
+func (q *jobQueue) Len() int { return len(q.items) }
+
+// Less implements heap.Interface.
+func (q *jobQueue) Less(i, j int) bool {
+	a, b := q.items[i], q.items[j]
+	if a.priority != b.priority {
+		return a.priority > b.priority
+	}
+	return a.seq < b.seq
+}
+
+// Swap implements heap.Interface.
+func (q *jobQueue) Swap(i, j int) { q.items[i], q.items[j] = q.items[j], q.items[i] }
+
+// Push implements heap.Interface.
+func (q *jobQueue) Push(x any) { q.items = append(q.items, x.(*job)) }
+
+// Pop implements heap.Interface.
+func (q *jobQueue) Pop() any {
+	old := q.items
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	q.items = old[:n-1]
+	return it
+}
+
+// add enqueues a job.
+func (q *jobQueue) add(j *job) { heap.Push(q, j) }
+
+// popEligible removes and returns the highest-priority job whose tenant
+// passes eligible, or nil when none qualifies. Ineligible jobs keep their
+// place.
+func (q *jobQueue) popEligible(eligible func(*job) bool) *job {
+	// The heap's slice is not fully sorted, so scan for the best
+	// qualifying entry; queues are service-scale (not engine-scale), so
+	// the linear pass is fine.
+	best := -1
+	for i, it := range q.items {
+		if !eligible(it) {
+			continue
+		}
+		if best == -1 || q.Less(i, best) {
+			best = i
+		}
+	}
+	if best == -1 {
+		return nil
+	}
+	it := q.items[best]
+	heap.Remove(q, best)
+	return it
+}
+
+// drain empties the queue, returning the jobs in no particular order.
+func (q *jobQueue) drain() []*job {
+	out := q.items
+	q.items = nil
+	return out
+}

@@ -1,0 +1,152 @@
+package tenant
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// epoch gives the deterministic clock tests advance manually.
+var epoch = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func TestBucketRefill(t *testing.T) {
+	b := NewBucket(2, 2) // 2 tokens/s, capacity 2, starts full
+	now := epoch
+	if !b.Allow(now) || !b.Allow(now) {
+		t.Fatal("full bucket denied its burst")
+	}
+	if b.Allow(now) {
+		t.Fatal("empty bucket allowed a third admission")
+	}
+	if b.Allow(now.Add(100 * time.Millisecond)) {
+		t.Fatal("bucket refilled a whole token in 100ms at 2/s")
+	}
+	// The 100ms above deposited 0.2 tokens; 400ms more completes one.
+	if !b.Allow(now.Add(500 * time.Millisecond)) {
+		t.Fatal("bucket did not refill after 500ms at 2/s")
+	}
+	// Time going backwards must not mint tokens.
+	if b.Allow(now.Add(-time.Hour)) {
+		t.Fatal("bucket refilled from a clock running backwards")
+	}
+}
+
+func TestBucketUnlimited(t *testing.T) {
+	b := NewBucket(0, 0)
+	for i := 0; i < 1000; i++ {
+		if !b.Allow(epoch) {
+			t.Fatal("unlimited bucket denied an admission")
+		}
+	}
+}
+
+func TestAdmitRateAndQueueCaps(t *testing.T) {
+	r := NewRegistry(Limits{})
+	if err := r.Define("acme", Limits{RatePerSec: 1, Burst: 2, MaxQueued: 1}); err != nil {
+		t.Fatal(err)
+	}
+	acme := r.Get("acme")
+	if err := acme.Admit(epoch); err != nil {
+		t.Fatal(err)
+	}
+	// Second token exists, but the queue cap (1 queued) now rejects.
+	if err := acme.Admit(epoch); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("got %v, want ErrQueueFull", err)
+	}
+	acme.JobStarted()
+	// Queue freed; one token left in the bucket.
+	if err := acme.Admit(epoch); err != nil {
+		t.Fatal(err)
+	}
+	acme.JobStarted()
+	// Bucket now empty.
+	if err := acme.Admit(epoch); !errors.Is(err, ErrRateLimited) {
+		t.Fatalf("got %v, want ErrRateLimited", err)
+	}
+	acme.JobFinished(Completed)
+	acme.JobFinished(Failed)
+	c := acme.Counters()
+	if c.Submitted != 4 || c.Admitted != 2 || c.RejectedRate != 1 || c.RejectedQueue != 1 {
+		t.Fatalf("counters %+v", c)
+	}
+	if c.Completed != 1 || c.Failed != 1 || c.Running != 0 || c.Queued != 0 {
+		t.Fatalf("counters %+v", c)
+	}
+}
+
+func TestCanRunCap(t *testing.T) {
+	r := NewRegistry(Limits{})
+	if err := r.Define("acme", Limits{MaxRunning: 1}); err != nil {
+		t.Fatal(err)
+	}
+	acme := r.Get("acme")
+	if !acme.CanRun() {
+		t.Fatal("idle tenant cannot run")
+	}
+	if err := acme.Admit(epoch); err != nil {
+		t.Fatal(err)
+	}
+	acme.JobStarted()
+	if acme.CanRun() {
+		t.Fatal("tenant at MaxRunning=1 still eligible")
+	}
+	acme.JobFinished(CompletedRecovered)
+	if !acme.CanRun() {
+		t.Fatal("tenant not eligible after its job finished")
+	}
+	if c := acme.Counters(); c.Recovered != 1 || c.Completed != 1 {
+		t.Fatalf("counters %+v, want recovered completion", c)
+	}
+}
+
+func TestRegistryDefaultsAndDefine(t *testing.T) {
+	r := NewRegistry(Limits{Priority: 1, MaxQueued: 7})
+	anon := r.Get("walk-in")
+	if anon.Limits().MaxQueued != 7 || anon.Limits().Priority != 1 {
+		t.Fatalf("walk-in tenant got %+v, want defaults", anon.Limits())
+	}
+	if r.Get("walk-in") != anon {
+		t.Fatal("second Get returned a different tenant")
+	}
+	if err := r.Define("", Limits{}); err == nil {
+		t.Fatal("empty tenant name accepted")
+	}
+	if err := r.Define("bad", Limits{RatePerSec: -1}); err == nil {
+		t.Fatal("negative rate accepted")
+	}
+	if err := r.Define("acme", Limits{Priority: 9}); err != nil {
+		t.Fatal(err)
+	}
+	// Redefining keeps counters, swaps limits.
+	if err := r.Get("acme").Admit(epoch); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Define("acme", Limits{Priority: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Get("acme").Limits().Priority; got != 2 {
+		t.Fatalf("priority %d after redefine, want 2", got)
+	}
+	if c := r.Get("acme").Counters(); c.Admitted != 1 {
+		t.Fatalf("redefine lost counters: %+v", c)
+	}
+	names := []string{}
+	for _, tn := range r.All() {
+		names = append(names, tn.Name())
+	}
+	if len(names) != 2 || names[0] != "acme" || names[1] != "walk-in" {
+		t.Fatalf("All() order %v", names)
+	}
+}
+
+func TestJobDequeued(t *testing.T) {
+	r := NewRegistry(Limits{})
+	tn := r.Get("t")
+	if err := tn.Admit(epoch); err != nil {
+		t.Fatal(err)
+	}
+	tn.JobDequeued()
+	if c := tn.Counters(); c.Queued != 0 {
+		t.Fatalf("queued=%d after dequeue, want 0", c.Queued)
+	}
+}

@@ -213,9 +213,10 @@ func (r StageRecord) String() string {
 type StageLog struct {
 	clock stats.Clock
 
-	mu      sync.Mutex
-	attempt int
-	records []StageRecord
+	mu       sync.Mutex
+	attempt  int
+	records  []StageRecord
+	observer func(StageRecord)
 }
 
 // NewStageLog returns an empty log stamping records with clock; records
@@ -235,6 +236,16 @@ func (l *StageLog) NewAttempt() int {
 	return l.attempt
 }
 
+// Observe registers fn to receive every record as it is appended, after
+// the log's own bookkeeping. It is how live consumers (job status, metrics
+// exposition) ride the same hook chain as the log without a second wiring
+// path. fn runs on the recording goroutine, outside the log's lock.
+func (l *StageLog) Observe(fn func(StageRecord)) {
+	l.mu.Lock()
+	l.observer = fn
+	l.mu.Unlock()
+}
+
 // Record appends one completed stage. Safe for concurrent use by all
 // worker goroutines of an in-process cluster.
 func (l *StageLog) Record(node int, stage stats.Stage, elapsed time.Duration, err error) {
@@ -243,10 +254,15 @@ func (l *StageLog) Record(node int, stage stats.Stage, elapsed time.Duration, er
 		msg = err.Error()
 	}
 	l.mu.Lock()
-	l.records = append(l.records, StageRecord{
+	rec := StageRecord{
 		At: l.clock.Now(), Attempt: l.attempt, Node: node, Stage: stage, Elapsed: elapsed, Err: msg,
-	})
+	}
+	l.records = append(l.records, rec)
+	observer := l.observer
 	l.mu.Unlock()
+	if observer != nil {
+		observer(rec)
+	}
 }
 
 // Records returns a snapshot in completion order (ties in record order).
@@ -256,6 +272,42 @@ func (l *StageLog) Records() []StageRecord {
 	out := append([]StageRecord(nil), l.records...)
 	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
 	return out
+}
+
+// StageTotal aggregates the executions of one stage across nodes, jobs and
+// recovery attempts: run/error counts and summed stage seconds.
+type StageTotal struct {
+	// Runs counts completed executions (errored ones included).
+	Runs int64
+	// Errors counts executions that ended in a stage error.
+	Errors int64
+	// Seconds is the summed elapsed time of all runs.
+	Seconds float64
+}
+
+// StageTotals is the per-stage rollup of a stage timeline — the
+// exposition-friendly form behind a metrics endpoint, where individual
+// records would be unbounded but per-stage counters are not.
+type StageTotals map[stats.Stage]StageTotal
+
+// Add folds one record into the totals.
+func (t StageTotals) Add(rec StageRecord) {
+	tot := t[rec.Stage]
+	tot.Runs++
+	if rec.Err != "" {
+		tot.Errors++
+	}
+	tot.Seconds += rec.Elapsed.Seconds()
+	t[rec.Stage] = tot
+}
+
+// TotalsOf rolls a set of records up into per-stage totals.
+func TotalsOf(records []StageRecord) StageTotals {
+	t := StageTotals{}
+	for _, rec := range records {
+		t.Add(rec)
+	}
+	return t
 }
 
 // SenderOrder returns the distinct sender ranks of the send events in
