@@ -65,7 +65,8 @@ fuzz:
 	for target in FuzzOpenChunk FuzzChunkStream FuzzUnpackIV; do \
 		$(GO) test -run=Fuzz -fuzz=$$target -fuzztime=5s ./internal/codec/ || exit 1; \
 	done; \
-	$(GO) test -run=Fuzz -fuzz=FuzzRunReader -fuzztime=5s ./internal/extsort/
+	$(GO) test -run=Fuzz -fuzz='FuzzRunReader$$' -fuzztime=5s ./internal/extsort/
+	$(GO) test -run=Fuzz -fuzz='FuzzRunReaderV2$$' -fuzztime=5s ./internal/extsort/
 	$(GO) test -run=Fuzz -fuzz=FuzzMapReduceKernels -fuzztime=5s ./internal/mapreduce/
 
 bench:

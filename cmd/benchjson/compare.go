@@ -14,6 +14,13 @@ import (
 // the paper regressed, not the machine.
 const shuffleRegressionFactor = 2.0
 
+// spillRegressionFactor mirrors the shuffle gate for the spill path: the
+// on-disk bytes of a workload's runs and spools are deterministic for a
+// given spec, so a workload writing more than this multiple of its
+// baseline's spilled disk bytes means the compact run format (or the spill
+// policy above it) regressed.
+const spillRegressionFactor = 2.0
+
 // compareFiles loads a fresh benchmark document and a committed baseline
 // and diffs the pipeline workloads by name. Timing ratios are printed as
 // advisory only; the returned list names the workloads whose shuffle
@@ -58,9 +65,52 @@ func compareDocs(fresh, base benchFile, w io.Writer) []string {
 		if b.BytesShuffled > 0 && float64(r.BytesShuffled) > shuffleRegressionFactor*float64(b.BytesShuffled) {
 			verdict = fmt.Sprintf("SHUFFLE REGRESSION (>%.0fx)", shuffleRegressionFactor)
 			regressions = append(regressions, r.Name)
+		} else if b.SpilledDiskBytes > 0 && float64(r.SpilledDiskBytes) > spillRegressionFactor*float64(b.SpilledDiskBytes) {
+			verdict = fmt.Sprintf("SPILL REGRESSION (>%.0fx)", spillRegressionFactor)
+			regressions = append(regressions, r.Name)
 		}
-		fmt.Fprintf(w, "%-28s ns/op %.2fx (advisory)  shuffle bytes %.2fx  %s\n",
-			r.Name, nsRatio, bytesRatio, verdict)
+		fmt.Fprintf(w, "%-28s ns/op %.2fx (advisory)  shuffle bytes %.2fx  spill disk bytes %.2fx  %s\n",
+			r.Name, nsRatio, bytesRatio, ratio(float64(r.SpilledDiskBytes), float64(b.SpilledDiskBytes)), verdict)
+	}
+	regressions = append(regressions, compareExtsort(fresh, base, w)...)
+	return regressions
+}
+
+// compareExtsort diffs the external-sort section. A fresh document without
+// the section is itself a hard failure — the merge-path numbers are part of
+// the tracked trajectory, so a regeneration that silently drops them must
+// not pass the gate. Against a baseline that has the section, the on-disk
+// spill bytes gate hard (deterministic, like shuffle bytes); merge timing
+// and the comparison split print as advisory.
+func compareExtsort(fresh, base benchFile, w io.Writer) []string {
+	var regressions []string
+	if len(fresh.Extsort) == 0 {
+		fmt.Fprintf(w, "%-28s EXTSORT SECTION MISSING\n", "extsort")
+		return append(regressions, "extsort(section missing)")
+	}
+	baseline := make(map[string]extsortResult, len(base.Extsort))
+	for _, e := range base.Extsort {
+		baseline[e.Name] = e
+	}
+	for _, e := range fresh.Extsort {
+		b, ok := baseline[e.Name]
+		if !ok {
+			fmt.Fprintf(w, "extsort/%-20s new entry, no baseline\n", e.Name)
+			continue
+		}
+		if b.Rows != e.Rows {
+			fmt.Fprintf(w, "extsort/%-20s rows %d vs baseline %d, skipped\n", e.Name, e.Rows, b.Rows)
+			continue
+		}
+		verdict := "ok"
+		if b.SpilledDiskBytes > 0 && float64(e.SpilledDiskBytes) > spillRegressionFactor*float64(b.SpilledDiskBytes) {
+			verdict = fmt.Sprintf("SPILL REGRESSION (>%.0fx)", spillRegressionFactor)
+			regressions = append(regressions, "extsort/"+e.Name)
+		}
+		fmt.Fprintf(w, "extsort/%-20s merge ns/op %.2fx (advisory)  cmp/next %.2fx (advisory)  spill disk bytes %.2fx  %s\n",
+			e.Name, ratio(e.MergeNsPerOp, b.MergeNsPerOp),
+			ratio(e.ComparesPerNext, b.ComparesPerNext),
+			ratio(float64(e.SpilledDiskBytes), float64(b.SpilledDiskBytes)), verdict)
 	}
 	return regressions
 }

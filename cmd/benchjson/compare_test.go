@@ -21,12 +21,20 @@ func writeDoc(t *testing.T, dir, name string, doc benchFile) string {
 	return path
 }
 
+// extsortSection is a minimal valid extsort section; every fresh document
+// needs one, or compareDocs hard-fails.
+func extsortSection() []extsortResult {
+	return []extsortResult{{Name: "merge/uniform", Rows: 1000, MergeNsPerOp: 100,
+		ComparesPerNext: 1.5, SpilledRawBytes: 10_000, SpilledDiskBytes: 8_000}}
+}
+
 func TestCompareDocs(t *testing.T) {
 	base := benchFile{Results: []benchResult{
 		{Name: "terasort/serial", Rows: 1000, NsPerOp: 100, BytesShuffled: 10_000},
 		{Name: "coded/serial", Rows: 1000, NsPerOp: 200, BytesShuffled: 6_000},
 		{Name: "coded/chunked", Rows: 2000, NsPerOp: 300, BytesShuffled: 9_000},
-	}}
+		{Name: "terasort/extsort", Rows: 1000, NsPerOp: 400, BytesShuffled: 10_000, SpilledDiskBytes: 5_000},
+	}, Extsort: extsortSection()}
 	fresh := benchFile{Results: []benchResult{
 		// Slower but same shuffle: advisory only, no regression.
 		{Name: "terasort/serial", Rows: 1000, NsPerOp: 300, BytesShuffled: 10_000},
@@ -36,20 +44,25 @@ func TestCompareDocs(t *testing.T) {
 		{Name: "coded/chunked", Rows: 1000, NsPerOp: 100, BytesShuffled: 90_000},
 		// Not in the baseline at all.
 		{Name: "coded/new", Rows: 1000, NsPerOp: 100, BytesShuffled: 1},
-	}}
+		// Spilled disk bytes more than doubled: the other hard failure.
+		{Name: "terasort/extsort", Rows: 1000, NsPerOp: 400, BytesShuffled: 10_000, SpilledDiskBytes: 11_000},
+	}, Extsort: extsortSection()}
 
 	var out strings.Builder
 	regressions := compareDocs(fresh, base, &out)
-	if len(regressions) != 1 || regressions[0] != "coded/serial" {
-		t.Fatalf("regressions %v, want only coded/serial", regressions)
+	if len(regressions) != 2 || regressions[0] != "coded/serial" || regressions[1] != "terasort/extsort" {
+		t.Fatalf("regressions %v, want [coded/serial terasort/extsort]", regressions)
 	}
 	text := out.String()
 	for _, want := range []string{
 		"terasort/serial",
 		"ns/op 3.00x (advisory)",
 		"SHUFFLE REGRESSION",
+		"SPILL REGRESSION",
 		"rows 1000 vs baseline 2000, skipped",
 		"new workload, no baseline",
+		"extsort/merge/uniform",
+		"spill disk bytes 1.00x  ok",
 	} {
 		if !strings.Contains(text, want) {
 			t.Fatalf("compare output missing %q:\n%s", want, text)
@@ -57,11 +70,48 @@ func TestCompareDocs(t *testing.T) {
 	}
 }
 
+// TestCompareExtsortGates: a fresh document without the extsort section
+// hard-fails, and an extsort entry whose on-disk spill bytes more than
+// double the baseline's hard-fails by name.
+func TestCompareExtsortGates(t *testing.T) {
+	base := benchFile{Extsort: extsortSection()}
+
+	var out strings.Builder
+	missing := compareDocs(benchFile{}, base, &out)
+	if len(missing) != 1 || !strings.Contains(missing[0], "section missing") {
+		t.Fatalf("missing-section regressions %v", missing)
+	}
+	if !strings.Contains(out.String(), "EXTSORT SECTION MISSING") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+
+	fresh := benchFile{Extsort: extsortSection()}
+	fresh.Extsort[0].SpilledDiskBytes = 3 * base.Extsort[0].SpilledDiskBytes
+	out.Reset()
+	regressions := compareDocs(fresh, base, &out)
+	if len(regressions) != 1 || regressions[0] != "extsort/merge/uniform" {
+		t.Fatalf("spill regressions %v, want extsort/merge/uniform", regressions)
+	}
+	if !strings.Contains(out.String(), "SPILL REGRESSION") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+
+	// A baseline predating the section compares nothing but still requires
+	// the fresh section to exist.
+	out.Reset()
+	if r := compareDocs(benchFile{Extsort: extsortSection()}, benchFile{}, &out); len(r) != 0 {
+		t.Fatalf("old baseline regressed: %v", r)
+	}
+	if !strings.Contains(out.String(), "new entry, no baseline") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+}
+
 func TestCompareFiles(t *testing.T) {
 	dir := t.TempDir()
 	doc := benchFile{Results: []benchResult{
 		{Name: "terasort/serial", Rows: 500, NsPerOp: 100, BytesShuffled: 4_000},
-	}}
+	}, Extsort: extsortSection()}
 	freshPath := writeDoc(t, dir, "fresh.json", doc)
 	basePath := writeDoc(t, dir, "base.json", doc)
 	var out strings.Builder
@@ -72,7 +122,7 @@ func TestCompareFiles(t *testing.T) {
 	if len(regressions) != 0 {
 		t.Fatalf("identical docs regressed: %v", regressions)
 	}
-	if !strings.Contains(out.String(), "shuffle bytes 1.00x  ok") {
+	if !strings.Contains(out.String(), "shuffle bytes 1.00x  spill disk bytes 0.00x  ok") {
 		t.Fatalf("output:\n%s", out.String())
 	}
 	if _, err := compareFiles(filepath.Join(dir, "missing.json"), basePath, &out); err == nil {

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"encoding/binary"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -22,6 +23,7 @@ import (
 	"codedterasort/internal/codec"
 	"codedterasort/internal/coded"
 	"codedterasort/internal/combin"
+	"codedterasort/internal/extsort"
 	"codedterasort/internal/kv"
 	"codedterasort/internal/mapreduce"
 	"codedterasort/internal/parallel"
@@ -39,7 +41,11 @@ type benchResult struct {
 	BytesShuffled  int64   `json:"bytes_shuffled"`
 	ChunksShuffled int64   `json:"chunks_shuffled,omitempty"`
 	SpilledRuns    int64   `json:"spilled_runs,omitempty"`
-	PeakHeapBytes  uint64  `json:"peak_heap_bytes"`
+	// Spilled bytes before framing/truncation vs framed on disk: the gap is
+	// the compact spill format's saving at the job level.
+	SpilledRawBytes  int64  `json:"spilled_raw_bytes,omitempty"`
+	SpilledDiskBytes int64  `json:"spilled_disk_bytes,omitempty"`
+	PeakHeapBytes    uint64 `json:"peak_heap_bytes"`
 }
 
 // microResult is one worker-kernel measurement: a compute hot path (sort,
@@ -52,6 +58,30 @@ type microResult struct {
 	// Speedup is the ratio against the kernel's baseline entry: the p=1
 	// run for parallel kernels, the byte-loop reference for xor/word.
 	Speedup float64 `json:"speedup,omitempty"`
+}
+
+// extsortResult is one external-sort microbenchmark: a budget-bounded
+// Sorter spills runs over rows generated records, then the drain (the
+// loser-tree merge of every run) is timed on its own. The comparison
+// counters record how the merge decided its matches — by cached
+// offset-value codes alone, or by falling through to key bytes — and the
+// raw-vs-disk spill bytes record what the compact run format saved.
+type extsortResult struct {
+	Name         string  `json:"name"`
+	Rows         int64   `json:"rows"`
+	SpilledRuns  int64   `json:"spilled_runs"`
+	MergeNsPerOp float64 `json:"merge_ns_per_op"`
+	MBPerSec     float64 `json:"mb_per_sec"`
+	// ComparesPerNext is total merge comparisons (OVC-decided + full)
+	// divided by records emitted; OVCDecidedFraction is the share the codes
+	// resolved without touching key bytes.
+	ComparesPerNext    float64 `json:"compares_per_next"`
+	OVCDecidedFraction float64 `json:"ovc_decided_fraction"`
+	SpilledRawBytes    int64   `json:"spilled_raw_bytes"`
+	SpilledDiskBytes   int64   `json:"spilled_disk_bytes"`
+	// SpillSavings is 1 - disk/raw: the fraction of record bytes the
+	// prefix-truncated frames kept off disk.
+	SpillSavings float64 `json:"spill_savings"`
 }
 
 // hostInfo records the machine the numbers came from, so
@@ -135,6 +165,10 @@ type benchFile struct {
 	// Mapreduce tracks the per-kernel shuffle loads of the MapReduce
 	// framework's built-in kernels, uncoded vs coded.
 	Mapreduce []mapreduceResult `json:"mapreduce"`
+	// Extsort tracks the external-sort merge path in isolation: merge
+	// ns/op, comparisons per emitted record (with the offset-value-coding
+	// share), and the compact spill format's raw-vs-disk byte gap.
+	Extsort []extsortResult `json:"extsort"`
 }
 
 func main() {
@@ -142,7 +176,7 @@ func main() {
 	rows := flag.Int64("rows", 200000, "input size in records per workload")
 	benchtime := flag.Duration("benchtime", time.Second, "minimum measuring time per workload")
 	compare := flag.String("compare", "",
-		"baseline JSON to diff the fresh results against: ns/op ratios are advisory, but a workload shuffling more than 2x its baseline's bytes fails the run")
+		"baseline JSON to diff the fresh results against: ns/op ratios are advisory, but a workload shuffling or spilling (on disk) more than 2x its baseline's bytes fails the run, as does a document missing the extsort section")
 	flag.Parse()
 
 	if err := run(*out, *rows, *benchtime); err != nil {
@@ -157,7 +191,7 @@ func main() {
 			os.Exit(1)
 		}
 		if len(regressions) > 0 {
-			fmt.Fprintf(os.Stderr, "benchjson: shuffle-bytes regression in %v\n", regressions)
+			fmt.Fprintf(os.Stderr, "benchjson: regression in %v\n", regressions)
 			os.Exit(1)
 		}
 	}
@@ -425,6 +459,108 @@ func runRecovery(rows int64, benchtime time.Duration) ([]recoveryResult, error) 
 	return out, nil
 }
 
+// runExtsort measures the external-sort merge path in isolation, once per
+// key distribution: a Sorter under a budget of 1/16 of the input spills
+// ~16 sorted runs; the drain — the offset-value-coded loser-tree merge of
+// every run plus the in-memory tail — is what each timed op runs. Append
+// and spill time is excluded (it is the radix sort, tracked by the micro
+// section), so the number isolates merge-path work. Spill bytes and the
+// comparison split are deterministic per spec; they come from the last
+// iteration.
+func runExtsort(rows int64, spillDir string, benchtime time.Duration) ([]extsortResult, error) {
+	budget := rows * kv.RecordSize / 16
+	if budget < 1<<16 {
+		budget = 1 << 16
+	}
+	var out []extsortResult
+	for _, c := range []struct {
+		name      string
+		dist      kv.Distribution
+		dupDomain int64
+	}{
+		// Uniform random 10-byte keys are near-incompressible at these run
+		// lengths (adjacent sorted keys share <1 prefix byte on average), so
+		// this entry tracks the per-block v1 fallback holding disk bytes at
+		// raw-plus-framing. The duplicate-heavy entry is where the
+		// prefix-truncated frames pay.
+		{"merge/uniform", kv.DistUniform, 0},
+		{"merge/skewed", kv.DistSkewed, 0},
+		{"merge/dupkeys", kv.DistUniform, 4096},
+	} {
+		input := kv.NewGenerator(11, c.dist).Generate(0, rows)
+		if c.dupDomain > 0 {
+			quantizeKeys(input, c.dupDomain)
+		}
+		// Append in sub-budget batches so the sorter spills ~16 runs (a
+		// whole-input append would buffer then spill a single run, leaving
+		// the merge nothing to do); this mirrors the engines, which feed the
+		// sorter shuffle chunk by shuffle chunk.
+		batch := 1000
+		var last extsort.Output
+		var total time.Duration
+		iters := 0
+		for total < benchtime || iters == 0 {
+			s, err := extsort.NewSorter(spillDir, budget)
+			if err != nil {
+				return nil, err
+			}
+			for i := 0; i < input.Len(); i += batch {
+				end := i + batch
+				if end > input.Len() {
+					end = input.Len()
+				}
+				if err := s.Append(input.Slice(i, end)); err != nil {
+					s.Close()
+					return nil, fmt.Errorf("extsort %s: %w", c.name, err)
+				}
+			}
+			t0 := time.Now()
+			last, err = extsort.DrainSorted(s, s.BlockRows(), func(kv.Records) error { return nil })
+			total += time.Since(t0)
+			s.Close()
+			if err != nil {
+				return nil, fmt.Errorf("extsort %s: %w", c.name, err)
+			}
+			iters++
+		}
+		nsPerOp := float64(total.Nanoseconds()) / float64(iters)
+		compares := last.OVCDecided + last.FullCompares
+		res := extsortResult{
+			Name:             c.name,
+			Rows:             rows,
+			SpilledRuns:      last.SpilledRuns,
+			MergeNsPerOp:     nsPerOp,
+			MBPerSec:         float64(rows*kv.RecordSize) / 1e6 / (nsPerOp / 1e9),
+			SpilledRawBytes:  last.SpilledRawBytes,
+			SpilledDiskBytes: last.SpilledDiskBytes,
+		}
+		if last.Rows > 0 {
+			res.ComparesPerNext = float64(compares) / float64(last.Rows)
+		}
+		if compares > 0 {
+			res.OVCDecidedFraction = float64(last.OVCDecided) / float64(compares)
+		}
+		if last.SpilledRawBytes > 0 {
+			res.SpillSavings = 1 - float64(last.SpilledDiskBytes)/float64(last.SpilledRawBytes)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// quantizeKeys rewrites every key to one of domain distinct values (a
+// deterministic function of the row index), modeling duplicate-heavy sort
+// inputs: long stretches of equal and near-equal keys after sorting, where
+// prefix truncation and the OVC tie path both get exercised.
+func quantizeKeys(recs kv.Records, domain int64) {
+	buf := recs.Bytes()
+	for i := 0; i < recs.Len(); i++ {
+		key := buf[i*kv.RecordSize : i*kv.RecordSize+kv.KeySize]
+		key[0], key[1] = 0, 0
+		binary.BigEndian.PutUint64(key[2:], uint64(int64(i)*2654435761%domain))
+	}
+}
+
 // runMapReduce records every built-in kernel's shuffle load uncoded and
 // coded at K=4, R=2 over a quarter of the pipeline row count (the text
 // kernels expand each input record into several intermediate ones).
@@ -512,6 +648,16 @@ func run(out string, rows int64, benchtime time.Duration) error {
 		fmt.Printf("mapreduce/%-16s %8.1f KB uncoded -> %8.1f KB coded (gain %.2fx)\n",
 			m.Kernel, float64(m.UncodedBytes)/1e3, float64(m.CodedBytes)/1e3, m.Gain)
 	}
+	ext, err := runExtsort(rows, spillDir, benchtime)
+	if err != nil {
+		return err
+	}
+	doc.Extsort = ext
+	for _, e := range ext {
+		fmt.Printf("extsort/%-18s %12.0f ns/op  %.2f cmp/next (%.0f%% ovc)  spill %8.1f -> %8.1f KB (%.1f%% saved)\n",
+			e.Name, e.MergeNsPerOp, e.ComparesPerNext, 100*e.OVCDecidedFraction,
+			float64(e.SpilledRawBytes)/1e3, float64(e.SpilledDiskBytes)/1e3, 100*e.SpillSavings)
+	}
 	p, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		return err
@@ -562,14 +708,16 @@ func measure(name string, spec cluster.Spec, benchtime time.Duration) (benchResu
 
 	nsPerOp := float64(total.Nanoseconds()) / float64(iters)
 	return benchResult{
-		Name:           name,
-		Iterations:     iters,
-		NsPerOp:        nsPerOp,
-		MBPerSec:       float64(spec.Rows*kv.RecordSize) / 1e6 / (nsPerOp / 1e9),
-		Rows:           spec.Rows,
-		BytesShuffled:  job.ShuffleLoadBytes,
-		ChunksShuffled: job.ChunksShuffled,
-		SpilledRuns:    job.SpilledRuns,
-		PeakHeapBytes:  peak,
+		Name:             name,
+		Iterations:       iters,
+		NsPerOp:          nsPerOp,
+		MBPerSec:         float64(spec.Rows*kv.RecordSize) / 1e6 / (nsPerOp / 1e9),
+		Rows:             spec.Rows,
+		BytesShuffled:    job.ShuffleLoadBytes,
+		ChunksShuffled:   job.ChunksShuffled,
+		SpilledRuns:      job.SpilledRuns,
+		SpilledRawBytes:  job.Spill.RawBytes,
+		SpilledDiskBytes: job.Spill.DiskBytes,
+		PeakHeapBytes:    peak,
 	}, job, nil
 }

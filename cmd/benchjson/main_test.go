@@ -44,6 +44,43 @@ func TestRunEmitsValidJSON(t *testing.T) {
 			if r.SpilledRuns == 0 {
 				t.Fatalf("%s: spilled nothing", r.Name)
 			}
+			// The compact writer's per-block v1 fallback bounds disk bytes
+			// at raw plus framing, even on incompressible uniform keys.
+			if r.SpilledRawBytes == 0 || r.SpilledDiskBytes == 0 {
+				t.Fatalf("%s: no spill byte accounting %+v", r.Name, r)
+			}
+			if r.SpilledDiskBytes > r.SpilledRawBytes+r.SpilledRawBytes/20 {
+				t.Fatalf("%s: spill framing overhead above 5%%: %d disk vs %d raw",
+					r.Name, r.SpilledDiskBytes, r.SpilledRawBytes)
+			}
+		}
+	}
+	// The extsort merge-path section: one entry per key workload, each with
+	// live comparison counters and spill accounting. Offset-value codes
+	// decide the large majority of comparisons on distinct-key inputs; the
+	// duplicate-heavy workload is where prefix truncation shrinks the runs.
+	if len(doc.Extsort) != 3 {
+		t.Fatalf("extsort section: %d entries, want 3", len(doc.Extsort))
+	}
+	for _, e := range doc.Extsort {
+		if e.MergeNsPerOp <= 0 || e.SpilledRuns < 2 || e.ComparesPerNext <= 0 {
+			t.Fatalf("degenerate extsort entry %+v", e)
+		}
+		if e.SpilledDiskBytes > e.SpilledRawBytes+e.SpilledRawBytes/20 {
+			t.Fatalf("%s: spill framing overhead above 5%%: %d disk vs %d raw",
+				e.Name, e.SpilledDiskBytes, e.SpilledRawBytes)
+		}
+		switch e.Name {
+		case "merge/uniform":
+			if e.OVCDecidedFraction <= 0.5 {
+				t.Fatalf("%s: offset-value codes decided only %.0f%% of merge comparisons",
+					e.Name, 100*e.OVCDecidedFraction)
+			}
+		case "merge/dupkeys":
+			if e.SpillSavings <= 0 {
+				t.Fatalf("%s: prefix truncation saved nothing: %d disk vs %d raw",
+					e.Name, e.SpilledDiskBytes, e.SpilledRawBytes)
+			}
 		}
 	}
 	// The fault-resilience sections: one straggler and one recovery entry

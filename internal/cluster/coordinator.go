@@ -215,15 +215,18 @@ func collectWorker(rank int, conn net.Conn, spec Spec, mon *monitor) (rep Worker
 		return WorkerReport{}, true, fmt.Errorf("report rank %d on connection %d", msg.Rank, rank)
 	}
 	return WorkerReport{
-		Rank:             msg.Rank,
-		Times:            msg.Times,
-		OutputRows:       msg.OutputRows,
-		OutputChecksum:   msg.OutputChecksum,
-		SentPayloadBytes: msg.SentPayloadBytes,
-		MulticastOps:     msg.MulticastOps,
-		WireBytes:        msg.WireBytes,
-		ChunksSent:       msg.ChunksSent,
-		ChunksReceived:   msg.ChunksReceived,
-		SpilledRuns:      msg.SpilledRuns,
+		Rank:              msg.Rank,
+		Times:             msg.Times,
+		OutputRows:        msg.OutputRows,
+		OutputChecksum:    msg.OutputChecksum,
+		SentPayloadBytes:  msg.SentPayloadBytes,
+		MulticastOps:      msg.MulticastOps,
+		WireBytes:         msg.WireBytes,
+		ChunksSent:        msg.ChunksSent,
+		ChunksReceived:    msg.ChunksReceived,
+		SpilledRuns:       msg.SpilledRuns,
+		Spill:             msg.Spill,
+		MergeOVCDecided:   msg.MergeOVCDecided,
+		MergeFullCompares: msg.MergeFullCmps,
 	}, true, nil
 }

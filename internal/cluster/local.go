@@ -42,6 +42,15 @@ type WorkerReport struct {
 	// SpilledRuns counts the sorted runs this worker spilled to disk
 	// (0 unless Spec.MemBudget forced it out of core).
 	SpilledRuns int64
+	// Spill accounts the worker's spill volume (runs + shuffle spools):
+	// raw record bytes vs framed on-disk bytes; the gap is the compact
+	// spill-block format's I/O saving.
+	Spill stats.SpillStats
+	// MergeOVCDecided and MergeFullCompares are the out-of-core merge's
+	// loser-tree match counters: matches decided by cached offset-value
+	// codes alone vs matches that fell through to key bytes.
+	MergeOVCDecided   int64
+	MergeFullCompares int64
 	// WireBytes counts bytes that actually crossed the transport,
 	// including the per-receiver copies of application-layer multicast
 	// and control traffic (tokens, barriers, handshakes).
@@ -65,6 +74,13 @@ type JobReport struct {
 	ChunksShuffled int64
 	// SpilledRuns is the total external-sort runs spilled across workers.
 	SpilledRuns int64
+	// Spill is the total spill volume across workers, raw vs on disk.
+	Spill stats.SpillStats
+	// MergeOVCDecided and MergeFullCompares total the workers' out-of-core
+	// merge match counters (offset-value-code decisions vs full key
+	// compares).
+	MergeOVCDecided   int64
+	MergeFullCompares int64
 	// WireBytes is the total transport-level traffic.
 	WireBytes int64
 	// Validated is set when the job's output passed verification against
@@ -390,6 +406,9 @@ func runWorker(ep transport.Endpoint, spec Spec, faults engine.Faults, sink func
 		rep.OutputRows = res.OutputRows
 		rep.OutputChecksum = res.OutputChecksum
 		rep.SpilledRuns = res.SpilledRuns
+		rep.Spill = res.Spill
+		rep.MergeOVCDecided = res.MergeOVCDecided
+		rep.MergeFullCompares = res.MergeFullCompares
 		out = res.Output
 	case AlgCoded:
 		res, err := coded.Run(ep, coded.Config{
@@ -414,6 +433,9 @@ func runWorker(ep transport.Endpoint, spec Spec, faults engine.Faults, sink func
 		rep.OutputRows = res.OutputRows
 		rep.OutputChecksum = res.OutputChecksum
 		rep.SpilledRuns = res.SpilledRuns
+		rep.Spill = res.Spill
+		rep.MergeOVCDecided = res.MergeOVCDecided
+		rep.MergeFullCompares = res.MergeFullCompares
 		out = res.Output
 	default:
 		return rep, out, fmt.Errorf("cluster: unknown algorithm %q", spec.Algorithm)
@@ -436,6 +458,9 @@ func assemble(spec Spec, reports []WorkerReport, outputs []kv.Records, sums []ve
 		job.WireBytes += w.WireBytes
 		job.ChunksShuffled += w.ChunksSent
 		job.SpilledRuns += w.SpilledRuns
+		job.Spill.Add(w.Spill)
+		job.MergeOVCDecided += w.MergeOVCDecided
+		job.MergeFullCompares += w.MergeFullCompares
 	}
 	if outputs == nil && sums == nil {
 		return job, nil

@@ -39,17 +39,20 @@ type assignMsg struct {
 
 // reportMsg returns a worker's results; Err is non-empty on failure.
 type reportMsg struct {
-	Rank             int             `json:"rank"`
-	Err              string          `json:"err,omitempty"`
-	Times            stats.Breakdown `json:"times"`
-	OutputRows       int64           `json:"output_rows"`
-	OutputChecksum   uint64          `json:"output_checksum"`
-	SentPayloadBytes int64           `json:"sent_payload_bytes"`
-	MulticastOps     int64           `json:"multicast_ops"`
-	WireBytes        int64           `json:"wire_bytes"`
-	ChunksSent       int64           `json:"chunks_sent,omitempty"`
-	ChunksReceived   int64           `json:"chunks_received,omitempty"`
-	SpilledRuns      int64           `json:"spilled_runs,omitempty"`
+	Rank             int              `json:"rank"`
+	Err              string           `json:"err,omitempty"`
+	Times            stats.Breakdown  `json:"times"`
+	OutputRows       int64            `json:"output_rows"`
+	OutputChecksum   uint64           `json:"output_checksum"`
+	SentPayloadBytes int64            `json:"sent_payload_bytes"`
+	MulticastOps     int64            `json:"multicast_ops"`
+	WireBytes        int64            `json:"wire_bytes"`
+	ChunksSent       int64            `json:"chunks_sent,omitempty"`
+	ChunksReceived   int64            `json:"chunks_received,omitempty"`
+	SpilledRuns      int64            `json:"spilled_runs,omitempty"`
+	Spill            stats.SpillStats `json:"spill,omitzero"`
+	MergeOVCDecided  int64            `json:"merge_ovc_decided,omitempty"`
+	MergeFullCmps    int64            `json:"merge_full_compares,omitempty"`
 }
 
 // progressMsg is one liveness/progress event of the monitored protocol:

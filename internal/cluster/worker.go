@@ -179,6 +179,9 @@ func RunWorker(coordAddr string, opts WorkerOptions) error {
 		ChunksSent:       rep.ChunksSent,
 		ChunksReceived:   rep.ChunksReceived,
 		SpilledRuns:      rep.SpilledRuns,
+		Spill:            rep.Spill,
+		MergeOVCDecided:  rep.MergeOVCDecided,
+		MergeFullCmps:    rep.MergeFullCompares,
 	}
 	if monitored {
 		return tx.send(workerMsg{Report: &msg})

@@ -213,6 +213,15 @@ type Result struct {
 	// SpilledRuns counts the sorted runs this worker spilled to disk
 	// (zero when MemBudget is unset or everything fit in memory).
 	SpilledRuns int64
+	// Spill accounts this worker's spill volume as raw record bytes vs
+	// framed on-disk bytes (zero without MemBudget; the gap is the compact
+	// block format's saving).
+	Spill stats.SpillStats
+	// MergeOVCDecided and MergeFullCompares are the final merge's
+	// loser-tree match counters: matches decided by cached offset-value
+	// codes alone vs matches that compared key bytes.
+	MergeOVCDecided   int64
+	MergeFullCompares int64
 	// Times is the node's stage breakdown (CodeGen, Map, Encode under
 	// Pack, Shuffle, Decode under Unpack, Reduce).
 	Times stats.Breakdown
@@ -462,6 +471,9 @@ func (w *worker) reduceSpillStage(ctx *engine.Context) error {
 	w.result.OutputRows = out.Rows
 	w.result.OutputChecksum = out.Checksum
 	w.result.SpilledRuns = out.SpilledRuns
+	w.result.Spill.Add(stats.SpillStats{RawBytes: out.SpilledRawBytes, DiskBytes: out.SpilledDiskBytes})
+	w.result.MergeOVCDecided = out.OVCDecided
+	w.result.MergeFullCompares = out.FullCompares
 	return nil
 }
 

@@ -25,6 +25,10 @@ type Sorter struct {
 	buf       kv.Records
 	runs      []string
 	merging   bool
+	// Spill accounting: record bytes handed to run writers vs framed bytes
+	// on disk — the gap is the compact (prefix-truncated) format's saving.
+	spilledRaw  int64
+	spilledDisk int64
 }
 
 // defaultBlockRows picks the spill-block granularity for a budget: blocks
@@ -94,6 +98,13 @@ func (s *Sorter) BlockRows() int { return s.blockRows }
 // Runs returns the number of on-disk runs spilled so far.
 func (s *Sorter) Runs() int { return len(s.runs) }
 
+// SpilledRawBytes returns the record bytes written to spill runs so far,
+// before framing and prefix truncation.
+func (s *Sorter) SpilledRawBytes() int64 { return s.spilledRaw }
+
+// SpilledDiskBytes returns the framed bytes the spill runs occupy on disk.
+func (s *Sorter) SpilledDiskBytes() int64 { return s.spilledDisk }
+
 // Append copies recs into the buffer, spilling a sorted run first if the
 // addition would push the buffer past the budget.
 func (s *Sorter) Append(recs kv.Records) error {
@@ -124,7 +135,7 @@ func (s *Sorter) spill() error {
 	if err != nil {
 		return fmt.Errorf("extsort: create run: %w", err)
 	}
-	w := NewBlockWriter(f, s.blockRows)
+	w := NewCompactBlockWriter(f, s.blockRows)
 	err = w.Append(s.buf)
 	if err == nil {
 		err = w.Finish()
@@ -136,6 +147,8 @@ func (s *Sorter) spill() error {
 	if cerr := f.Close(); cerr != nil {
 		return fmt.Errorf("extsort: close run: %w", cerr)
 	}
+	s.spilledRaw += w.RawBytes()
+	s.spilledDisk += w.DiskBytes()
 	s.runs = append(s.runs, path)
 	s.buf = s.buf.Slice(0, 0) // reset length, keep capacity
 	return nil
@@ -170,6 +183,15 @@ type Output struct {
 	Records kv.Records
 	// SpilledRuns counts the on-disk runs the merge consumed.
 	SpilledRuns int64
+	// SpilledRawBytes and SpilledDiskBytes account the runs' record bytes
+	// before framing/truncation vs their framed on-disk size.
+	SpilledRawBytes  int64
+	SpilledDiskBytes int64
+	// OVCDecided and FullCompares are the merge's loser-tree match
+	// counters: matches resolved by cached offset-value codes alone vs
+	// matches that fell through to key bytes.
+	OVCDecided   int64
+	FullCompares int64
 }
 
 // DrainSorted finalizes the sorter and streams its fully merged order in
@@ -183,7 +205,11 @@ func DrainSorted(s *Sorter, blockRows int, sink func(kv.Records) error) (Output,
 		return Output{}, err
 	}
 	defer merger.Close()
-	out := Output{SpilledRuns: int64(s.Runs())}
+	out := Output{
+		SpilledRuns:      int64(s.Runs()),
+		SpilledRawBytes:  s.SpilledRawBytes(),
+		SpilledDiskBytes: s.SpilledDiskBytes(),
+	}
 	if err := merger.Drain(blockRows, func(block kv.Records) error {
 		out.Rows += int64(block.Len())
 		out.Checksum += block.Checksum()
@@ -195,5 +221,6 @@ func DrainSorted(s *Sorter, blockRows int, sink func(kv.Records) error) (Output,
 	}); err != nil {
 		return Output{}, err
 	}
+	out.OVCDecided, out.FullCompares = merger.CompareStats()
 	return out, nil
 }

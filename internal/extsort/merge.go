@@ -1,13 +1,28 @@
 package extsort
 
 import (
-	"bytes"
 	"fmt"
 	"io"
 	"os"
 
 	"codedterasort/internal/kv"
 )
+
+// An offset-value code (Do & Graefe) caches a key's relationship to a
+// reference key R with key >= R: with off the first byte index where the
+// key differs from R (KeySize when equal) and val the key's byte there,
+//
+//	ovc = (KeySize-off)<<8 | val
+//
+// Between two keys coded against the same reference, the smaller code is
+// the smaller key; equal codes mean the keys agree with each other through
+// the coded offset and only the remaining suffix must be compared. The
+// loser tree keeps every stored loser coded against the key that defeated
+// it, which is exactly the reference the next candidate ascending that
+// path carries, so most matches are decided by one uint16 compare.
+// Crucially, when codes differ the loser's code is already correct
+// relative to the winner (same offset, same byte), so only the full-compare
+// tie path ever recomputes a code.
 
 // mergeSource is one sorted input of the merge: an on-disk run consumed
 // block by block, or the sorter's in-memory tail. key is nil once the
@@ -18,12 +33,21 @@ type mergeSource struct {
 	block kv.Records
 	idx   int
 	key   []byte
+	ovc   uint16           // offset-value code vs the key that last defeated this source
 	prev  [kv.KeySize]byte // last key served, for the sortedness guard
 	begun bool
 }
 
 // load points the source at record idx of its current block, refilling the
-// block from the reader when exhausted.
+// block from the reader when exhausted. The prefix scan against the last
+// served key doubles as the sortedness guard (runs are written sorted; a
+// regressing reconstructed key means checksum-preserving corruption or a
+// writer bug, and the merge output would silently be unsorted) and as the
+// offset-value coding of the new key: the last served key of the pending
+// source is the key the merge just emitted, the reference every loser on
+// this source's tree path is coded against. Before the first record prev
+// is the zero key — a floor for unsigned keys — giving all sources a
+// common reference for the initial tournament.
 func (s *mergeSource) load() error {
 	for s.idx >= s.block.Len() {
 		if s.rd == nil {
@@ -41,12 +65,18 @@ func (s *mergeSource) load() error {
 		s.block, s.idx = block, 0
 	}
 	s.key = s.block.Key(s.idx)
-	// Runs are written sorted; a key below its predecessor means the spill
-	// file was corrupted in a checksum-preserving way (or a writer bug) and
-	// the merge output would silently be unsorted.
-	if s.begun && bytes.Compare(s.key, s.prev[:]) < 0 {
+	off := 0
+	for off < kv.KeySize && s.key[off] == s.prev[off] {
+		off++
+	}
+	if off == kv.KeySize {
+		s.ovc = 0
+		return nil
+	}
+	if s.begun && s.key[off] < s.prev[off] {
 		return fmt.Errorf("extsort: run not sorted: key regresses within run")
 	}
+	s.ovc = uint16(kv.KeySize-off)<<8 | uint16(s.key[off])
 	return nil
 }
 
@@ -60,8 +90,10 @@ func (s *mergeSource) advance() error {
 
 // Merger streams the ascending merged order of any number of sorted runs
 // plus one in-memory tail, using a tournament tree of losers: each Next is
-// one leaf-to-root replay, log2(k) comparisons, independent of run sizes.
-// Memory is one block per on-disk run.
+// one leaf-to-root replay, log2(k) comparisons, independent of run sizes —
+// and with offset-value coding most of those comparisons resolve on the
+// cached codes without touching key bytes. Memory is one block per on-disk
+// run.
 type Merger struct {
 	srcs []*mergeSource
 	tree []int // tree[0] is the winner; tree[1..n-1] hold match losers
@@ -72,6 +104,10 @@ type Merger struct {
 	// which the returned record aliases.
 	pending int
 	err     error
+	// cmpOVC counts matches decided by the offset-value codes alone;
+	// cmpFull counts matches that fell through to comparing key bytes.
+	cmpOVC  int64
+	cmpFull int64
 }
 
 // newMerger opens the run files, primes every source and builds the tree.
@@ -112,28 +148,66 @@ func (m *Merger) build(i int) int {
 		return i - m.n
 	}
 	a, b := m.build(2*i), m.build(2*i+1)
-	if m.less(b, a) {
+	if m.play(b, a) {
 		a, b = b, a
 	}
 	m.tree[i] = b // loser stays at the node
 	return a      // winner plays on
 }
 
-// less orders sources by current key; exhausted sources sort last, and key
-// ties break by source index so the merge is deterministic (and stable in
-// run-spill order).
-func (m *Merger) less(a, b int) bool {
-	ka, kb := m.srcs[a].key, m.srcs[b].key
-	if ka == nil {
+// play decides the match between sources a and b — true when a defeats b —
+// comparing offset-value codes first and falling back to key bytes only on
+// code ties, where it recodes the loser against the winner so the tree
+// invariant (every loser coded against the key that defeated it) holds.
+// Exhausted sources sort last, and key ties break by source index so the
+// merge is deterministic (and stable in run-spill order).
+func (m *Merger) play(a, b int) bool {
+	sa, sb := m.srcs[a], m.srcs[b]
+	if sa.key == nil {
 		return false
 	}
-	if kb == nil {
+	if sb.key == nil {
 		return true
 	}
-	if c := bytes.Compare(ka, kb); c != 0 {
-		return c < 0
+	if sa.ovc != sb.ovc {
+		m.cmpOVC++
+		return sa.ovc < sb.ovc
 	}
-	return a < b
+	m.cmpFull++
+	// Equal codes: the keys agree with each other through the coded offset
+	// (same divergence point from the shared reference, same byte there);
+	// only the suffix beyond it can differ. A zero code means both keys
+	// equal the reference, so the loop body never runs and the index
+	// tie-break decides.
+	ka, kb := sa.key, sb.key
+	i := kv.KeySize - int(sa.ovc>>8) + 1
+	for ; i < kv.KeySize; i++ {
+		if ka[i] != kb[i] {
+			break
+		}
+	}
+	if i >= kv.KeySize {
+		// Fully equal keys: the loser is coded equal-to-winner.
+		if a < b {
+			sb.ovc = 0
+			return true
+		}
+		sa.ovc = 0
+		return false
+	}
+	if ka[i] < kb[i] {
+		sb.ovc = uint16(kv.KeySize-i)<<8 | uint16(kb[i])
+		return true
+	}
+	sa.ovc = uint16(kv.KeySize-i)<<8 | uint16(ka[i])
+	return false
+}
+
+// CompareStats reports the merge's match counters: matches decided by the
+// offset-value codes alone and matches that compared key bytes. Their sum
+// is the total loser-tree comparisons performed.
+func (m *Merger) CompareStats() (ovcDecided, fullCompares int64) {
+	return m.cmpOVC, m.cmpFull
 }
 
 // Next returns the record with the smallest key across all sources, or
@@ -154,10 +228,12 @@ func (m *Merger) Next() ([]byte, error) {
 		}
 		if m.n > 1 {
 			// Replay the path from leaf w to the root: the new arrival at
-			// the leaf plays each stored loser; winners move up.
+			// the leaf plays each stored loser; winners move up. The new
+			// key is coded against the key just emitted — the same
+			// reference every loser on this path was last defeated by.
 			cur := w
 			for i := (w + m.n) / 2; i >= 1; i /= 2 {
-				if m.less(m.tree[i], cur) {
+				if m.play(m.tree[i], cur) {
 					cur, m.tree[i] = m.tree[i], cur
 				}
 			}

@@ -5,18 +5,29 @@
 // one scenario a production TeraSort exists for — datasets that dwarf the
 // memory of any single node — while the coded shuffle above it stays
 // unchanged (the run-generation + merge structure follows the external
-// merge sort literature, e.g. Do & Graefe's offset-value-coding work; the
+// merge sort literature; the merge compares cached offset-value codes
+// after Do & Graefe so most loser-tree matches never touch full keys; the
 // engines plug it in behind the MemBudget knob).
 //
 // Spill files (runs and spools alike) are a sequence of framed record
-// blocks:
+// blocks in one of two self-identifying formats:
 //
-//	[uint32 magic][uint32 record count][count*RecordSize bytes][uint64 fnv64a]
+//	v1 "CTS1": [uint32 magic][uint32 count][count*RecordSize bytes][uint64 fnv64a]
+//	v2 "CTS2": [uint32 magic][uint32 count][uint32 encLen][encLen bytes][uint64 fnv64a]
 //
-// The magic guards against reading a non-spill file; the explicit count
-// rejects torn frames; the trailing FNV-64a over the payload rejects bit
-// rot and short writes. A reader therefore returns an error — never a
-// panic, never silently short data — on any truncation or corruption.
+// A v2 payload prefix-truncates keys: each record is one lcp byte (the
+// shared key-prefix length with the preceding record in the block; the
+// first record's is 0), the remaining key suffix, then the full value.
+// Sorted runs and duplicate-heavy spools shrink; compact writers encode
+// each block both ways and emit whichever frame is smaller, so a file may
+// mix v1 and v2 frames and the reader dispatches on the per-frame magic.
+// The magic guards against reading a non-spill file; the explicit counts
+// reject torn frames; the trailing FNV-64a over the (encoded) payload
+// rejects bit rot and short writes. A reader therefore returns an error —
+// never a panic, never silently short data — on any truncation or
+// corruption; a checksum-preserving tamper that reorders decoded keys is
+// caught one layer up by the merge's sortedness guard, which runs on the
+// reconstructed keys.
 package extsort
 
 import (
@@ -32,9 +43,12 @@ import (
 )
 
 const (
-	// blockMagic opens every spill-file block frame ("CTS1").
+	// blockMagic opens every v1 spill-file block frame ("CTS1").
 	blockMagic = 0x43545331
-	// blockHeader is the frame prefix: magic + record count.
+	// blockMagicV2 opens a prefix-truncated block frame ("CTS2").
+	blockMagicV2 = 0x43545332
+	// blockHeader is the shared frame prefix: magic + record count. A v2
+	// frame follows it with a uint32 encoded-payload length.
 	blockHeader = 8
 	// blockTrailer is the frame suffix: the payload checksum.
 	blockTrailer = 8
@@ -54,7 +68,7 @@ func blockSum(payload []byte) uint64 {
 	return h.Sum64()
 }
 
-// WriteBlock appends one framed block holding recs to w.
+// WriteBlock appends one framed v1 block holding recs to w.
 func WriteBlock(w io.Writer, recs kv.Records) error {
 	if recs.Len() > MaxBlockRows {
 		return fmt.Errorf("extsort: block of %d records exceeds max %d", recs.Len(), MaxBlockRows)
@@ -76,13 +90,57 @@ func WriteBlock(w io.Writer, recs kv.Records) error {
 	return nil
 }
 
-// RunReader reads a spill file block by block, validating every frame.
+// encodeBlockV2 appends the CTS2 payload encoding of recs to dst: per
+// record one lcp byte (shared key-prefix length with the previous record's
+// key; 0 for the first record, keeping blocks self-contained), the key
+// suffix, then the full value.
+func encodeBlockV2(dst []byte, recs kv.Records) []byte {
+	var prev []byte
+	for i := 0; i < recs.Len(); i++ {
+		key := recs.Key(i)
+		lcp := 0
+		for lcp < len(prev) && key[lcp] == prev[lcp] {
+			lcp++
+		}
+		dst = append(dst, byte(lcp))
+		dst = append(dst, key[lcp:]...)
+		dst = append(dst, recs.Value(i)...)
+		prev = key
+	}
+	return dst
+}
+
+// writeBlockV2 appends one framed v2 block with the already-encoded payload
+// enc covering count records.
+func writeBlockV2(w io.Writer, enc []byte, count int) error {
+	var hdr [blockHeader + 4]byte
+	binary.BigEndian.PutUint32(hdr[0:4], blockMagicV2)
+	binary.BigEndian.PutUint32(hdr[4:8], uint32(count))
+	binary.BigEndian.PutUint32(hdr[8:12], uint32(len(enc)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("extsort: write block header: %w", err)
+	}
+	if _, err := w.Write(enc); err != nil {
+		return fmt.Errorf("extsort: write block payload: %w", err)
+	}
+	var tr [blockTrailer]byte
+	binary.BigEndian.PutUint64(tr[:], blockSum(enc))
+	if _, err := w.Write(tr[:]); err != nil {
+		return fmt.Errorf("extsort: write block checksum: %w", err)
+	}
+	return nil
+}
+
+// RunReader reads a spill file block by block, validating every frame and
+// dispatching on the per-frame magic (v1 raw or v2 prefix-truncated).
 // Next returns io.EOF exactly at a clean end-of-file on a frame boundary;
 // anything else — a torn header, a bad magic, an impossible count, a
-// truncated payload or checksum, a checksum mismatch — is an error.
+// truncated payload or checksum, a checksum mismatch, a malformed v2
+// encoding — is an error.
 type RunReader struct {
 	r   *bufio.Reader
-	buf []byte // reused payload buffer
+	buf []byte // reused frame-payload buffer
+	dec []byte // reused v2 record-reconstruction buffer
 }
 
 // NewRunReader wraps r for block-by-block reading.
@@ -102,10 +160,14 @@ func (r *RunReader) Next() (kv.Records, error) {
 	if _, err := io.ReadFull(r.r, hdr[1:]); err != nil {
 		return kv.Records{}, fmt.Errorf("extsort: torn block header: %w", noEOF(err))
 	}
-	if m := binary.BigEndian.Uint32(hdr[0:4]); m != blockMagic {
+	n := int(binary.BigEndian.Uint32(hdr[4:8]))
+	switch m := binary.BigEndian.Uint32(hdr[0:4]); m {
+	case blockMagic:
+	case blockMagicV2:
+		return r.nextV2(n)
+	default:
 		return kv.Records{}, fmt.Errorf("extsort: bad block magic %#x", m)
 	}
-	n := int(binary.BigEndian.Uint32(hdr[4:8]))
 	if n > MaxBlockRows {
 		return kv.Records{}, fmt.Errorf("extsort: block declares %d records, max is %d", n, MaxBlockRows)
 	}
@@ -128,6 +190,67 @@ func (r *RunReader) Next() (kv.Records, error) {
 	return recs, nil
 }
 
+// nextV2 reads the remainder of a v2 frame whose header declared n records
+// and reconstructs the full records from the prefix-truncated encoding.
+func (r *RunReader) nextV2(n int) (kv.Records, error) {
+	if n > MaxBlockRows {
+		return kv.Records{}, fmt.Errorf("extsort: block declares %d records, max is %d", n, MaxBlockRows)
+	}
+	var lenb [4]byte
+	if _, err := io.ReadFull(r.r, lenb[:]); err != nil {
+		return kv.Records{}, fmt.Errorf("extsort: torn block header: %w", noEOF(err))
+	}
+	encLen := int(binary.BigEndian.Uint32(lenb[:]))
+	if encLen > n*(kv.RecordSize+1) {
+		return kv.Records{}, fmt.Errorf("extsort: v2 block declares %d encoded bytes for %d records", encLen, n)
+	}
+	need := encLen + blockTrailer
+	if cap(r.buf) < need {
+		r.buf = make([]byte, need)
+	}
+	r.buf = r.buf[:need]
+	if _, err := io.ReadFull(r.r, r.buf); err != nil {
+		return kv.Records{}, fmt.Errorf("extsort: torn block frame (%d records declared): %w", n, noEOF(err))
+	}
+	enc, tr := r.buf[:encLen], r.buf[encLen:]
+	if got, want := blockSum(enc), binary.BigEndian.Uint64(tr); got != want {
+		return kv.Records{}, fmt.Errorf("extsort: block checksum %#x != stored %#x", got, want)
+	}
+	if cap(r.dec) < n*kv.RecordSize {
+		r.dec = make([]byte, n*kv.RecordSize)
+	}
+	r.dec = r.dec[:n*kv.RecordSize]
+	pos := 0
+	for i := 0; i < n; i++ {
+		if pos >= len(enc) {
+			return kv.Records{}, fmt.Errorf("extsort: v2 block truncated at record %d of %d", i, n)
+		}
+		lcp := int(enc[pos])
+		pos++
+		if lcp > kv.KeySize || (i == 0 && lcp != 0) {
+			return kv.Records{}, fmt.Errorf("extsort: v2 block record %d declares lcp %d", i, lcp)
+		}
+		suffix := kv.KeySize - lcp + kv.ValueSize
+		if pos+suffix > len(enc) {
+			return kv.Records{}, fmt.Errorf("extsort: v2 block truncated at record %d of %d", i, n)
+		}
+		rec := r.dec[i*kv.RecordSize : (i+1)*kv.RecordSize]
+		if lcp > 0 {
+			copy(rec[:lcp], r.dec[(i-1)*kv.RecordSize:]) // shared prefix of the previous key
+		}
+		copy(rec[lcp:], enc[pos:pos+suffix])
+		pos += suffix
+	}
+	if pos != len(enc) {
+		return kv.Records{}, fmt.Errorf("extsort: v2 block has %d trailing encoded bytes", len(enc)-pos)
+	}
+	recs, err := kv.NewRecords(r.dec)
+	if err != nil {
+		return kv.Records{}, err
+	}
+	return recs, nil
+}
+
 // noEOF turns a bare io.EOF into ErrUnexpectedEOF so truncation inside a
 // frame is never mistaken for a clean end by errors.Is(err, io.EOF) callers.
 func noEOF(err error) error {
@@ -140,16 +263,22 @@ func noEOF(err error) error {
 // BlockWriter buffers appended records and flushes them as framed blocks of
 // exactly blockRows records (the final, possibly short, block flushes on
 // Finish). Runs and spools share it, so every spill file on disk has one
-// format and one reader.
+// format and one reader. A compact writer (NewCompactBlockWriter) encodes
+// each block as a prefix-truncated v2 frame when that is smaller than the
+// raw v1 frame, so compact files never exceed raw ones beyond rounding.
 type BlockWriter struct {
 	w         *bufio.Writer
 	blockRows int
+	compact   bool
 	buf       kv.Records
+	enc       []byte // reused v2 encoding buffer
 	rows      int64
 	blocks    int64
+	diskBytes int64
 }
 
-// NewBlockWriter returns a writer framing blocks of blockRows records.
+// NewBlockWriter returns a writer framing raw v1 blocks of blockRows
+// records.
 func NewBlockWriter(w io.Writer, blockRows int) *BlockWriter {
 	if blockRows <= 0 || blockRows > MaxBlockRows {
 		panic(fmt.Sprintf("extsort: NewBlockWriter blockRows=%d", blockRows))
@@ -159,6 +288,15 @@ func NewBlockWriter(w io.Writer, blockRows int) *BlockWriter {
 		blockRows: blockRows,
 		buf:       kv.MakeRecords(blockRows),
 	}
+}
+
+// NewCompactBlockWriter returns a writer that frames each block in the
+// smaller of the v1 and prefix-truncated v2 encodings. Sorter runs and
+// shuffle spools use it; RunReader handles the mixed frames transparently.
+func NewCompactBlockWriter(w io.Writer, blockRows int) *BlockWriter {
+	b := NewBlockWriter(w, blockRows)
+	b.compact = true
+	return b
 }
 
 // Append buffers recs, flushing every completed block.
@@ -181,9 +319,24 @@ func (b *BlockWriter) Append(recs kv.Records) error {
 }
 
 func (b *BlockWriter) flush() error {
+	framed := int64(blockHeader + b.buf.Size() + blockTrailer)
+	if b.compact {
+		b.enc = encodeBlockV2(b.enc[:0], b.buf)
+		if v2 := int64(blockHeader + 4 + len(b.enc) + blockTrailer); v2 < framed {
+			if err := writeBlockV2(b.w, b.enc, b.buf.Len()); err != nil {
+				return err
+			}
+			framed = v2
+			b.diskBytes += framed
+			b.blocks++
+			b.buf = b.buf.Slice(0, 0)
+			return nil
+		}
+	}
 	if err := WriteBlock(b.w, b.buf); err != nil {
 		return err
 	}
+	b.diskBytes += framed
 	b.blocks++
 	b.buf = b.buf.Slice(0, 0)
 	return nil
@@ -206,6 +359,15 @@ func (b *BlockWriter) Rows() int64 { return b.rows }
 // Blocks returns the framed blocks written so far (Finish may add one).
 func (b *BlockWriter) Blocks() int64 { return b.blocks }
 
+// RawBytes returns the record payload appended so far — what the file
+// would hold unframed and untruncated.
+func (b *BlockWriter) RawBytes() int64 { return b.rows * kv.RecordSize }
+
+// DiskBytes returns the framed bytes flushed to the underlying writer so
+// far (call after Finish for the file total). The raw-vs-disk gap is the
+// compact encoding's saving.
+func (b *BlockWriter) DiskBytes() int64 { return b.diskBytes }
+
 // Spool is an unsorted on-disk record log: the Map stage of a
 // budget-bounded worker appends each partition's records as it scans input
 // blocks, and the shuffle later streams the spool back block by block. The
@@ -216,13 +378,15 @@ type Spool struct {
 	path string
 }
 
-// NewSpool creates a spool file inside dir.
+// NewSpool creates a spool file inside dir. Spools use the compact block
+// format: uniform scan-order keys mostly fall back to v1 frames, while
+// duplicate-heavy MapReduce keys truncate well.
 func NewSpool(dir string, blockRows int) (*Spool, error) {
 	f, err := os.CreateTemp(dir, "spool-*.spill")
 	if err != nil {
 		return nil, fmt.Errorf("extsort: create spool: %w", err)
 	}
-	return &Spool{f: f, w: NewBlockWriter(f, blockRows), path: f.Name()}, nil
+	return &Spool{f: f, w: NewCompactBlockWriter(f, blockRows), path: f.Name()}, nil
 }
 
 // Append buffers recs into the spool.
@@ -230,6 +394,12 @@ func (s *Spool) Append(recs kv.Records) error { return s.w.Append(recs) }
 
 // Rows returns the records appended so far.
 func (s *Spool) Rows() int64 { return s.w.Rows() }
+
+// RawBytes returns the unframed record bytes appended so far.
+func (s *Spool) RawBytes() int64 { return s.w.RawBytes() }
+
+// DiskBytes returns the framed bytes written so far (total after Finish).
+func (s *Spool) DiskBytes() int64 { return s.w.DiskBytes() }
 
 // Finish flushes the spool and returns its block count. Call once, before
 // Reader.

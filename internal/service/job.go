@@ -88,6 +88,13 @@ type JobStatus struct {
 	ShuffleLoadBytes int64 `json:"shuffle_load_bytes,omitempty"`
 	WireBytes        int64 `json:"wire_bytes,omitempty"`
 	SpilledRuns      int64 `json:"spilled_runs,omitempty"`
+	// Raw vs on-disk spilled bytes; the gap is the compact spill format's
+	// saving. The merge counters split comparisons between offset-value
+	// code decisions and full key compares on code ties.
+	SpilledRawBytes   int64 `json:"spilled_raw_bytes,omitempty"`
+	SpilledDiskBytes  int64 `json:"spilled_disk_bytes,omitempty"`
+	MergeOVCDecided   int64 `json:"merge_ovc_decided,omitempty"`
+	MergeFullCompares int64 `json:"merge_full_compares,omitempty"`
 	// TotalSeconds is the cluster-level stage-time total.
 	TotalSeconds float64 `json:"total_seconds,omitempty"`
 	Error        string  `json:"error,omitempty"`
@@ -114,6 +121,10 @@ func (j *job) status() JobStatus {
 		st.ShuffleLoadBytes = rep.ShuffleLoadBytes
 		st.WireBytes = rep.WireBytes
 		st.SpilledRuns = rep.SpilledRuns
+		st.SpilledRawBytes = rep.Spill.RawBytes
+		st.SpilledDiskBytes = rep.Spill.DiskBytes
+		st.MergeOVCDecided = rep.MergeOVCDecided
+		st.MergeFullCompares = rep.MergeFullCompares
 		st.TotalSeconds = rep.Total()
 		for _, s := range rep.Recovered {
 			st.Recovered = append(st.Recovered, s.String())

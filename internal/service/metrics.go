@@ -123,6 +123,13 @@ func (s *Server) MetricsText() string {
 	fmt.Fprintf(&b, "sortd_wire_bytes_total %d\n", tot.wireBytes)
 	counterHead("sortd_spilled_runs_total", "External-sort runs spilled by finished jobs.")
 	fmt.Fprintf(&b, "sortd_spilled_runs_total %d\n", tot.spilledRuns)
+	counterHead("sortd_spilled_raw_bytes_total", "Record bytes spilled by finished jobs, before framing and prefix truncation.")
+	fmt.Fprintf(&b, "sortd_spilled_raw_bytes_total %d\n", tot.spilledRawBytes)
+	counterHead("sortd_spilled_disk_bytes_total", "On-disk bytes of spilled runs and spools of finished jobs (compact framing).")
+	fmt.Fprintf(&b, "sortd_spilled_disk_bytes_total %d\n", tot.spilledDiskBytes)
+	counterHead("sortd_merge_compares_total", "Merge-path key comparisons of finished jobs by kind: offset-value codes decided, or full key compares on code ties.")
+	fmt.Fprintf(&b, "sortd_merge_compares_total{kind=\"ovc\"} %d\n", tot.mergeOVCDecided)
+	fmt.Fprintf(&b, "sortd_merge_compares_total{kind=\"full\"} %d\n", tot.mergeFullCmps)
 	counterHead("sortd_chunks_shuffled_total", "Pipelined shuffle chunks of finished jobs.")
 	fmt.Fprintf(&b, "sortd_chunks_shuffled_total %d\n", tot.chunksShuffled)
 	counterHead("sortd_recovery_attempts_total", "Job executions used by finished jobs (first runs included).")

@@ -123,6 +123,10 @@ type totals struct {
 	shuffleLoadBytes int64
 	wireBytes        int64
 	spilledRuns      int64
+	spilledRawBytes  int64
+	spilledDiskBytes int64
+	mergeOVCDecided  int64
+	mergeFullCmps    int64
 	chunksShuffled   int64
 	attempts         int64
 	recoveredFaults  int64
@@ -296,6 +300,10 @@ func (s *Server) runJob(j *job, lease *cluster.Lease) {
 		s.totals.shuffleLoadBytes += rep.ShuffleLoadBytes
 		s.totals.wireBytes += rep.WireBytes
 		s.totals.spilledRuns += rep.SpilledRuns
+		s.totals.spilledRawBytes += rep.Spill.RawBytes
+		s.totals.spilledDiskBytes += rep.Spill.DiskBytes
+		s.totals.mergeOVCDecided += rep.MergeOVCDecided
+		s.totals.mergeFullCmps += rep.MergeFullCompares
 		s.totals.chunksShuffled += rep.ChunksShuffled
 		s.totals.attempts += int64(rep.Attempts)
 		s.totals.recoveredFaults += int64(len(rep.Recovered))

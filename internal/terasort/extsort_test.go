@@ -280,11 +280,15 @@ func TestBudgetBoundsPeakMemory(t *testing.T) {
 	t.Logf("peak heap %.1f MB for %.1f MB input at %d x %.1f MB budget",
 		float64(peak)/1e6, float64(total)/1e6, k, float64(budget)/1e6)
 	// The K workers share this process, so the cluster-wide bound is
-	// K x budget; 3x covers Go allocator slop, the sampler's lag and
-	// transient per-block garbage, while staying far below the 32 MB an
-	// in-memory run necessarily materializes several times over.
-	if limit := uint64(3 * k * budget); peak > limit {
-		t.Fatalf("peak heap %.1f MB exceeds %.1f MB (3 x K x budget)",
+	// K x budget; the multiplier covers Go allocator slop, the sampler's
+	// lag and transient per-block garbage, while staying far below the
+	// 32 MB an in-memory run necessarily materializes several times over.
+	// Baseline history: 3x through PR 7 (peak ~12.5 MB here); 3.5x since
+	// the compact v2 spill format, whose reader reconstructs prefix-
+	// truncated records into a second per-run-cursor block buffer
+	// (measured peak 12.9 MB against the old 12.6 MB limit).
+	if limit := uint64(3.5 * k * budget); peak > limit {
+		t.Fatalf("peak heap %.1f MB exceeds %.1f MB (3.5 x K x budget)",
 			float64(peak)/1e6, float64(limit)/1e6)
 	}
 	if peak > total/2 {

@@ -193,6 +193,15 @@ type Result struct {
 	// SpilledRuns counts the sorted runs this worker spilled to disk
 	// (zero when MemBudget is unset or everything fit in memory).
 	SpilledRuns int64
+	// Spill accounts this worker's spill volume — runs plus shuffle
+	// spools — as raw record bytes vs framed on-disk bytes (zero without
+	// MemBudget; the gap is the compact block format's saving).
+	Spill stats.SpillStats
+	// MergeOVCDecided and MergeFullCompares are the final merge's
+	// loser-tree match counters: matches decided by cached offset-value
+	// codes alone vs matches that compared key bytes.
+	MergeOVCDecided   int64
+	MergeFullCompares int64
 	// Times is the node's stage breakdown.
 	Times stats.Breakdown
 	// ShuffleBytes counts the unicast payload bytes this node sent during
@@ -389,6 +398,7 @@ func (w *worker) mapSpillStage(ctx *engine.Context) error {
 			return err
 		}
 		w.spoolBlocks[dst] = blocks
+		w.result.Spill.Add(stats.SpillStats{RawBytes: sp.RawBytes(), DiskBytes: sp.DiskBytes()})
 	}
 	return nil
 }
@@ -667,6 +677,9 @@ func (w *worker) reduceSpillStage(ctx *engine.Context) error {
 	w.result.OutputRows = out.Rows
 	w.result.OutputChecksum = out.Checksum
 	w.result.SpilledRuns = out.SpilledRuns
+	w.result.Spill.Add(stats.SpillStats{RawBytes: out.SpilledRawBytes, DiskBytes: out.SpilledDiskBytes})
+	w.result.MergeOVCDecided = out.OVCDecided
+	w.result.MergeFullCompares = out.FullCompares
 	return nil
 }
 
