@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet fmt-check lint docs-check examples-smoke test race fuzz bench bench-smoke bench-compare cover cover-gate service-smoke vuln ci
+.PHONY: all build vet fmt-check lint docs-check examples-smoke test race fuzz largek-smoke bench bench-smoke bench-compare cover cover-gate service-smoke vuln ci
 
 all: ci
 
@@ -57,9 +57,10 @@ race:
 	$(GO) test -race -shuffle=on ./...
 
 # Short fuzz smoke over the wire- and disk-facing surfaces (chunk framing,
-# packed IVs, coded packets, spill-file blocks). One shell with set -e so
-# the first failing fuzz target fails the whole recipe fast — no later
-# invocation can mask it. CI-friendly: seconds, not hours.
+# packed IVs, coded packets, spill-file blocks) plus the resolvable-design
+# generator, whose invariants every large-K shuffle depends on. One shell
+# with set -e so the first failing fuzz target fails the whole recipe fast
+# — no later invocation can mask it. CI-friendly: seconds, not hours.
 fuzz:
 	set -e; \
 	for target in FuzzOpenChunk FuzzChunkStream FuzzUnpackIV; do \
@@ -68,6 +69,13 @@ fuzz:
 	$(GO) test -run=Fuzz -fuzz='FuzzRunReader$$' -fuzztime=5s ./internal/extsort/
 	$(GO) test -run=Fuzz -fuzz='FuzzRunReaderV2$$' -fuzztime=5s ./internal/extsort/
 	$(GO) test -run=Fuzz -fuzz=FuzzMapReduceKernels -fuzztime=5s ./internal/mapreduce/
+	$(GO) test -run=Fuzz -fuzz=FuzzDesign -fuzztime=5s ./internal/placement/resolvable/
+
+# Large-K smoke: the K=64 resolvable sort over multiplexed logical ranks,
+# checksum-tied to the uncoded oracle. Also runs (race-enabled) inside the
+# `race` target; this standalone entry is the fast local check.
+largek-smoke:
+	$(GO) test -run=TestLargeKResolvableMux -count=1 ./internal/cluster/
 
 bench:
 	$(GO) test -run=XXX -bench=. -benchmem ./...
@@ -130,4 +138,4 @@ vuln:
 		echo "govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; \
 	fi
 
-ci: build vet fmt-check lint docs-check examples-smoke race cover-gate service-smoke vuln
+ci: build vet fmt-check lint docs-check examples-smoke race largek-smoke cover-gate service-smoke vuln

@@ -25,6 +25,11 @@ for dir in $(go list -f '{{.Dir}}' ./...); do
 	fi
 done
 go test -race -shuffle=on ./...
+# Large-K smoke (mirrors `make largek-smoke`): the K=64 resolvable sort
+# over multiplexed logical ranks, checksum-tied to the uncoded oracle. The
+# race run above already includes it; this re-run pins the gate by name so
+# a test rename cannot silently drop the coverage.
+go test -run=TestLargeKResolvableMux -count=1 ./internal/cluster/
 if command -v govulncheck >/dev/null 2>&1; then
 	govulncheck ./...
 else

@@ -73,6 +73,48 @@ func compareDocs(fresh, base benchFile, w io.Writer) []string {
 			r.Name, nsRatio, bytesRatio, ratio(float64(r.SpilledDiskBytes), float64(b.SpilledDiskBytes)), verdict)
 	}
 	regressions = append(regressions, compareExtsort(fresh, base, w)...)
+	regressions = append(regressions, comparePlacement(fresh, base, w)...)
+	return regressions
+}
+
+// comparePlacement checks the clique-vs-resolvable section. Like extsort,
+// a fresh document without the section hard-fails: the placement counts
+// are part of the tracked trajectory. The section also gates on its own
+// contents — at the sweep's largest K, the resolvable design must beat the
+// clique scheme's group count (that scaling win is the construction's
+// whole point; losing it means the design generator regressed). Against a
+// baseline with the section, a shrunk group gain at any matched K prints
+// as advisory.
+func comparePlacement(fresh, base benchFile, w io.Writer) []string {
+	var regressions []string
+	if len(fresh.Placement) == 0 {
+		fmt.Fprintf(w, "%-28s PLACEMENT SECTION MISSING\n", "placement")
+		return append(regressions, "placement(section missing)")
+	}
+	largest := fresh.Placement[0]
+	for _, p := range fresh.Placement[1:] {
+		if p.K > largest.K {
+			largest = p
+		}
+	}
+	baseline := make(map[int]placementResult, len(base.Placement))
+	for _, p := range base.Placement {
+		baseline[p.K] = p
+	}
+	for _, p := range fresh.Placement {
+		verdict := "ok"
+		if p.K == largest.K && p.ResolvableGroups >= p.CliqueGroups {
+			verdict = fmt.Sprintf("PLACEMENT REGRESSION (resolvable %d groups >= clique %d at K=%d)",
+				p.ResolvableGroups, p.CliqueGroups, p.K)
+			regressions = append(regressions, fmt.Sprintf("placement(K=%d)", p.K))
+		}
+		gainNote := ""
+		if b, ok := baseline[p.K]; ok && b.GroupGain > 0 {
+			gainNote = fmt.Sprintf("  gain vs baseline %.2fx (advisory)", p.GroupGain/b.GroupGain)
+		}
+		fmt.Fprintf(w, "placement/K=%-16d clique %8d groups, resolvable %8d (gain %.1fx)%s  %s\n",
+			p.K, p.CliqueGroups, p.ResolvableGroups, p.GroupGain, gainNote, verdict)
+	}
 	return regressions
 }
 

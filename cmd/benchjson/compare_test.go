@@ -28,13 +28,22 @@ func extsortSection() []extsortResult {
 		ComparesPerNext: 1.5, SpilledRawBytes: 10_000, SpilledDiskBytes: 8_000}}
 }
 
+// placementSection is a minimal valid placement section: resolvable beats
+// clique at the largest K, so the structural gate passes.
+func placementSection() []placementResult {
+	return []placementResult{
+		{K: 8, R: 2, CliqueGroups: 56, ResolvableGroups: 12, GroupGain: 56.0 / 12},
+		{K: 16, R: 2, CliqueGroups: 560, ResolvableGroups: 56, GroupGain: 10},
+	}
+}
+
 func TestCompareDocs(t *testing.T) {
 	base := benchFile{Results: []benchResult{
 		{Name: "terasort/serial", Rows: 1000, NsPerOp: 100, BytesShuffled: 10_000},
 		{Name: "coded/serial", Rows: 1000, NsPerOp: 200, BytesShuffled: 6_000},
 		{Name: "coded/chunked", Rows: 2000, NsPerOp: 300, BytesShuffled: 9_000},
 		{Name: "terasort/extsort", Rows: 1000, NsPerOp: 400, BytesShuffled: 10_000, SpilledDiskBytes: 5_000},
-	}, Extsort: extsortSection()}
+	}, Extsort: extsortSection(), Placement: placementSection()}
 	fresh := benchFile{Results: []benchResult{
 		// Slower but same shuffle: advisory only, no regression.
 		{Name: "terasort/serial", Rows: 1000, NsPerOp: 300, BytesShuffled: 10_000},
@@ -46,7 +55,7 @@ func TestCompareDocs(t *testing.T) {
 		{Name: "coded/new", Rows: 1000, NsPerOp: 100, BytesShuffled: 1},
 		// Spilled disk bytes more than doubled: the other hard failure.
 		{Name: "terasort/extsort", Rows: 1000, NsPerOp: 400, BytesShuffled: 10_000, SpilledDiskBytes: 11_000},
-	}, Extsort: extsortSection()}
+	}, Extsort: extsortSection(), Placement: placementSection()}
 
 	var out strings.Builder
 	regressions := compareDocs(fresh, base, &out)
@@ -77,7 +86,7 @@ func TestCompareExtsortGates(t *testing.T) {
 	base := benchFile{Extsort: extsortSection()}
 
 	var out strings.Builder
-	missing := compareDocs(benchFile{}, base, &out)
+	missing := compareDocs(benchFile{Placement: placementSection()}, base, &out)
 	if len(missing) != 1 || !strings.Contains(missing[0], "section missing") {
 		t.Fatalf("missing-section regressions %v", missing)
 	}
@@ -85,7 +94,7 @@ func TestCompareExtsortGates(t *testing.T) {
 		t.Fatalf("output:\n%s", out.String())
 	}
 
-	fresh := benchFile{Extsort: extsortSection()}
+	fresh := benchFile{Extsort: extsortSection(), Placement: placementSection()}
 	fresh.Extsort[0].SpilledDiskBytes = 3 * base.Extsort[0].SpilledDiskBytes
 	out.Reset()
 	regressions := compareDocs(fresh, base, &out)
@@ -99,7 +108,7 @@ func TestCompareExtsortGates(t *testing.T) {
 	// A baseline predating the section compares nothing but still requires
 	// the fresh section to exist.
 	out.Reset()
-	if r := compareDocs(benchFile{Extsort: extsortSection()}, benchFile{}, &out); len(r) != 0 {
+	if r := compareDocs(benchFile{Extsort: extsortSection(), Placement: placementSection()}, benchFile{}, &out); len(r) != 0 {
 		t.Fatalf("old baseline regressed: %v", r)
 	}
 	if !strings.Contains(out.String(), "new entry, no baseline") {
@@ -107,11 +116,59 @@ func TestCompareExtsortGates(t *testing.T) {
 	}
 }
 
+// TestComparePlacementGates: a fresh document without the placement
+// section hard-fails, and so does one where the resolvable design stops
+// beating the clique group count at the sweep's largest K. The structural
+// win at smaller Ks is not gated (at K=2r the two schemes are close), and
+// a baseline predating the section only costs the advisory gain line.
+func TestComparePlacementGates(t *testing.T) {
+	base := benchFile{Extsort: extsortSection(), Placement: placementSection()}
+
+	var out strings.Builder
+	missing := compareDocs(benchFile{Extsort: extsortSection()}, base, &out)
+	if len(missing) != 1 || !strings.Contains(missing[0], "placement(section missing)") {
+		t.Fatalf("missing-section regressions %v", missing)
+	}
+	if !strings.Contains(out.String(), "PLACEMENT SECTION MISSING") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+
+	// Resolvable no better than clique at the largest K: the hard gate.
+	fresh := benchFile{Extsort: extsortSection(), Placement: placementSection()}
+	fresh.Placement[1].ResolvableGroups = fresh.Placement[1].CliqueGroups
+	out.Reset()
+	regressions := compareDocs(fresh, base, &out)
+	if len(regressions) != 1 || regressions[0] != "placement(K=16)" {
+		t.Fatalf("placement regressions %v, want [placement(K=16)]", regressions)
+	}
+	if !strings.Contains(out.String(), "PLACEMENT REGRESSION") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+
+	// A smaller-K entry losing the win is not gated; only the largest K is.
+	fresh = benchFile{Extsort: extsortSection(), Placement: placementSection()}
+	fresh.Placement[0].ResolvableGroups = fresh.Placement[0].CliqueGroups + 1
+	out.Reset()
+	if r := compareDocs(fresh, base, &out); len(r) != 0 {
+		t.Fatalf("small-K entry gated: %v", r)
+	}
+
+	// Baseline without the section: fresh section still required, compared
+	// without the advisory gain line.
+	out.Reset()
+	if r := compareDocs(base, benchFile{Extsort: extsortSection()}, &out); len(r) != 0 {
+		t.Fatalf("old baseline regressed: %v", r)
+	}
+	if strings.Contains(out.String(), "gain vs baseline") {
+		t.Fatalf("advisory gain printed without a baseline:\n%s", out.String())
+	}
+}
+
 func TestCompareFiles(t *testing.T) {
 	dir := t.TempDir()
 	doc := benchFile{Results: []benchResult{
 		{Name: "terasort/serial", Rows: 500, NsPerOp: 100, BytesShuffled: 4_000},
-	}, Extsort: extsortSection()}
+	}, Extsort: extsortSection(), Placement: placementSection()}
 	freshPath := writeDoc(t, dir, "fresh.json", doc)
 	basePath := writeDoc(t, dir, "base.json", doc)
 	var out strings.Builder

@@ -29,6 +29,7 @@ import (
 	"codedterasort/internal/parallel"
 	"codedterasort/internal/partition"
 	"codedterasort/internal/placement"
+	"codedterasort/internal/simnet"
 )
 
 // benchResult is one workload's measurement.
@@ -149,6 +150,28 @@ type mapreduceResult struct {
 	Gain         float64 `json:"gain"`
 }
 
+// placementResult is one K of the clique-vs-resolvable placement
+// comparison: the structural counts (multicast groups, subfiles) of both
+// strategies at the same (K, r) plus the simulated full-scale shuffle
+// bytes and wall time. All values are deterministic functions of (K, r)
+// and the cost model — no timing noise — so the section doubles as a
+// regression gate on the resolvable construction itself.
+type placementResult struct {
+	K                int     `json:"k"`
+	R                int     `json:"r"`
+	CliqueGroups     int64   `json:"clique_groups"`
+	CliqueFiles      int     `json:"clique_files"`
+	CliqueBytes      float64 `json:"clique_shuffle_bytes"`
+	CliqueSec        float64 `json:"clique_total_sec"`
+	ResolvableGroups int64   `json:"resolvable_groups"`
+	ResolvableFiles  int     `json:"resolvable_files"`
+	ResolvableBytes  float64 `json:"resolvable_shuffle_bytes"`
+	ResolvableSec    float64 `json:"resolvable_total_sec"`
+	// GroupGain is clique groups / resolvable groups, the CodeGen-scaling
+	// win the resolvable design buys.
+	GroupGain float64 `json:"group_gain"`
+}
+
 // benchFile is the BENCH_pipeline.json document.
 type benchFile struct {
 	Host    hostInfo      `json:"host"`
@@ -169,6 +192,10 @@ type benchFile struct {
 	// ns/op, comparisons per emitted record (with the offset-value-coding
 	// share), and the compact spill format's raw-vs-disk byte gap.
 	Extsort []extsortResult `json:"extsort"`
+	// Placement tracks the clique-vs-resolvable structural comparison at
+	// growing K; the compare gate requires resolvable to beat clique's
+	// group count at the sweep's largest K.
+	Placement []placementResult `json:"placement"`
 }
 
 func main() {
@@ -591,6 +618,29 @@ func runMapReduce(rows int64) ([]mapreduceResult, error) {
 	return out, nil
 }
 
+// runPlacement computes the clique-vs-resolvable comparison at r=2 over
+// doubling K up to 64 via the paper-scale simulator. Everything here is
+// deterministic — structural counts from the placement strategies, bytes
+// and seconds from the cost model — so the section needs no benchtime.
+func runPlacement() ([]placementResult, error) {
+	pts, err := simnet.SweepPlacement(2, []int{4, 8, 16, 32, 64}, simnet.Default())
+	if err != nil {
+		return nil, err
+	}
+	out := make([]placementResult, 0, len(pts))
+	for _, p := range pts {
+		out = append(out, placementResult{
+			K: p.K, R: p.R,
+			CliqueGroups: p.CliqueGroups, CliqueFiles: p.CliqueFiles,
+			CliqueBytes: p.CliqueGB * 1e9, CliqueSec: p.CliqueTotalSec,
+			ResolvableGroups: p.ResolvableGroups, ResolvableFiles: p.ResolvableFiles,
+			ResolvableBytes: p.ResolvableGB * 1e9, ResolvableSec: p.ResolvableTotalSec,
+			GroupGain: float64(p.CliqueGroups) / float64(p.ResolvableGroups),
+		})
+	}
+	return out, nil
+}
+
 func run(out string, rows int64, benchtime time.Duration) error {
 	spillDir, err := os.MkdirTemp("", "benchjson-*")
 	if err != nil {
@@ -657,6 +707,15 @@ func run(out string, rows int64, benchtime time.Duration) error {
 		fmt.Printf("extsort/%-18s %12.0f ns/op  %.2f cmp/next (%.0f%% ovc)  spill %8.1f -> %8.1f KB (%.1f%% saved)\n",
 			e.Name, e.MergeNsPerOp, e.ComparesPerNext, 100*e.OVCDecidedFraction,
 			float64(e.SpilledRawBytes)/1e3, float64(e.SpilledDiskBytes)/1e3, 100*e.SpillSavings)
+	}
+	pl, err := runPlacement()
+	if err != nil {
+		return err
+	}
+	doc.Placement = pl
+	for _, p := range pl {
+		fmt.Printf("placement/K=%-14d %8d clique groups -> %8d resolvable (gain %.1fx)\n",
+			p.K, p.CliqueGroups, p.ResolvableGroups, p.GroupGain)
 	}
 	p, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {

@@ -17,7 +17,7 @@ import (
 
 	"codedterasort/cmd/internal/flags"
 	"codedterasort/internal/cluster"
-	"codedterasort/internal/combin"
+	"codedterasort/internal/placement"
 	"codedterasort/internal/stats"
 )
 
@@ -36,8 +36,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "codedterasort:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("CodedTeraSort: K=%d, r=%d, %d records (%.1f MB), validated=%v, wall time %.2fs\n",
-		j.K, j.R, j.Rows, float64(j.Rows)*100/1e6, job.Validated, time.Since(start).Seconds())
+	fmt.Printf("CodedTeraSort: K=%d, r=%d, %s placement, %d records (%.1f MB), validated=%v, wall time %.2fs\n",
+		j.K, j.R, spec.PlacementKind(), j.Rows, float64(j.Rows)*100/1e6, job.Validated, time.Since(start).Seconds())
 	if job.Attempts > 1 {
 		fmt.Printf("recovery: %d attempts, recovered from %v\n", job.Attempts, job.Recovered)
 	}
@@ -63,8 +63,12 @@ func main() {
 	}
 	rows = append(rows, stats.Row{Label: fmt.Sprintf("CodedTeraSort: r=%d", j.R), Times: job.Times})
 	fmt.Print(stats.RenderTable("", rows))
-	fmt.Printf("multicast payload: %.2f MB over %d groups\n",
-		float64(job.ShuffleLoadBytes)/1e6, combin.Binomial(j.K, j.R+1))
+	groups := int64(0)
+	if strat, err := placement.New(spec.PlacementKind(), j.K, j.R); err == nil {
+		groups = strat.NumGroups()
+	}
+	fmt.Printf("multicast payload: %.2f MB over %d groups (%s placement)\n",
+		float64(job.ShuffleLoadBytes)/1e6, groups, spec.PlacementKind())
 	if job.ChunksShuffled > 0 {
 		fmt.Printf("pipelined shuffle: %d chunk packets\n", job.ChunksShuffled)
 	}

@@ -21,6 +21,7 @@ const ProcsUsage = "per-worker compute goroutines for the map/sort/code hot path
 type Job struct {
 	K             int
 	R             int
+	Strategy      string
 	Rows          int64
 	Seed          uint64
 	Skewed        bool
@@ -58,9 +59,11 @@ func (j *Job) RegisterCommon(fs *flag.FlagSet, defaultK int) {
 }
 
 // RegisterCoded binds the CodedTeraSort-only flags: the redundancy
-// parameter and the multicast strategy.
+// parameter, the placement/coding strategy and the multicast strategy.
 func (j *Job) RegisterCoded(fs *flag.FlagSet, defaultR int) {
 	fs.IntVar(&j.R, "r", defaultR, "redundancy parameter (each file mapped on r nodes)")
+	fs.StringVar(&j.Strategy, "strategy", "",
+		"placement/coding strategy: clique (the paper's scheme, default) or resolvable (q^(r-1) subfiles and far fewer groups at large K; needs K divisible by r)")
 	fs.BoolVar(&j.Tree, "tree", false, "binomial-tree multicast instead of serial")
 }
 
@@ -94,7 +97,8 @@ func (j *Job) RegisterProcs(fs *flag.FlagSet, usage string) {
 func (j *Job) Spec(alg cluster.Algorithm) cluster.Spec {
 	spec := cluster.Spec{
 		Algorithm: alg,
-		K:         j.K, R: j.R, Rows: j.Rows, Seed: j.Seed, Skewed: j.Skewed,
+		K:         j.K, R: j.R, Placement: j.Strategy,
+		Rows: j.Rows, Seed: j.Seed, Skewed: j.Skewed,
 		TreeMulticast: j.Tree, RateMbps: j.Rate, PerMessage: j.PerMsg,
 		ChunkRows: j.Chunk, Window: j.Window,
 		MemBudget: j.MemBudget, SpillDir: j.SpillDir, InputDir: j.InDir,
@@ -107,6 +111,7 @@ func (j *Job) Spec(alg cluster.Algorithm) cluster.Spec {
 	}
 	if alg == cluster.AlgTeraSort {
 		spec.R = 0
+		spec.Placement = ""
 		spec.TreeMulticast = false
 	} else {
 		spec.InputDir = ""

@@ -1,7 +1,9 @@
 // Command sweep simulates the Section V-C trend experiments at full 12 GB
-// scale: the impact of the redundancy parameter r at fixed K, and the
-// impact of the worker count K at fixed r, including the optimal-r search
-// where speedup peaks before CodeGen dominates.
+// scale: the impact of the redundancy parameter r at fixed K, the impact
+// of the worker count K at fixed r (including the optimal-r search where
+// speedup peaks before CodeGen dominates), and the clique-vs-resolvable
+// placement comparison showing the resolvable design's group-count win at
+// large K.
 //
 // Usage:
 //
@@ -58,6 +60,19 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Print(simnet.RenderSweep(fmt.Sprintf("Impact of K (r=%d, 12 GB, 100 Mbps)", *r), ptsK))
+	fmt.Println()
+
+	pks := []int{}
+	for kk := *r * 2; kk <= 64; kk *= 2 {
+		pks = append(pks, kk)
+	}
+	ptsP, err := simnet.SweepPlacement(*r, pks, cm)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+	fmt.Print(simnet.RenderPlacementSweep(
+		fmt.Sprintf("Clique vs resolvable placement (r=%d, 12 GB, 100 Mbps)", *r), ptsP))
 
 	if *stragglers > 1 {
 		fmt.Println()

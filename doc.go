@@ -12,6 +12,14 @@
 // and the loser-tree merge behind the MemBudget knob of both engines),
 // with runnable binaries under cmd/ (shared job flags in
 // cmd/internal/flags) and worked examples under examples/.
+// Placement is a strategy seam (internal/placement.Strategy): the paper's
+// clique scheme — C(K, r) subfiles, C(K, r+1) multicast groups — is the
+// default, and -strategy resolvable swaps in a resolvable-design
+// construction (internal/placement/resolvable) with q^(r-1) subfiles and
+// q^r - q^(r-1) groups for K = q*r, collapsing the CodeGen wall at large
+// K (992 groups instead of 41,664 at K=64, r=2); the executor Pool
+// multiplexes logical ranks over its slots so K=64-128 jobs run on one
+// machine, byte-identical to the uncoded oracle (DESIGN.md section 15).
 // Both engines are thin stage-graph builders over internal/engine, the
 // shared execution runtime: a job is a declarative DAG of typed stages
 // (Map, Pack/Encode, Shuffle, Unpack/Decode, Sort, Reduce) with explicit

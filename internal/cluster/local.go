@@ -135,15 +135,47 @@ type Options struct {
 	// rank per attempt. A Pool lease sets it so rank lifecycles execute on
 	// reusable pooled executors instead.
 	spawn func(task func())
+	// mux, when above 1, multiplexes that many logical ranks onto each
+	// spawned executor: rank lifecycles are batched and every batch runs
+	// its ranks as goroutines inside one executor task. This is what lets
+	// a K=64..128 job run on a pool of a few executors — ranks block on
+	// the in-memory transport, not on executor slots, so batching cannot
+	// deadlock. Ignored without spawn.
+	mux int
 }
 
-// start runs one rank lifecycle through the configured spawner.
-func (o Options) start(task func()) {
-	if o.spawn != nil {
-		o.spawn(task)
+// startTasks launches every rank lifecycle of an attempt through the
+// configured spawner. Without a spawner each task gets its own goroutine;
+// with one, tasks are batched mux ranks per executor.
+func (o Options) startTasks(tasks []func()) {
+	if o.spawn == nil {
+		for _, task := range tasks {
+			go task()
+		}
 		return
 	}
-	go task()
+	batch := o.mux
+	if batch < 1 {
+		batch = 1
+	}
+	for lo := 0; lo < len(tasks); lo += batch {
+		hi := lo + batch
+		if hi > len(tasks) {
+			hi = len(tasks)
+		}
+		group := tasks[lo:hi]
+		o.spawn(func() {
+			var wg sync.WaitGroup
+			for _, task := range group {
+				wg.Add(1)
+				go func(task func()) {
+					defer wg.Done()
+					task()
+				}(task)
+			}
+			wg.Wait()
+		})
+	}
 }
 
 // RunLocalOpts is RunLocal with cancellation and run options. Canceling
@@ -250,10 +282,11 @@ func runAttempt(ctx context.Context, spec Spec, opts Options, consumed map[int]b
 	errs := make([]error, spec.K)
 	outputs := make([]kv.Records, spec.K)
 	var wg sync.WaitGroup
+	tasks := make([]func(), spec.K)
 	for r := 0; r < spec.K; r++ {
 		wg.Add(1)
 		rank := r
-		opts.start(func() {
+		tasks[rank] = func() {
 			defer wg.Done()
 			var conn transport.Conn = mesh.Endpoint(rank)
 			if spec.RateMbps > 0 || spec.PerMessage > 0 {
@@ -297,8 +330,9 @@ func runAttempt(ctx context.Context, spec Spec, opts Options, consumed map[int]b
 			rep.WireBytes = meter.Counters().SentBytes
 			reports[rank] = rep
 			outputs[rank] = out
-		})
+		}
 	}
+	opts.startTasks(tasks)
 	wg.Wait()
 	if err := ctx.Err(); err != nil {
 		// A canceled job is not a fault: no suspects, no recovery — the
@@ -383,7 +417,8 @@ func runWorker(ep transport.Endpoint, spec Spec, faults engine.Faults, sink func
 	switch spec.Algorithm {
 	case AlgTeraSort:
 		cfg := terasort.Config{
-			K: spec.K, Rows: spec.Rows, Seed: spec.Seed, Dist: spec.Dist(),
+			K: spec.K, Placement: spec.PlacementKind(),
+			Rows: spec.Rows, Seed: spec.Seed, Dist: spec.Dist(),
 			Parallel:  spec.ParallelShuffle,
 			ChunkRows: spec.ChunkRows, Window: spec.Window,
 			MemBudget: spec.MemBudget, SpillDir: spec.SpillDir,
@@ -412,7 +447,8 @@ func runWorker(ep transport.Endpoint, spec Spec, faults engine.Faults, sink func
 		out = res.Output
 	case AlgCoded:
 		res, err := coded.Run(ep, coded.Config{
-			K: spec.K, R: spec.R, Rows: spec.Rows, Seed: spec.Seed,
+			K: spec.K, R: spec.R, Placement: spec.PlacementKind(),
+			Rows: spec.Rows, Seed: spec.Seed,
 			Dist: spec.Dist(), Strategy: spec.Strategy(),
 			Parallel:  spec.ParallelShuffle,
 			ChunkRows: spec.ChunkRows, Window: spec.Window,

@@ -148,6 +148,82 @@ func TestPipelinedScheduleMatrix(t *testing.T) {
 	}
 }
 
+// TestResolvablePlacementMatrix: resolvable-placement coded runs are
+// byte-identical to both the clique-coded run and the uncoded TeraSort
+// reference at the same input, across the engine's schedule modes
+// (monolithic, chunked streaming, out-of-core external sort), both
+// parallelism settings, and a kill-recovery case — the end-to-end
+// equivalence that lets the strategies interchange freely.
+func TestResolvablePlacementMatrix(t *testing.T) {
+	const rows, seed = 2400, 91
+	budget := int64(rows * 100 / 16)
+	for _, cfg := range []struct{ k, r int }{{4, 2}, {6, 2}, {6, 3}} {
+		ref, err := RunLocal(Spec{Algorithm: AlgTeraSort, K: cfg.k, Rows: rows, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		check := func(t *testing.T, spec Spec) {
+			t.Helper()
+			job, err := RunLocal(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !job.Validated {
+				t.Fatalf("not validated")
+			}
+			for rank := 0; rank < cfg.k; rank++ {
+				if job.Workers[rank].OutputChecksum != ref.Workers[rank].OutputChecksum ||
+					job.Workers[rank].OutputRows != ref.Workers[rank].OutputRows {
+					t.Fatalf("rank %d differs from TeraSort reference", rank)
+				}
+			}
+		}
+		modes := []struct {
+			name string
+			mod  func(*Spec)
+		}{
+			{"mono", func(*Spec) {}},
+			{"chunked", func(s *Spec) { s.ChunkRows = 64; s.Window = 2 }},
+			{"extsort", func(s *Spec) { s.MemBudget = budget; s.ParallelShuffle = true }},
+		}
+		for _, mode := range modes {
+			for _, procs := range []int{0, 2} {
+				for _, placement := range []string{"clique", "resolvable"} {
+					spec := Spec{
+						Algorithm: AlgCoded, K: cfg.k, R: cfg.r, Rows: rows, Seed: seed,
+						Placement: placement, Parallelism: procs,
+					}
+					mode.mod(&spec)
+					t.Run(fmt.Sprintf("k=%d/r=%d/%s/%s/procs=%d", cfg.k, cfg.r, placement, mode.name, procs),
+						func(t *testing.T) { check(t, spec) })
+				}
+			}
+		}
+		// Kill-recovery: a resolvable job losing a worker mid-Map recovers by
+		// supervised re-execution to the same bytes.
+		t.Run(fmt.Sprintf("k=%d/r=%d/resolvable/recovery", cfg.k, cfg.r), func(t *testing.T) {
+			spec := Spec{
+				Algorithm: AlgCoded, K: cfg.k, R: cfg.r, Rows: rows, Seed: seed,
+				Placement:   "resolvable",
+				Faults:      []FaultSpec{{Rank: 1, Stage: "Map", Kind: "kill"}},
+				MaxAttempts: 2,
+			}
+			job, err := RunLocal(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if job.Attempts != 2 || !job.Validated {
+				t.Fatalf("attempts=%d validated=%v", job.Attempts, job.Validated)
+			}
+			for rank := 0; rank < cfg.k; rank++ {
+				if job.Workers[rank].OutputChecksum != ref.Workers[rank].OutputChecksum {
+					t.Fatalf("rank %d differs after recovery", rank)
+				}
+			}
+		})
+	}
+}
+
 // TestPipelinedSpecValidation: negative pipeline knobs are rejected.
 func TestPipelinedSpecValidation(t *testing.T) {
 	if err := (Spec{Algorithm: AlgTeraSort, K: 2, Rows: 10, ChunkRows: -1}).Validate(); err == nil {

@@ -130,25 +130,33 @@ func (l *Lease) Release() {
 }
 
 // Run executes the job on the lease's executors: RunLocalOpts with every
-// rank lifecycle submitted to the pool instead of spawned fresh. The spec's
-// K must fit the lease.
+// rank lifecycle submitted to the pool instead of spawned fresh. A spec
+// whose K exceeds the lease multiplexes logical ranks: each executor hosts
+// ceil(K / lease) rank goroutines, which is what lets K=64-128 jobs run on
+// a pool of a few executors. Ranks block on the in-memory transport, never
+// on executor slots, so the multiplexing cannot deadlock.
 func (l *Lease) Run(ctx context.Context, spec Spec, opts Options) (*JobReport, error) {
 	if spec.K > l.k {
-		return nil, fmt.Errorf("cluster: spec needs K=%d executors but lease holds %d", spec.K, l.k)
+		opts.mux = (spec.K + l.k - 1) / l.k
 	}
 	opts.spawn = func(task func()) { l.pool.tasks <- task }
 	l.pool.jobs.Add(1)
 	return RunLocalOpts(ctx, spec, opts)
 }
 
-// Run reserves spec.K executors (blocking until they are free), runs the
-// job on them, and releases the reservation — the one-call form for
-// callers without their own admission ordering.
+// Run reserves executors for the spec (blocking until they are free), runs
+// the job on them, and releases the reservation — the one-call form for
+// callers without their own admission ordering. A spec whose K exceeds the
+// pool reserves the whole pool and multiplexes logical ranks over it.
 func (p *Pool) Run(ctx context.Context, spec Spec, opts Options) (*JobReport, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
-	lease, err := p.Reserve(ctx, spec.K)
+	want := spec.K
+	if want > p.slots {
+		want = p.slots
+	}
+	lease, err := p.Reserve(ctx, want)
 	if err != nil {
 		return nil, err
 	}
@@ -160,8 +168,9 @@ func (p *Pool) Run(ctx context.Context, spec Spec, opts Options) (*JobReport, er
 type PoolStats struct {
 	// Slots is the executor count; Free how many are unreserved right now.
 	Slots, Free int
-	// Jobs counts jobs started on the pool; Ranks counts completed rank
-	// lifecycles (K per attempt per job) — Ranks exceeding Slots is the
+	// Jobs counts jobs started on the pool; Ranks counts completed
+	// executor tasks (one per attempt per executor batch — K per attempt
+	// when ranks are not multiplexed) — Ranks exceeding Slots is the
 	// executor-reuse evidence.
 	Jobs, Ranks int64
 }

@@ -95,8 +95,14 @@ func TestPoolReserveTooLarge(t *testing.T) {
 	if _, err := p.Reserve(context.Background(), 3); err == nil {
 		t.Fatal("reserving 3 of 2 slots succeeded")
 	}
-	if _, err := p.Run(context.Background(), Spec{Algorithm: AlgTeraSort, K: 3, Rows: 300, Seed: 1}, Options{}); err == nil {
-		t.Fatal("running K=3 on a 2-slot pool succeeded")
+	// Oversized jobs are not rejected: Pool.Run reserves the whole pool and
+	// the lease multiplexes logical ranks over it.
+	job, err := p.Run(context.Background(), Spec{Algorithm: AlgTeraSort, K: 3, Rows: 300, Seed: 1}, Options{})
+	if err != nil {
+		t.Fatalf("running K=3 on a 2-slot pool: %v", err)
+	}
+	if !job.Validated {
+		t.Fatal("multiplexed job not validated")
 	}
 }
 

@@ -17,6 +17,7 @@ import (
 
 	"codedterasort/internal/engine"
 	"codedterasort/internal/kv"
+	"codedterasort/internal/placement"
 	"codedterasort/internal/stats"
 	"codedterasort/internal/transport"
 )
@@ -40,6 +41,10 @@ type Spec struct {
 	K int `json:"k"`
 	// R is the redundancy parameter (CodedTeraSort only).
 	R int `json:"r,omitempty"`
+	// Placement names the placement/coding strategy (CodedTeraSort only):
+	// "" or "clique" for the paper's scheme, "resolvable" for the
+	// resolvable-design scheme that scales K past the binomial wall.
+	Placement string `json:"placement,omitempty"`
 	// Rows is the input size in records.
 	Rows int64 `json:"rows"`
 	// Seed feeds the row-addressable generator — the stand-in for the
@@ -206,6 +211,20 @@ func (s Spec) Validate() error {
 	if s.Algorithm == AlgCoded && (s.R < 1 || s.R > s.K) {
 		return fmt.Errorf("cluster: r=%d outside [1,%d]", s.R, s.K)
 	}
+	kind, err := placement.ParseKind(s.Placement)
+	if err != nil {
+		return fmt.Errorf("cluster: %w", err)
+	}
+	if kind != placement.KindClique && s.Algorithm != AlgCoded {
+		return fmt.Errorf("cluster: %s placement requires the coded algorithm", kind)
+	}
+	if s.Algorithm == AlgCoded && s.R >= 1 {
+		// Fail fast at submission: infeasible (K, r, strategy) combinations
+		// produce a clear error here rather than a worker-side panic.
+		if _, err := placement.New(kind, s.K, s.R); err != nil {
+			return fmt.Errorf("cluster: %w", err)
+		}
+	}
 	if s.Rows < 0 {
 		return fmt.Errorf("cluster: negative rows")
 	}
@@ -255,6 +274,16 @@ func (s Spec) Dist() kv.Distribution {
 		return kv.DistSkewed
 	}
 	return kv.DistUniform
+}
+
+// PlacementKind returns the parsed placement strategy of the spec; unknown
+// names were rejected by Validate, so parse failures degrade to clique.
+func (s Spec) PlacementKind() placement.Kind {
+	kind, err := placement.ParseKind(s.Placement)
+	if err != nil {
+		return placement.KindClique
+	}
+	return kind
 }
 
 // Strategy returns the multicast strategy of the spec.

@@ -135,80 +135,29 @@ func chunkOf(seg kv.Records, chunkRows, c int) kv.Records {
 // group m when streaming with the given chunk size: enough to cover its
 // widest contributing segment, and at least one so every stream closes.
 func PacketChunkCount(store IVStore, m combin.Set, k int, chunkRows int) int {
-	r := m.Size() - 1
-	max := 0
-	for _, t := range m.Remove(k).Members() {
-		file := m.Remove(t)
-		if n := Segment(store.IV(t, file), r, file.Index(k)).Len(); n > max {
-			max = n
-		}
-	}
-	return NumChunks(max, chunkRows)
+	return GroupPacketChunkCount(store, CliqueGroup(m), k, chunkRows)
 }
 
 // EncodePacketChunk builds chunk c of the coded packet E_{M,k} (the chunked
 // Algorithm 1): the XOR of chunk c of each of the r contributing segments,
 // each wrapped in a length-headed frame padded to the widest chunk. The
 // concatenation of all chunks' decoded payloads equals the monolithic
-// packet's decoded segment.
+// packet's decoded segment. It is the clique-scheme form of the
+// strategy-generic EncodeGroupPacketChunk.
 func EncodePacketChunk(store IVStore, m combin.Set, k int, chunkRows, c int) ([]byte, error) {
 	if !m.Contains(k) {
 		return nil, fmt.Errorf("codec: encoder node %d not in group %v", k, m)
 	}
-	r := m.Size() - 1
-	if r < 1 {
-		return nil, fmt.Errorf("codec: group %v too small", m)
-	}
-	if chunkRows <= 0 || c < 0 {
-		return nil, fmt.Errorf("codec: chunk encode with chunkRows=%d chunk=%d", chunkRows, c)
-	}
-	width := frameHeader
-	others := m.Remove(k).Members()
-	for _, t := range others {
-		file := m.Remove(t)
-		seg := chunkOf(Segment(store.IV(t, file), r, file.Index(k)), chunkRows, c)
-		if w := FrameSize(seg.Size()); w > width {
-			width = w
-		}
-	}
-	packet := getBuf(width)
-	for i := range packet {
-		packet[i] = 0
-	}
-	for _, t := range others {
-		file := m.Remove(t)
-		seg := chunkOf(Segment(store.IV(t, file), r, file.Index(k)), chunkRows, c)
-		xorFrameInto(packet, seg.Bytes())
-	}
-	return packet, nil
+	return EncodeGroupPacketChunk(store, CliqueGroup(m), k, chunkRows, c)
 }
 
 // DecodePacketChunk recovers node k's chunk c from the chunked coded packet
 // received from node u in group m (the chunked Algorithm 2): it cancels
 // chunk c of every side-information segment and opens the remaining frame.
+// It is the clique-scheme form of the strategy-generic DecodeGroupPacketChunk.
 func DecodePacketChunk(store IVStore, m combin.Set, k, u int, chunkRows, c int, packet []byte) (kv.Records, error) {
 	if !m.Contains(k) || !m.Contains(u) || k == u {
 		return kv.Records{}, fmt.Errorf("codec: decode with k=%d u=%d not distinct members of %v", k, u, m)
 	}
-	if chunkRows <= 0 || c < 0 {
-		return kv.Records{}, fmt.Errorf("codec: chunk decode with chunkRows=%d chunk=%d", chunkRows, c)
-	}
-	r := m.Size() - 1
-	acc := getBuf(len(packet))
-	defer Recycle(acc)
-	copy(acc, packet)
-	for _, t := range m.Minus(combin.NewSet(k, u)).Members() {
-		file := m.Remove(t)
-		seg := chunkOf(Segment(store.IV(t, file), r, file.Index(u)), chunkRows, c)
-		if FrameSize(seg.Size()) > len(acc) {
-			return kv.Records{}, fmt.Errorf("codec: side-information chunk (%d bytes) wider than packet (%d)",
-				seg.Size(), len(acc))
-		}
-		xorFrameInto(acc, seg.Bytes())
-	}
-	segBytes, err := openFrame(acc)
-	if err != nil {
-		return kv.Records{}, err
-	}
-	return kv.NewRecords(append([]byte(nil), segBytes...))
+	return DecodeGroupPacketChunk(store, CliqueGroup(m), k, u, chunkRows, c, packet)
 }

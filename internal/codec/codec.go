@@ -227,34 +227,12 @@ func (m IVMap) Put(part int, file combin.Set, iv kv.Records) {
 // width is FrameSize(max segment bytes).
 //
 // The redundancy parameter r is |M|-1; every file index M\{t} has size r.
+// It is the clique-scheme form of the strategy-generic EncodeGroupPacket.
 func EncodePacket(store IVStore, m combin.Set, k int) ([]byte, error) {
 	if !m.Contains(k) {
 		return nil, fmt.Errorf("codec: encoder node %d not in group %v", k, m)
 	}
-	r := m.Size() - 1
-	if r < 1 {
-		return nil, fmt.Errorf("codec: group %v too small", m)
-	}
-	// First pass: packet width = widest segment frame.
-	width := frameHeader
-	others := m.Remove(k).Members()
-	for _, t := range others {
-		file := m.Remove(t)
-		seg := Segment(store.IV(t, file), r, file.Index(k))
-		if w := FrameSize(seg.Size()); w > width {
-			width = w
-		}
-	}
-	packet := getBuf(width)
-	for i := range packet {
-		packet[i] = 0
-	}
-	for _, t := range others {
-		file := m.Remove(t)
-		seg := Segment(store.IV(t, file), r, file.Index(k))
-		xorFrameInto(packet, seg.Bytes())
-	}
-	return packet, nil
+	return EncodeGroupPacket(store, CliqueGroup(m), k)
 }
 
 // DecodePacket recovers node k's segment from the coded packet E_{M,u}
@@ -263,32 +241,13 @@ func EncodePacket(store IVStore, m combin.Set, k int) ([]byte, error) {
 //	I^k_{M\{k}, u} = E_{M,u} XOR ( XOR over t in M\{u,k} of I^t_{M\{t}, u} )
 //
 // The cancellation terms are segments of IVs node k computed locally in its
-// Map stage (k is a member of every file M\{t} with t != k).
+// Map stage (k is a member of every file M\{t} with t != k). It is the
+// clique-scheme form of the strategy-generic DecodeGroupPacket.
 func DecodePacket(store IVStore, m combin.Set, k, u int, packet []byte) (kv.Records, error) {
 	if !m.Contains(k) || !m.Contains(u) || k == u {
 		return kv.Records{}, fmt.Errorf("codec: decode with k=%d u=%d not distinct members of %v", k, u, m)
 	}
-	r := m.Size() - 1
-	// The cancellation accumulator is pooled: it dies before return (the
-	// recovered segment is copied out), so the pool absorbs the per-packet
-	// allocation of the decode hot path.
-	acc := getBuf(len(packet))
-	defer Recycle(acc)
-	copy(acc, packet)
-	for _, t := range m.Minus(combin.NewSet(k, u)).Members() {
-		file := m.Remove(t)
-		seg := Segment(store.IV(t, file), r, file.Index(u))
-		if FrameSize(seg.Size()) > len(acc) {
-			return kv.Records{}, fmt.Errorf("codec: side-information segment (%d bytes) wider than packet (%d)",
-				seg.Size(), len(acc))
-		}
-		xorFrameInto(acc, seg.Bytes())
-	}
-	segBytes, err := openFrame(acc)
-	if err != nil {
-		return kv.Records{}, err
-	}
-	return kv.NewRecords(append([]byte(nil), segBytes...))
+	return DecodeGroupPacket(store, CliqueGroup(m), k, u, packet)
 }
 
 // MergeSegments reassembles the intermediate value I^k_{M\{k}} from the r
@@ -303,14 +262,5 @@ func MergeSegments(segs []kv.Records) kv.Records {
 // in group M given the store, without building it. Used by the cost model
 // and the simulator.
 func CodedPacketWidth(store IVStore, m combin.Set, k int) int {
-	r := m.Size() - 1
-	width := frameHeader
-	for _, t := range m.Remove(k).Members() {
-		file := m.Remove(t)
-		seg := Segment(store.IV(t, file), r, file.Index(k))
-		if w := FrameSize(seg.Size()); w > width {
-			width = w
-		}
-	}
-	return width
+	return GroupPacketWidth(store, CliqueGroup(m), k)
 }

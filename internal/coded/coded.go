@@ -2,10 +2,11 @@
 // (Section IV): distributed sorting with structured redundant file
 // placement that enables coded multicast shuffling. The six stages are
 //
-//  1. CodeGen — enumerate the C(K,r) file indices and the C(K,r+1)
+//  1. CodeGen — enumerate the placement strategy's file indices and
 //     multicast groups, and establish per-group communication state (the
-//     MPI_Comm_split equivalent; its cost grows as C(K,r+1), the scaling
-//     bottleneck Section V-C identifies).
+//     MPI_Comm_split equivalent; its cost grows with the group count — the
+//     scaling bottleneck Section V-C identifies, C(K,r+1) under the clique
+//     scheme and q^r - q^(r-1) under resolvable designs).
 //  2. Map — hash every locally stored file, keeping only the relevant
 //     intermediate values (I^k_S and {I^i_S : i not in S}, Fig 5).
 //  3. Encode — build one coded packet E_{M,k} per group (Algorithm 1).
@@ -20,7 +21,10 @@
 // Encode/Decode stages (Algorithms 1 and 2, monolithic and chunked), and
 // the multicast-group shuffle topology, while scheduling, mode selection,
 // spill-sorter lifecycle, transfer accounting and per-stage
-// instrumentation live in the runtime.
+// instrumentation live in the runtime. The placement/coding scheme itself
+// is pluggable (Config.Placement): the worker is written against
+// placement.Strategy and runs the paper's clique scheme or a resolvable
+// design with the same stages.
 package coded
 
 import (
@@ -52,10 +56,11 @@ const (
 const DefaultWindow = 4
 
 // groupTag builds the unique tag of group-scoped traffic: the group's
-// colexicographic rank (up to C(64,k), needs up to 32+ bits) plus the
-// root's rank within the group.
-func groupTag(stage uint8, groupRank int64, root int) transport.Tag {
-	return transport.Tag(uint64(stage)<<56 | uint64(root)<<48 | uint64(groupRank))
+// strategy-scoped ID (colex rank under the clique scheme, tuple index under
+// resolvable designs; strategy validation caps it well inside 48 bits) plus
+// the root's rank within the group.
+func groupTag(stage uint8, groupID int64, root int) transport.Tag {
+	return transport.Tag(uint64(stage)<<56 | uint64(root)<<48 | uint64(groupID))
 }
 
 // Config describes one CodedTeraSort run. All workers must hold identical
@@ -77,11 +82,16 @@ type Config struct {
 	// Strategy selects the application-layer multicast algorithm
 	// (sequential per Fig 9b, or the binomial tree MPI_Bcast uses).
 	Strategy transport.BcastStrategy
-	// Input, when non-nil, supplies the C(K,R) input files directly
-	// instead of generating them: file i (colex order of its node set) is
-	// Input[i]. All workers must hold the same slice (in-process engines
-	// only). Rows and Seed are ignored for data placement when Input is
-	// set.
+	// Placement selects the placement/coding strategy: the paper's clique
+	// scheme (C(K,R) subfiles, C(K,R+1) groups; the default) or a
+	// resolvable design (q^(R-1) subfiles, q^R - q^(R-1) groups of size R,
+	// q = K/R — orders of magnitude fewer groups at large K).
+	Placement placement.Kind
+	// Input, when non-nil, supplies the strategy's input files directly
+	// instead of generating them: file i (the strategy's file order; colex
+	// order of its node set under the clique scheme) is Input[i]. All
+	// workers must hold the same slice (in-process engines only). Rows and
+	// Seed are ignored for data placement when Input is set.
 	Input []kv.Records
 	// Parallel lifts the serial sender schedule of Fig 9(b): every node
 	// multicasts its coded packets concurrently — the paper's
@@ -156,6 +166,9 @@ type Config struct {
 	// Faults injects node death and slowness at chosen stages (the cluster
 	// runtime's failure model; see engine.Fault). Empty injects nothing.
 	Faults engine.Faults
+
+	// strat is the validated placement strategy, resolved by normalize.
+	strat placement.Strategy
 }
 
 // policies maps the config's runtime knobs onto the engine's scheduler
@@ -181,6 +194,11 @@ func (c Config) normalize() (Config, error) {
 	if c.Rows < 0 {
 		return c, fmt.Errorf("coded: negative row count")
 	}
+	strat, err := placement.New(c.Placement, c.K, c.R)
+	if err != nil {
+		return c, fmt.Errorf("coded: %w", err)
+	}
+	c.strat = strat
 	if c.Part == nil {
 		c.Part = partition.NewUniform(c.K)
 	}
@@ -188,8 +206,9 @@ func (c Config) normalize() (Config, error) {
 		return c, fmt.Errorf("coded: partitioner has %d partitions for K=%d", c.Part.NumPartitions(), c.K)
 	}
 	if c.Input != nil {
-		if want := combin.Binomial(c.K, c.R); int64(len(c.Input)) != want {
-			return c, fmt.Errorf("coded: %d input files, want C(%d,%d)=%d", len(c.Input), c.K, c.R, want)
+		if want := strat.NumFiles(); len(c.Input) != want {
+			return c, fmt.Errorf("coded: %d input files, want %d for the %s strategy (K=%d, r=%d)",
+				len(c.Input), want, strat.Kind(), c.K, c.R)
 		}
 	}
 	pol, err := c.policies().Normalize("coded", c.K)
@@ -234,21 +253,14 @@ type Result struct {
 	MulticastBytes int64
 	// MulticastOps counts coded packets this node multicast.
 	MulticastOps int64
-	// Groups is the number of multicast groups this node belongs to,
-	// C(K-1, r).
+	// Groups is the number of multicast groups this node belongs to:
+	// C(K-1, r) under the clique scheme, q^(r-1) - q^(r-2) under a
+	// resolvable design.
 	Groups int
 	// ChunksSent and ChunksReceived count pipelined chunk packets this
 	// node multicast and received (zero when ChunkRows is unset).
 	ChunksSent     int64
 	ChunksReceived int64
-}
-
-// group is the node-local state of one multicast group established during
-// CodeGen.
-type group struct {
-	set     combin.Set
-	members []int
-	rank    int64 // colex rank among all (r+1)-subsets: the tag component
 }
 
 // Run executes the CodedTeraSort worker for ep.Rank() and blocks until this
@@ -284,8 +296,9 @@ type worker struct {
 	cfg  Config
 	rank int
 
+	strat    placement.Strategy
 	plan     placement.Plan
-	myGroups []group
+	myGroups []placement.Group
 	store    codec.IVMap // IVs kept after Map: {I^q_S : rank in S, q == rank or q not in S}
 	packets  [][]byte    // E_{M,rank} per myGroups index
 	// received[gi][u] is the packet E_{M,u} received from root u in group
@@ -333,36 +346,35 @@ func (w *worker) graph() *engine.Graph {
 	return g
 }
 
-// codeGenStage enumerates file indices and multicast groups and performs a
-// lightweight per-group handshake: within every group, each member sends
-// one setup message to its cyclic successor and waits for one from its
-// predecessor. The handshake gives group construction a real per-group
-// communication cost, the role MPI_Comm_split plays in the paper, whose
-// measured CodeGen time scales with the group count C(K, r+1).
+// codeGenStage resolves the placement strategy's file indices and multicast
+// groups and performs a lightweight per-group handshake: within every
+// group, each member sends one setup message to its cyclic successor and
+// waits for one from its predecessor. The handshake gives group
+// construction a real per-group communication cost, the role MPI_Comm_split
+// plays in the paper, whose measured CodeGen time scales with the group
+// count.
 func (w *worker) codeGenStage(ctx *engine.Context) error {
+	w.strat = w.cfg.strat
 	var err error
-	w.plan, err = placement.Redundant(w.cfg.K, w.cfg.R, w.cfg.Rows)
+	w.plan, err = w.strat.Plan(w.cfg.Rows)
 	if err != nil {
 		return err
 	}
-	sets := combin.SubsetsContaining(combin.Range(w.cfg.K), w.cfg.R+1, w.rank)
-	w.myGroups = make([]group, len(sets))
-	for i, s := range sets {
-		w.myGroups[i] = group{set: s, members: s.Members(), rank: combin.Rank(s)}
-	}
+	w.myGroups = w.strat.GroupsOf(w.rank)
 	w.result.Groups = len(w.myGroups)
 	// Handshake: send to all successors first (sends are asynchronous),
 	// then collect from predecessors, so the ring cannot deadlock.
 	for _, g := range w.myGroups {
-		succ := g.members[(g.set.Index(w.rank)+1)%len(g.members)]
-		if err := ctx.Ep.Send(succ, groupTag(tagCodeGen, g.rank, 0), nil); err != nil {
+		idx := g.Index(w.rank)
+		succ := g.Members[(idx+1)%len(g.Members)]
+		if err := ctx.Ep.Send(succ, groupTag(tagCodeGen, g.ID, 0), nil); err != nil {
 			return err
 		}
 	}
 	for _, g := range w.myGroups {
-		idx := g.set.Index(w.rank)
-		pred := g.members[(idx+len(g.members)-1)%len(g.members)]
-		if _, err := ctx.Ep.Recv(pred, groupTag(tagCodeGen, g.rank, 0)); err != nil {
+		idx := g.Index(w.rank)
+		pred := g.Members[(idx+len(g.Members)-1)%len(g.Members)]
+		if _, err := ctx.Ep.Recv(pred, groupTag(tagCodeGen, g.ID, 0)); err != nil {
 			return err
 		}
 	}
@@ -513,14 +525,14 @@ func mapRelevant(plan placement.Plan, part partition.Partitioner, rank int, file
 // to (Algorithm 1). Packet construction includes the serialization work the
 // paper assigns to the Encode stage. Groups are independent (the IV store
 // is read-only here) and packets are indexed by group position, so the
-// C(K-1, r) encodes run on the worker's Parallelism goroutines.
+// per-group encodes run on the worker's Parallelism goroutines.
 func (w *worker) encodeStage(ctx *engine.Context) error {
 	w.packets = make([][]byte, len(w.myGroups))
 	return parallel.Do(ctx.Procs, len(w.myGroups), func(i int) error {
 		g := w.myGroups[i]
-		p, err := codec.EncodePacket(w.store, g.set, w.rank)
+		p, err := codec.EncodeGroupPacket(w.store, g.Group, w.rank)
 		if err != nil {
-			return fmt.Errorf("group %v: %w", g.set, err)
+			return fmt.Errorf("group %v: %w", g.Members, err)
 		}
 		w.packets[i] = p
 		return nil
@@ -540,10 +552,10 @@ func (w *worker) multicastStage(ctx *engine.Context) error {
 
 	recvErr := make(chan error, 1)
 	go func() {
-		recvErr <- w.forEachInboundGroup(groupIdx, func(gi int, g group, u int) error {
-			p, err := ctx.Ep.Bcast(g.members, u, groupTag(tagMulticast, g.rank, u), nil)
+		recvErr <- w.forEachInboundGroup(groupIdx, func(gi int, g placement.Group, u int) error {
+			p, err := ctx.Ep.Bcast(g.Members, u, groupTag(tagMulticast, g.ID, u), nil)
 			if err != nil {
-				return fmt.Errorf("bcast recv in %v from %d: %w", g.set, u, err)
+				return fmt.Errorf("bcast recv in %v from %d: %w", g.Members, u, err)
 			}
 			w.received[gi][u] = p
 			return nil
@@ -552,8 +564,8 @@ func (w *worker) multicastStage(ctx *engine.Context) error {
 
 	send := func() error {
 		for i, g := range w.myGroups {
-			if _, err := ctx.Ep.Bcast(g.members, w.rank, groupTag(tagMulticast, g.rank, w.rank), w.packets[i]); err != nil {
-				return fmt.Errorf("bcast send in %v: %w", g.set, err)
+			if _, err := ctx.Ep.Bcast(g.Members, w.rank, groupTag(tagMulticast, g.ID, w.rank), w.packets[i]); err != nil {
+				return fmt.Errorf("bcast send in %v: %w", g.Members, err)
 			}
 			ctx.Counters.SentBytes += int64(len(w.packets[i]))
 			ctx.Counters.SentOps++
@@ -566,30 +578,30 @@ func (w *worker) multicastStage(ctx *engine.Context) error {
 	return <-recvErr
 }
 
-// groupIndex indexes this node's groups by member set for the receive
-// paths.
-func (w *worker) groupIndex() map[combin.Set]int {
-	idx := make(map[combin.Set]int, len(w.myGroups))
+// groupIndex indexes this node's groups by strategy-scoped ID for the
+// receive paths.
+func (w *worker) groupIndex() map[int64]int {
+	idx := make(map[int64]int, len(w.myGroups))
 	for i, g := range w.myGroups {
-		idx[g.set] = i
+		idx[g.ID] = i
 	}
 	return idx
 }
 
 // forEachInboundGroup visits, in the serial multicast schedule's order,
 // every (group, root) pair this node receives from: roots in ascending
-// rank order, each root's shared groups in subset-enumeration order.
-func (w *worker) forEachInboundGroup(groupIdx map[combin.Set]int, fn func(gi int, g group, u int) error) error {
-	universe := combin.Range(w.cfg.K)
+// rank order, each root's shared groups in the root's own GroupsOf order —
+// the enumeration the root walks when it sends.
+func (w *worker) forEachInboundGroup(groupIdx map[int64]int, fn func(gi int, g placement.Group, u int) error) error {
 	for u := 0; u < w.cfg.K; u++ {
 		if u == w.rank {
 			continue
 		}
-		for _, m := range combin.SubsetsContaining(universe, w.cfg.R+1, u) {
+		for _, m := range w.strat.GroupsOf(u) {
 			if !m.Contains(w.rank) {
 				continue
 			}
-			gi := groupIdx[m]
+			gi := groupIdx[m.ID]
 			if err := fn(gi, w.myGroups[gi], u); err != nil {
 				return err
 			}
@@ -619,7 +631,7 @@ func (w *worker) streamMulticastStage(ctx *engine.Context) error {
 
 	recvErr := make(chan error, 1)
 	go func() {
-		recvErr <- w.forEachInboundGroup(groupIdx, func(gi int, g group, u int) error {
+		recvErr <- w.forEachInboundGroup(groupIdx, func(gi int, g placement.Group, u int) error {
 			consume := ctx.SpillAppend
 			seg := kv.MakeRecords(0)
 			if !spilling {
@@ -630,25 +642,25 @@ func (w *worker) streamMulticastStage(ctx *engine.Context) error {
 			}
 			rx := engine.ChunkRx{
 				Recv: func() ([]byte, error) {
-					p, err := ctx.Ep.Bcast(g.members, u, groupTag(tagMulticast, g.rank, u), nil)
+					p, err := ctx.Ep.Bcast(g.Members, u, groupTag(tagMulticast, g.ID, u), nil)
 					if err != nil {
-						return nil, fmt.Errorf("bcast recv in %v from %d: %w", g.set, u, err)
+						return nil, fmt.Errorf("bcast recv in %v from %d: %w", g.Members, u, err)
 					}
 					return p, nil
 				},
 				Ack: func() error {
-					return transport.StreamAck(ctx.Ep, u, groupTag(tagChunkAck, g.rank, u))
+					return transport.StreamAck(ctx.Ep, u, groupTag(tagChunkAck, g.ID, u))
 				},
 				Decode: func(c int, payload []byte) (kv.Records, error) {
-					part, err := codec.DecodePacketChunk(w.store, g.set, w.rank, u, w.cfg.ChunkRows, c, payload)
+					part, err := codec.DecodeGroupPacketChunk(w.store, g.Group, w.rank, u, w.cfg.ChunkRows, c, payload)
 					if err != nil {
-						return kv.Records{}, fmt.Errorf("decode chunk %d in %v from %d: %w", c, g.set, u, err)
+						return kv.Records{}, fmt.Errorf("decode chunk %d in %v from %d: %w", c, g.Members, u, err)
 					}
 					return part, nil
 				},
 				Consume: consume,
 				WrapStreamErr: func(err error) error {
-					return fmt.Errorf("chunk stream in %v from %d: %w", g.set, u, err)
+					return fmt.Errorf("chunk stream in %v from %d: %w", g.Members, u, err)
 				},
 			}
 			if err := rx.Run(&ctx.Counters); err != nil {
@@ -663,8 +675,13 @@ func (w *worker) streamMulticastStage(ctx *engine.Context) error {
 
 	send := func() error {
 		for _, g := range w.myGroups {
-			others := g.set.Remove(w.rank).Members()
-			ackTag := groupTag(tagChunkAck, g.rank, w.rank)
+			others := make([]int, 0, len(g.Members)-1)
+			for _, m := range g.Members {
+				if m != w.rank {
+					others = append(others, m)
+				}
+			}
+			ackTag := groupTag(tagChunkAck, g.ID, w.rank)
 			gate := engine.CreditGate{Window: w.cfg.Window, Await: func() error {
 				for _, m := range others {
 					if _, err := ctx.Ep.Recv(m, ackTag); err != nil {
@@ -673,19 +690,19 @@ func (w *worker) streamMulticastStage(ctx *engine.Context) error {
 				}
 				return nil
 			}}
-			count := codec.PacketChunkCount(w.store, g.set, w.rank, w.cfg.ChunkRows)
+			count := codec.GroupPacketChunkCount(w.store, g.Group, w.rank, w.cfg.ChunkRows)
 			for c := 0; c < count; c++ {
-				pkt, err := codec.EncodePacketChunk(w.store, g.set, w.rank, w.cfg.ChunkRows, c)
+				pkt, err := codec.EncodeGroupPacketChunk(w.store, g.Group, w.rank, w.cfg.ChunkRows, c)
 				if err != nil {
-					return fmt.Errorf("encode chunk %d in %v: %w", c, g.set, err)
+					return fmt.Errorf("encode chunk %d in %v: %w", c, g.Members, err)
 				}
 				frame := codec.FrameChunk(uint32(c), c == count-1, pkt)
 				codec.Recycle(pkt)
 				if err := gate.Reserve(); err != nil {
 					return err
 				}
-				if _, err := ctx.Ep.Bcast(g.members, w.rank, groupTag(tagMulticast, g.rank, w.rank), frame); err != nil {
-					return fmt.Errorf("bcast send in %v: %w", g.set, err)
+				if _, err := ctx.Ep.Bcast(g.Members, w.rank, groupTag(tagMulticast, g.ID, w.rank), frame); err != nil {
+					return fmt.Errorf("bcast send in %v: %w", g.Members, err)
 				}
 				gate.Sent()
 				ctx.Counters.SentBytes += int64(len(frame))
@@ -715,12 +732,14 @@ func (w *worker) mergeStage(ctx *engine.Context) error {
 	w.decoded = make([]kv.Records, len(w.myGroups))
 	return parallel.Do(ctx.Procs, len(w.myGroups), func(gi int) error {
 		g := w.myGroups[gi]
-		file := g.set.Remove(w.rank)
-		segs := make([]kv.Records, 0, w.cfg.R)
-		for _, u := range file.Members() {
+		segs := make([]kv.Records, 0, len(g.Members)-1)
+		for _, u := range g.Members {
+			if u == w.rank {
+				continue
+			}
 			seg, ok := w.streamSegs[gi][u]
 			if !ok {
-				return fmt.Errorf("missing streamed segment from %d in group %v", u, g.set)
+				return fmt.Errorf("missing streamed segment from %d in group %v", u, g.Members)
 			}
 			segs = append(segs, seg)
 		}
@@ -730,24 +749,27 @@ func (w *worker) mergeStage(ctx *engine.Context) error {
 }
 
 // decodeStage recovers, for every group M containing this node, the
-// intermediate value I^rank_{M\{rank}} from the r received coded packets
-// (Algorithm 2), then merges the segments in ascending sender order.
-// Groups decode concurrently — each reads only its own received packets
-// and the read-only side-information store, and lands in its own slot.
+// intermediate value this node needs (its Need file) from the received
+// coded packets (Algorithm 2), then merges the segments in ascending
+// sender order. Groups decode concurrently — each reads only its own
+// received packets and the read-only side-information store, and lands in
+// its own slot.
 func (w *worker) decodeStage(ctx *engine.Context) error {
 	w.decoded = make([]kv.Records, len(w.myGroups))
 	return parallel.Do(ctx.Procs, len(w.myGroups), func(gi int) error {
 		g := w.myGroups[gi]
-		file := g.set.Remove(w.rank)
-		segs := make([]kv.Records, 0, w.cfg.R)
-		for _, u := range file.Members() {
+		segs := make([]kv.Records, 0, len(g.Members)-1)
+		for _, u := range g.Members {
+			if u == w.rank {
+				continue
+			}
 			p, ok := w.received[gi][u]
 			if !ok {
-				return fmt.Errorf("missing packet from %d in group %v", u, g.set)
+				return fmt.Errorf("missing packet from %d in group %v", u, g.Members)
 			}
-			seg, err := codec.DecodePacket(w.store, g.set, w.rank, u, p)
+			seg, err := codec.DecodeGroupPacket(w.store, g.Group, w.rank, u, p)
 			if err != nil {
-				return fmt.Errorf("decode in %v from %d: %w", g.set, u, err)
+				return fmt.Errorf("decode in %v from %d: %w", g.Members, u, err)
 			}
 			segs = append(segs, seg)
 		}

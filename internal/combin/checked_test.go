@@ -1,0 +1,42 @@
+package combin
+
+import "testing"
+
+// TestBinomialChecked: the checked variant agrees with Binomial wherever
+// the multiplicative evaluation stays in range, reports overflow as !ok
+// instead of panicking, and treats out-of-range k as the exact empty count.
+func TestBinomialChecked(t *testing.T) {
+	// Full agreement across a range where no intermediate can overflow.
+	for n := 0; n <= 40; n++ {
+		for k := 0; k <= n+1; k++ {
+			got, ok := BinomialChecked(n, k)
+			if !ok {
+				t.Fatalf("BinomialChecked(%d,%d) not ok", n, k)
+			}
+			if want := Binomial(n, k); got != want {
+				t.Fatalf("BinomialChecked(%d,%d) = %d, want %d", n, k, got, want)
+			}
+		}
+	}
+	// The shallow slices the placement strategies actually evaluate stay
+	// exact all the way to MaxNodes.
+	for _, c := range []struct {
+		n, k int
+		want int64
+	}{
+		{64, 1, 64}, {64, 2, 2016}, {64, 3, 41664}, {64, 4, 635376},
+		{64, 63, 64}, {64, 64, 1}, {64, 65, 0}, {5, -1, 0}, {-1, 0, 0},
+	} {
+		got, ok := BinomialChecked(c.n, c.k)
+		if !ok || got != c.want {
+			t.Fatalf("BinomialChecked(%d,%d) = %d, %v, want %d", c.n, c.k, got, ok, c.want)
+		}
+	}
+	// Deep slices overflow the intermediate products; the checked variant
+	// reports them instead of silently wrapping (Binomial would panic).
+	for _, c := range []struct{ n, k int }{{200, 100}, {64, 32}, {128, 64}} {
+		if v, ok := BinomialChecked(c.n, c.k); ok {
+			t.Fatalf("BinomialChecked(%d,%d) = %d, ok on overflow", c.n, c.k, v)
+		}
+	}
+}

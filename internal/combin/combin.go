@@ -170,13 +170,16 @@ func (s Set) String() string {
 	return b.String()
 }
 
-// Binomial returns C(n, k), the number of k-element subsets of an n-element
-// set. It returns 0 when k < 0 or k > n, and panics if the exact result
-// would overflow int64 (which cannot happen for n ≤ 64 with k clamped to
-// the feasible file/group counts used by CodedTeraSort).
-func Binomial(n, k int) int64 {
+// BinomialChecked returns C(n, k) and true when the exact value (and every
+// intermediate product of the multiplicative evaluation) fits int64; on
+// overflow it returns 0 and false instead of panicking. It returns (0, true)
+// when k < 0 or k > n (the empty count is exact). This is the form placement
+// validation uses to reject infeasible (K, r) with an error message — with
+// CLIs accepting K up to MaxNodes, overflow is a user-reachable input, not a
+// programming bug.
+func BinomialChecked(n, k int) (int64, bool) {
 	if k < 0 || k > n {
-		return 0
+		return 0, true
 	}
 	if k > n-k {
 		k = n - k
@@ -187,9 +190,22 @@ func Binomial(n, k int) int64 {
 		// because c always holds C(n, i) at this point.
 		hi, lo := bits.Mul64(uint64(c), uint64(n-i))
 		if hi != 0 || lo > uint64(1)<<62 {
-			panic(fmt.Sprintf("combin: Binomial(%d,%d) overflows", n, k))
+			return 0, false
 		}
 		c = int64(lo) / int64(i+1)
+	}
+	return c, true
+}
+
+// Binomial returns C(n, k), the number of k-element subsets of an n-element
+// set. It returns 0 when k < 0 or k > n, and panics if the exact result
+// would overflow int64. Callers whose (n, k) come from user input validate
+// with BinomialChecked first; the hot combinatorial paths keep this panicking
+// form because their arguments were bounded at validation time.
+func Binomial(n, k int) int64 {
+	c, ok := BinomialChecked(n, k)
+	if !ok {
+		panic(fmt.Sprintf("combin: Binomial(%d,%d) overflows", n, k))
 	}
 	return c
 }

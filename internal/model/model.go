@@ -171,6 +171,25 @@ func (m TimeModel) StragglerDelta(r float64, k int, f float64) time.Duration {
 // C(K, r+1)").
 func Groups(k, r int) int64 { return combin.Binomial(k, r+1) }
 
+// ResolvableGroups returns q^r - q^(r-1) with q = K/r, the multicast group
+// count of the resolvable-design placement (the non-codewords of the
+// [r, r-1] single-parity-check code over Z_q). It panics unless K = q·r
+// with q ≥ 2 and r ≥ 2, the feasibility condition of the construction.
+// Compare with Groups: the resolvable count grows polynomially in q where
+// C(K, r+1) grows binomially in K, which is what lets CodeGen scale past
+// the clique scheme's wall at large K.
+func ResolvableGroups(k, r int) int64 {
+	if r < 2 || k < 2*r || k%r != 0 {
+		panic(fmt.Sprintf("model: no resolvable design for K=%d, r=%d (need K = q*r, q >= 2, r >= 2)", k, r))
+	}
+	q := int64(k / r)
+	p := int64(1)
+	for i := 0; i < r-1; i++ {
+		p *= q
+	}
+	return p*q - p
+}
+
 // CodeGenTime models the CodeGen stage as perGroup × C(K, r+1); perGroup
 // absorbs the communicator-construction cost of one multicast group
 // (MPI_Comm_split in the paper's implementation).

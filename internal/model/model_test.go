@@ -204,6 +204,36 @@ func TestGroupsMatchesPaperCounts(t *testing.T) {
 	}
 }
 
+func TestResolvableGroupsClosedForm(t *testing.T) {
+	// q^r - q^(r-1) with q = K/r, cross-checked against the counts the
+	// placement package enumerates.
+	cases := []struct {
+		k, r int
+		want int64
+	}{{4, 2, 2}, {8, 2, 12}, {16, 2, 56}, {16, 4, 192}, {32, 2, 240}, {64, 2, 992}, {9, 3, 18}}
+	for _, c := range cases {
+		got := ResolvableGroups(c.k, c.r)
+		if got != c.want {
+			t.Fatalf("ResolvableGroups(%d,%d) = %d, want %d", c.k, c.r, got, c.want)
+		}
+		// The scaling claim: strictly fewer groups than the clique scheme
+		// at every shared configuration with q > 2.
+		if c.k/c.r > 2 && got >= Groups(c.k, c.r) {
+			t.Fatalf("ResolvableGroups(%d,%d) = %d >= C(%d,%d) = %d", c.k, c.r, got, c.k, c.r+1, Groups(c.k, c.r))
+		}
+	}
+	for _, c := range []struct{ k, r int }{{5, 2}, {4, 1}, {4, 4}, {0, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("ResolvableGroups(%d,%d) did not panic", c.k, c.r)
+				}
+			}()
+			ResolvableGroups(c.k, c.r)
+		}()
+	}
+}
+
 func TestCodeGenTimeFitsPaper(t *testing.T) {
 	// With a single per-group constant of ~3.5 ms, the model lands within
 	// 2x of all four measured CodeGen times (6.06, 23.47, 19.32, 140.91 s)

@@ -15,7 +15,10 @@ import (
 
 // Plan is an immutable description of which rows belong to which file and
 // which nodes store each file. Files are identified both by position in
-// Files (their colex rank) and by their node set.
+// Files and by their node set. Clique plans (Single/Redundant) list every
+// R-subset in colexicographic rank order; strategy plans (FromFiles) may
+// list any injective family of R-subsets, in which case an index map backs
+// the set→index lookup instead of the colex rank.
 type Plan struct {
 	// K is the number of worker nodes.
 	K int
@@ -24,11 +27,17 @@ type Plan struct {
 	R int
 	// TotalRows is the number of input records covered by the plan.
 	TotalRows int64
-	// Files lists the node set of every file in colexicographic rank order.
+	// Files lists the node set of every file. For clique plans this is the
+	// full colex enumeration of R-subsets; strategy plans choose a subset.
 	Files []combin.Set
 	// Bounds holds len(Files)+1 ascending row offsets; file i covers
 	// input rows [Bounds[i], Bounds[i+1]).
 	Bounds []int64
+
+	// index maps file sets to indices for plans whose Files are not the
+	// complete colex enumeration. Nil for clique plans, which use the
+	// O(R) colex rank instead of a map lookup.
+	index map[combin.Set]int
 }
 
 // Single returns the TeraSort placement: K files, file i stored only on
@@ -49,6 +58,9 @@ func Redundant(k, r int, totalRows int64) (Plan, error) {
 	if totalRows < 0 {
 		return Plan{}, fmt.Errorf("placement: negative row count %d", totalRows)
 	}
+	if _, ok := combin.BinomialChecked(k, r); !ok {
+		return Plan{}, fmt.Errorf("placement: C(%d,%d) files overflow int64", k, r)
+	}
 	files := combin.Subsets(combin.Range(k), r)
 	p := Plan{
 		K:         k,
@@ -56,6 +68,51 @@ func Redundant(k, r int, totalRows int64) (Plan, error) {
 		TotalRows: totalRows,
 		Files:     files,
 		Bounds:    kv.SplitRows(totalRows, len(files)),
+	}
+	return p, nil
+}
+
+// FromFiles returns a plan over an explicit family of file sets, as supplied
+// by a placement strategy. Every set must have exactly r members drawn from
+// {0..k-1} and no set may repeat; per-node storage must be balanced, i.e.
+// k must divide len(files)*r. The files keep their given order.
+func FromFiles(k, r int, files []combin.Set, totalRows int64) (Plan, error) {
+	if k <= 0 || k > combin.MaxNodes {
+		return Plan{}, fmt.Errorf("placement: K=%d out of range", k)
+	}
+	if r < 1 || r > k {
+		return Plan{}, fmt.Errorf("placement: r=%d out of range for K=%d", r, k)
+	}
+	if totalRows < 0 {
+		return Plan{}, fmt.Errorf("placement: negative row count %d", totalRows)
+	}
+	if len(files) == 0 {
+		return Plan{}, fmt.Errorf("placement: no files")
+	}
+	if len(files)*r%k != 0 {
+		return Plan{}, fmt.Errorf("placement: %d files of replication %d do not balance over %d nodes", len(files), r, k)
+	}
+	universe := combin.Range(k)
+	index := make(map[combin.Set]int, len(files))
+	for i, f := range files {
+		if f.Size() != r {
+			return Plan{}, fmt.Errorf("placement: file %d has %d nodes, want %d", i, f.Size(), r)
+		}
+		if !f.SubsetOf(universe) {
+			return Plan{}, fmt.Errorf("placement: file %d set %v outside universe", i, f)
+		}
+		if j, dup := index[f]; dup {
+			return Plan{}, fmt.Errorf("placement: files %d and %d share node set %v", j, i, f)
+		}
+		index[f] = i
+	}
+	p := Plan{
+		K:         k,
+		R:         r,
+		TotalRows: totalRows,
+		Files:     files,
+		Bounds:    kv.SplitRows(totalRows, len(files)),
+		index:     index,
 	}
 	return p, nil
 }
@@ -75,9 +132,9 @@ func (p Plan) FileRowCount(i int) int64 { return p.Bounds[i+1] - p.Bounds[i] }
 func (p Plan) Stores(node, i int) bool { return p.Files[i].Contains(node) }
 
 // FilesOn returns the indices of the files stored on node, ascending.
-// A node stores C(K-1, R-1) files.
+// A node stores len(Files)*R/K files (C(K-1, R-1) under the clique plan).
 func (p Plan) FilesOn(node int) []int {
-	out := make([]int, 0, combin.Binomial(p.K-1, p.R-1))
+	out := make([]int, 0, len(p.Files)*p.R/p.K)
 	for i, f := range p.Files {
 		if f.Contains(node) {
 			out = append(out, i)
@@ -90,6 +147,12 @@ func (p Plan) FilesOn(node int) []int {
 // set does not index a file of this plan.
 func (p Plan) FileIndex(s combin.Set) int {
 	if s.Size() != p.R || !s.SubsetOf(combin.Range(p.K)) {
+		return -1
+	}
+	if p.index != nil {
+		if i, ok := p.index[s]; ok {
+			return i
+		}
 		return -1
 	}
 	i := int(combin.Rank(s))
@@ -110,15 +173,21 @@ func (p Plan) StoredRows(node int) int64 {
 	return n
 }
 
-// Validate checks the structural invariants of the plan:
-// every file set has exactly R members within range, files are the complete
-// colex enumeration (every R-subset indexes exactly one file), bounds are
-// monotone and cover [0, TotalRows), and per-node file counts equal
-// C(K-1, R-1).
+// Validate checks the structural invariants of the plan: every file set has
+// exactly R members within range and indexes exactly one file, bounds are
+// monotone and cover [0, TotalRows), and per-node file counts are balanced.
+// Clique plans must additionally be the complete colex enumeration of
+// R-subsets with per-node count C(K-1, R-1); strategy plans (FromFiles)
+// must store len(Files)*R/K files on every node.
 func (p Plan) Validate() error {
-	wantFiles := combin.Binomial(p.K, p.R)
-	if int64(len(p.Files)) != wantFiles {
-		return fmt.Errorf("placement: %d files, want C(%d,%d)=%d", len(p.Files), p.K, p.R, wantFiles)
+	if p.index == nil {
+		wantFiles, ok := combin.BinomialChecked(p.K, p.R)
+		if !ok {
+			return fmt.Errorf("placement: C(%d,%d) files overflow int64", p.K, p.R)
+		}
+		if int64(len(p.Files)) != wantFiles {
+			return fmt.Errorf("placement: %d files, want C(%d,%d)=%d", len(p.Files), p.K, p.R, wantFiles)
+		}
 	}
 	if len(p.Bounds) != len(p.Files)+1 {
 		return fmt.Errorf("placement: %d bounds for %d files", len(p.Bounds), len(p.Files))
@@ -134,16 +203,19 @@ func (p Plan) Validate() error {
 		if !f.SubsetOf(universe) {
 			return fmt.Errorf("placement: file %d set %v outside universe", i, f)
 		}
-		if int(combin.Rank(f)) != i {
-			return fmt.Errorf("placement: file %d set %v has rank %d", i, f, combin.Rank(f))
+		if got := p.FileIndex(f); got != i {
+			return fmt.Errorf("placement: file %d set %v indexes as %d", i, f, got)
 		}
 		if p.Bounds[i] > p.Bounds[i+1] {
 			return fmt.Errorf("placement: bounds decrease at file %d", i)
 		}
 	}
-	perNode := combin.Binomial(p.K-1, p.R-1)
+	if len(p.Files)*p.R%p.K != 0 {
+		return fmt.Errorf("placement: %d files of replication %d do not balance over %d nodes", len(p.Files), p.R, p.K)
+	}
+	perNode := len(p.Files) * p.R / p.K
 	for node := 0; node < p.K; node++ {
-		if got := int64(len(p.FilesOn(node))); got != perNode {
+		if got := len(p.FilesOn(node)); got != perNode {
 			return fmt.Errorf("placement: node %d stores %d files, want %d", node, got, perNode)
 		}
 	}

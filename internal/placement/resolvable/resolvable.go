@@ -1,0 +1,234 @@
+// Package resolvable constructs (K, r) resolvable designs for coded
+// shuffling, following Konstantinidis & Ramamoorthy's "Leveraging Coding
+// Techniques for Speeding up Distributed Computing". Where the clique scheme
+// of the Coded TeraSort paper places C(K, r) subfiles and enumerates
+// C(K, r+1) multicast groups, a resolvable design built from the parallel
+// classes of an [r, r-1] single-parity-check code over Z_q (q = K/r) places
+// only q^(r-1) subfiles and forms q^r - q^(r-1) groups of size r — orders of
+// magnitude fewer at large K, at the cost of multicast gain r-1 instead of r.
+//
+// Construction. The K nodes split into r parallel classes of q nodes each;
+// class c holds nodes {c*q .. c*q+q-1}. A point (subfile) p in
+// [0, q^(r-1)) has message digits m_0..m_(r-2), the base-q digits of p, and
+// codeword symbols
+//
+//	s_c(p) = m_c               for c < r-1
+//	s_(r-1)(p) = sum(m_i) mod q
+//
+// Point p is stored on node c*q + s_c(p) of every class c: exactly one node
+// per class, r nodes total, and distinct points have distinct storage sets.
+//
+// A multicast group is any tuple a = (a_0..a_(r-1)) in [0,q)^r that is NOT a
+// codeword (a codeword has sum(a_0..a_(r-2)) mod q == a_(r-1)); its members
+// are nodes {c*q + a_c}, one per class. The member of class c is the only
+// member not storing the unique point that agrees with a on every other
+// class — that point is what the group delivers to it, each of the other
+// r-1 members holding one XOR-coded segment. Every (node, missing point)
+// pair is served by exactly one group, so the groups cover all needed
+// intermediate values exactly once.
+package resolvable
+
+import (
+	"fmt"
+
+	"codedterasort/internal/combin"
+)
+
+// MaxTuples bounds q^r, the group-ID space of a design. It caps the group
+// enumeration cost and keeps group IDs well inside the engine's 48-bit
+// message-tag space.
+const MaxTuples = 1 << 20
+
+// Design is a validated (K, r) resolvable design. The zero value is not
+// usable; construct with New.
+type Design struct {
+	// K is the number of nodes, Q*R.
+	K int
+	// R is the replication factor and the number of parallel classes.
+	R int
+	// Q is the class size, K/R.
+	Q int
+}
+
+// Group is one multicast group of the design: the non-codeword tuple ID, the
+// member nodes (one per parallel class, ascending because classes are
+// ascending node ranges), and for each member the point it recovers.
+type Group struct {
+	// ID is the tuple index in [0, Q^R), base-Q digits a_0..a_(R-1) with
+	// a_0 least significant. Codeword IDs never appear.
+	ID int64
+	// Members[c] is the group's node in class c: c*Q + a_c.
+	Members []int
+	// Points[c] is the point Members[c] recovers in this group.
+	Points []int
+}
+
+// New validates (k, r) and returns the design. Requirements: r >= 2 (r = 1
+// has no coding opportunities), k a multiple of r with q = k/r >= 2
+// (otherwise there is a single class or single node per class and no
+// non-codeword tuples), k <= combin.MaxNodes, and q^r <= MaxTuples.
+func New(k, r int) (Design, error) {
+	if r < 2 {
+		return Design{}, fmt.Errorf("resolvable: r=%d, need r >= 2", r)
+	}
+	if k <= 0 || k > combin.MaxNodes {
+		return Design{}, fmt.Errorf("resolvable: K=%d out of range (1..%d)", k, combin.MaxNodes)
+	}
+	if k%r != 0 {
+		return Design{}, fmt.Errorf("resolvable: K=%d not a multiple of r=%d; resolvable designs need K = q*r", k, r)
+	}
+	q := k / r
+	if q < 2 {
+		return Design{}, fmt.Errorf("resolvable: q = K/r = %d, need q >= 2 (K=%d, r=%d)", q, k, r)
+	}
+	tuples := int64(1)
+	for i := 0; i < r; i++ {
+		tuples *= int64(q)
+		if tuples > MaxTuples {
+			return Design{}, fmt.Errorf("resolvable: q^r = %d^%d exceeds %d groups", q, r, MaxTuples)
+		}
+	}
+	return Design{K: k, R: r, Q: q}, nil
+}
+
+// NumPoints returns the number of subfiles, q^(r-1).
+func (d Design) NumPoints() int {
+	n := 1
+	for i := 0; i < d.R-1; i++ {
+		n *= d.Q
+	}
+	return n
+}
+
+// NumGroups returns the number of multicast groups, q^r - q^(r-1): the
+// non-codeword tuples.
+func (d Design) NumGroups() int64 {
+	return int64(d.NumPoints()) * int64(d.Q-1)
+}
+
+// GroupsPerNode returns how many groups each node joins:
+// q^(r-1) - q^(r-2), which equals the number of points the node misses —
+// the bijection that makes the shuffle deliver each missing point once.
+func (d Design) GroupsPerNode() int {
+	n := d.Q - 1
+	for i := 0; i < d.R-2; i++ {
+		n *= d.Q
+	}
+	return n
+}
+
+// Symbol returns s_c(p), the class-c codeword symbol of point p.
+func (d Design) Symbol(p, c int) int {
+	if c < d.R-1 {
+		return p / pow(d.Q, c) % d.Q
+	}
+	sum := 0
+	for i := 0; i < d.R-1; i++ {
+		sum += p / pow(d.Q, i) % d.Q
+	}
+	return sum % d.Q
+}
+
+// PointNodes returns the storage set of point p: node c*Q + s_c(p) of every
+// class c. The set always has exactly R members, one per class.
+func (d Design) PointNodes(p int) combin.Set {
+	var s combin.Set
+	for c := 0; c < d.R; c++ {
+		s = s.Add(c*d.Q + d.Symbol(p, c))
+	}
+	return s
+}
+
+// group decodes tuple id into a Group, reporting ok=false for codeword
+// tuples (which are not groups).
+func (d Design) group(id int64) (Group, bool) {
+	a := make([]int, d.R)
+	rest := id
+	for c := 0; c < d.R; c++ {
+		a[c] = int(rest % int64(d.Q))
+		rest /= int64(d.Q)
+	}
+	sum := 0
+	for i := 0; i < d.R-1; i++ {
+		sum += a[i]
+	}
+	if sum%d.Q == a[d.R-1] {
+		return Group{}, false
+	}
+	g := Group{
+		ID:      id,
+		Members: make([]int, d.R),
+		Points:  make([]int, d.R),
+	}
+	for c := 0; c < d.R; c++ {
+		g.Members[c] = c*d.Q + a[c]
+		g.Points[c] = d.completion(a, c)
+	}
+	return g, true
+}
+
+// completion returns the unique point whose codeword agrees with tuple a on
+// every class except c — the point the class-c member is missing. For
+// c = r-1 the message digits are a_0..a_(r-2) directly; otherwise digit c is
+// solved from the parity symbol a_(r-1).
+func (d Design) completion(a []int, c int) int {
+	if c == d.R-1 {
+		p := 0
+		for i := d.R - 2; i >= 0; i-- {
+			p = p*d.Q + a[i]
+		}
+		return p
+	}
+	sum := 0
+	for i := 0; i < d.R-1; i++ {
+		if i != c {
+			sum += a[i]
+		}
+	}
+	mc := ((a[d.R-1]-sum)%d.Q + d.Q) % d.Q
+	p := 0
+	for i := d.R - 2; i >= 0; i-- {
+		if i == c {
+			p = p*d.Q + mc
+		} else {
+			p = p*d.Q + a[i]
+		}
+	}
+	return p
+}
+
+// EachGroup calls fn for every group in ascending ID order. Enumeration
+// stops early if fn returns false.
+func (d Design) EachGroup(fn func(Group) bool) {
+	tuples := int64(d.NumPoints()) * int64(d.Q)
+	for id := int64(0); id < tuples; id++ {
+		if g, ok := d.group(id); ok {
+			if !fn(g) {
+				return
+			}
+		}
+	}
+}
+
+// GroupsOf returns the groups containing node, in ascending ID order. A node
+// joins GroupsPerNode() groups: the tuples fixing its own symbol in its
+// class that are not codewords.
+func (d Design) GroupsOf(node int) []Group {
+	c := node / d.Q
+	out := make([]Group, 0, d.GroupsPerNode())
+	d.EachGroup(func(g Group) bool {
+		if g.Members[c] == node {
+			out = append(out, g)
+		}
+		return true
+	})
+	return out
+}
+
+func pow(q, e int) int {
+	n := 1
+	for i := 0; i < e; i++ {
+		n *= q
+	}
+	return n
+}

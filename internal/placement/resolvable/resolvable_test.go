@@ -1,0 +1,192 @@
+package resolvable
+
+import (
+	"testing"
+
+	"codedterasort/internal/combin"
+)
+
+// checkDesign asserts every structural invariant of a valid design; the
+// fuzz target shares it with the table-driven test.
+func checkDesign(t *testing.T, d Design) {
+	t.Helper()
+	np := d.NumPoints()
+	// Every point is stored on exactly one node per class: r nodes total,
+	// and distinct points have distinct storage sets.
+	seenSets := make(map[combin.Set]int, np)
+	for p := 0; p < np; p++ {
+		s := d.PointNodes(p)
+		if s.Size() != d.R {
+			t.Fatalf("point %d on %d nodes, want r=%d", p, s.Size(), d.R)
+		}
+		for c := 0; c < d.R; c++ {
+			n := c*d.Q + d.Symbol(p, c)
+			if !s.Contains(n) || n/d.Q != c {
+				t.Fatalf("point %d class %d: node %d not in %v", p, c, n, s)
+			}
+		}
+		if prev, dup := seenSets[s]; dup {
+			t.Fatalf("points %d and %d share storage set %v", prev, p, s)
+		}
+		seenSets[s] = p
+	}
+
+	// Group enumeration: count matches the closed form, IDs ascend, every
+	// group has one member per class, and each member's recovered point is
+	// stored on all other members but not on the member itself.
+	var count int64
+	lastID := int64(-1)
+	// recovered[node] collects the points delivered to node across all
+	// groups; the design must deliver exactly the points the node misses,
+	// each exactly once.
+	recovered := make([]map[int]int64, d.K)
+	for n := range recovered {
+		recovered[n] = make(map[int]int64)
+	}
+	d.EachGroup(func(g Group) bool {
+		count++
+		if g.ID <= lastID {
+			t.Fatalf("group ID %d after %d: not ascending", g.ID, lastID)
+		}
+		lastID = g.ID
+		if len(g.Members) != d.R || len(g.Points) != d.R {
+			t.Fatalf("group %d has %d members, %d points", g.ID, len(g.Members), len(g.Points))
+		}
+		for c, n := range g.Members {
+			if n/d.Q != c {
+				t.Fatalf("group %d member %d not in class %d", g.ID, n, c)
+			}
+			p := g.Points[c]
+			stored := d.PointNodes(p)
+			if stored.Contains(n) {
+				t.Fatalf("group %d delivers point %d to node %d that stores it", g.ID, p, n)
+			}
+			for c2, other := range g.Members {
+				if c2 != c && !stored.Contains(other) {
+					t.Fatalf("group %d: member %d cannot serve point %d to %d", g.ID, other, p, n)
+				}
+			}
+			if _, dup := recovered[n][p]; dup {
+				t.Fatalf("node %d receives point %d from two groups", n, p)
+			}
+			recovered[n][p] = g.ID
+		}
+		return true
+	})
+	if count != d.NumGroups() {
+		t.Fatalf("enumerated %d groups, NumGroups = %d", count, d.NumGroups())
+	}
+
+	// Coverage: each node receives exactly its missing points.
+	for n := 0; n < d.K; n++ {
+		if len(recovered[n]) != d.GroupsPerNode() {
+			t.Fatalf("node %d receives %d points, GroupsPerNode = %d", n, len(recovered[n]), d.GroupsPerNode())
+		}
+		for p := 0; p < np; p++ {
+			_, got := recovered[n][p]
+			if stores := d.PointNodes(p).Contains(n); stores == got {
+				t.Fatalf("node %d: stores point %d = %v but receives it = %v", n, p, stores, got)
+			}
+		}
+	}
+
+	// GroupsOf agrees with the full enumeration.
+	for n := 0; n < d.K; n++ {
+		gs := d.GroupsOf(n)
+		if len(gs) != d.GroupsPerNode() {
+			t.Fatalf("node %d joins %d groups, want %d", n, len(gs), d.GroupsPerNode())
+		}
+		for _, g := range gs {
+			if g.Members[n/d.Q] != n {
+				t.Fatalf("node %d absent from its own group %d", n, g.ID)
+			}
+		}
+	}
+}
+
+func TestDesignInvariants(t *testing.T) {
+	for _, tc := range []struct{ k, r int }{
+		{4, 2}, {6, 2}, {6, 3}, {8, 2}, {8, 4}, {9, 3}, {12, 3}, {16, 4}, {64, 2},
+	} {
+		d, err := New(tc.k, tc.r)
+		if err != nil {
+			t.Fatalf("New(%d,%d): %v", tc.k, tc.r, err)
+		}
+		checkDesign(t, d)
+	}
+}
+
+func TestDesignCounts(t *testing.T) {
+	// The headline scaling win: K=64, r=2 has 992 groups where the clique
+	// scheme needs C(64, 3) = 41664.
+	d, err := New(64, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumPoints() != 32 || d.NumGroups() != 992 || d.GroupsPerNode() != 31 {
+		t.Fatalf("K=64 r=2: points=%d groups=%d perNode=%d", d.NumPoints(), d.NumGroups(), d.GroupsPerNode())
+	}
+	// K=16, r=4 (q=4): 4^3 = 64 points, 4^4 - 4^3 = 192 groups vs
+	// C(16, 5) = 4368 clique groups.
+	d, err = New(16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumPoints() != 64 || d.NumGroups() != 192 {
+		t.Fatalf("K=16 r=4: points=%d groups=%d", d.NumPoints(), d.NumGroups())
+	}
+}
+
+func TestNewRejectsInfeasible(t *testing.T) {
+	for _, tc := range []struct{ k, r int }{
+		{4, 1},   // r < 2: no coding opportunities
+		{5, 2},   // K not a multiple of r
+		{4, 4},   // q = 1
+		{0, 2},   // K out of range
+		{-2, 2},  // K out of range
+		{66, 2},  // K > MaxNodes
+		{63, 21}, // q^r = 3^21 > MaxTuples
+	} {
+		if _, err := New(tc.k, tc.r); err == nil {
+			t.Fatalf("New(%d,%d) accepted", tc.k, tc.r)
+		}
+	}
+}
+
+// FuzzDesign drives arbitrary (k, r) pairs through the constructor: valid
+// parameters must yield a design satisfying every structural invariant,
+// invalid ones a clean error — never a panic or a malformed design.
+func FuzzDesign(f *testing.F) {
+	f.Add(4, 2)
+	f.Add(6, 3)
+	f.Add(64, 2)
+	f.Add(5, 2)
+	f.Add(0, 0)
+	f.Fuzz(func(t *testing.T, k, r int) {
+		d, err := New(k, r)
+		if err != nil {
+			return
+		}
+		if d.K != k || d.R != r || d.Q != k/r {
+			t.Fatalf("New(%d,%d) = %+v", k, r, d)
+		}
+		// The full cross-check is quadratic in the group count; huge valid
+		// designs (q^r up to 2^20) get a sampled variant so fuzz iterations
+		// stay fast.
+		if d.NumGroups() <= 4096 {
+			checkDesign(t, d)
+			return
+		}
+		var count int64
+		d.EachGroup(func(g Group) bool {
+			count++
+			for c, n := range g.Members {
+				stored := d.PointNodes(g.Points[c])
+				if stored.Contains(n) || stored.Size() != d.R {
+					t.Fatalf("group %d: node %d vs point set %v", g.ID, n, stored)
+				}
+			}
+			return count < 512 // sample the enumeration's head
+		})
+	})
+}

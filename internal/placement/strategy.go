@@ -1,0 +1,193 @@
+package placement
+
+import (
+	"fmt"
+
+	"codedterasort/internal/codec"
+	"codedterasort/internal/combin"
+	"codedterasort/internal/placement/resolvable"
+)
+
+// Kind names a placement/coding strategy. The empty string means clique,
+// so zero-valued configs and old wire specs keep their meaning.
+type Kind string
+
+const (
+	// KindClique is the Coded TeraSort paper's scheme: C(K, r) subfiles,
+	// one per r-subset, and C(K, r+1) multicast groups of size r+1.
+	KindClique Kind = "clique"
+	// KindResolvable is the resolvable-design scheme: q^(r-1) subfiles and
+	// q^r - q^(r-1) groups of size r, q = K/r. Orders of magnitude fewer
+	// groups at large K, at multicast gain r-1 instead of r.
+	KindResolvable Kind = "resolvable"
+)
+
+// ParseKind parses a strategy name; "" parses as clique.
+func ParseKind(s string) (Kind, error) {
+	switch Kind(s) {
+	case "", KindClique:
+		return KindClique, nil
+	case KindResolvable:
+		return KindResolvable, nil
+	}
+	return "", fmt.Errorf("placement: unknown strategy %q (want clique or resolvable)", s)
+}
+
+// Group is one multicast group of a strategy: the codec metadata (members
+// and per-member needed files) plus a strategy-scoped ID that is stable
+// across nodes and small enough for the engine's 48-bit message-tag space.
+type Group struct {
+	codec.Group
+	ID int64
+}
+
+// maxEnum bounds per-strategy file and group counts. It caps the memory and
+// time of materializing file lists and iterating group loops, and keeps
+// group IDs well inside the engine's 48-bit tag space.
+const maxEnum = 1 << 20
+
+// Strategy is a pluggable placement/coding scheme: how the input splits
+// into subfiles, which nodes store each subfile, and which multicast groups
+// the coded shuffle runs with what per-group encode/decode metadata. All
+// methods are deterministic, so every node derives the identical strategy
+// from (kind, K, r) alone.
+type Strategy interface {
+	// Kind returns the strategy name.
+	Kind() Kind
+	// K returns the number of worker nodes.
+	K() int
+	// R returns the replication factor.
+	R() int
+	// Plan returns the file placement over totalRows input rows.
+	Plan(totalRows int64) (Plan, error)
+	// NumFiles returns the number of subfiles.
+	NumFiles() int
+	// NumGroups returns the number of multicast groups.
+	NumGroups() int64
+	// GroupsOf returns the groups containing node, ascending by ID.
+	GroupsOf(node int) []Group
+	// EachGroup calls fn for every group in ascending ID order, stopping
+	// early if fn returns false.
+	EachGroup(fn func(Group) bool)
+}
+
+// New validates (kind, k, r) and returns the strategy, with a clear error —
+// never a panic — for infeasible parameters.
+func New(kind Kind, k, r int) (Strategy, error) {
+	kind, err := ParseKind(string(kind))
+	if err != nil {
+		return nil, err
+	}
+	switch kind {
+	case KindClique:
+		return newClique(k, r)
+	case KindResolvable:
+		d, err := resolvable.New(k, r)
+		if err != nil {
+			return nil, err
+		}
+		return resolvableStrategy{d}, nil
+	}
+	return nil, fmt.Errorf("placement: unknown strategy %q", kind)
+}
+
+// cliqueStrategy is the paper's scheme, expressed through the Strategy
+// interface: files are the colex enumeration of r-subsets, groups the colex
+// enumeration of (r+1)-subsets with colex rank as ID, and every group
+// member needs the file indexed by the other members.
+type cliqueStrategy struct {
+	k, r      int
+	numFiles  int64
+	numGroups int64
+}
+
+func newClique(k, r int) (Strategy, error) {
+	if k <= 0 || k > combin.MaxNodes {
+		return nil, fmt.Errorf("placement: K=%d out of range (1..%d)", k, combin.MaxNodes)
+	}
+	if r < 1 || r > k {
+		return nil, fmt.Errorf("placement: r=%d out of range for K=%d (want 1 <= r <= K)", r, k)
+	}
+	files, ok := combin.BinomialChecked(k, r)
+	if !ok || files > maxEnum {
+		return nil, fmt.Errorf("placement: clique C(%d,%d) subfiles exceed %d; lower r or use the resolvable strategy", k, r, maxEnum)
+	}
+	groups, ok := combin.BinomialChecked(k, r+1)
+	if !ok || groups > maxEnum {
+		return nil, fmt.Errorf("placement: clique C(%d,%d) groups exceed %d; lower r or use the resolvable strategy", k, r+1, maxEnum)
+	}
+	return cliqueStrategy{k: k, r: r, numFiles: files, numGroups: groups}, nil
+}
+
+func (s cliqueStrategy) Kind() Kind       { return KindClique }
+func (s cliqueStrategy) K() int           { return s.k }
+func (s cliqueStrategy) R() int           { return s.r }
+func (s cliqueStrategy) NumFiles() int    { return int(s.numFiles) }
+func (s cliqueStrategy) NumGroups() int64 { return s.numGroups }
+
+func (s cliqueStrategy) Plan(totalRows int64) (Plan, error) {
+	return Redundant(s.k, s.r, totalRows)
+}
+
+func (s cliqueStrategy) GroupsOf(node int) []Group {
+	sets := combin.SubsetsContaining(combin.Range(s.k), s.r+1, node)
+	out := make([]Group, len(sets))
+	for i, m := range sets {
+		out[i] = Group{Group: codec.CliqueGroup(m), ID: combin.Rank(m)}
+	}
+	return out
+}
+
+func (s cliqueStrategy) EachGroup(fn func(Group) bool) {
+	stop := false
+	combin.EachSubset(combin.Range(s.k), s.r+1, func(m combin.Set) bool {
+		if !fn(Group{Group: codec.CliqueGroup(m), ID: combin.Rank(m)}) {
+			stop = true
+		}
+		return !stop
+	})
+}
+
+// resolvableStrategy adapts a resolvable.Design to the Strategy interface:
+// file i is design point i, and a design group's needed points translate to
+// needed file sets via the points' storage sets.
+type resolvableStrategy struct {
+	d resolvable.Design
+}
+
+func (s resolvableStrategy) Kind() Kind       { return KindResolvable }
+func (s resolvableStrategy) K() int           { return s.d.K }
+func (s resolvableStrategy) R() int           { return s.d.R }
+func (s resolvableStrategy) NumFiles() int    { return s.d.NumPoints() }
+func (s resolvableStrategy) NumGroups() int64 { return s.d.NumGroups() }
+
+func (s resolvableStrategy) Plan(totalRows int64) (Plan, error) {
+	files := make([]combin.Set, s.d.NumPoints())
+	for p := range files {
+		files[p] = s.d.PointNodes(p)
+	}
+	return FromFiles(s.d.K, s.d.R, files, totalRows)
+}
+
+func (s resolvableStrategy) convert(g resolvable.Group) Group {
+	need := make([]combin.Set, len(g.Points))
+	for i, p := range g.Points {
+		need[i] = s.d.PointNodes(p)
+	}
+	return Group{Group: codec.Group{Members: g.Members, Need: need}, ID: g.ID}
+}
+
+func (s resolvableStrategy) GroupsOf(node int) []Group {
+	gs := s.d.GroupsOf(node)
+	out := make([]Group, len(gs))
+	for i, g := range gs {
+		out[i] = s.convert(g)
+	}
+	return out
+}
+
+func (s resolvableStrategy) EachGroup(fn func(Group) bool) {
+	s.d.EachGroup(func(g resolvable.Group) bool {
+		return fn(s.convert(g))
+	})
+}

@@ -168,9 +168,9 @@ func (s *Server) Submit(req SubmitRequest) (JobStatus, error) {
 	if req.Spec.KeepOutput {
 		return JobStatus{}, errors.New("service: KeepOutput jobs are not served (partitions are summarized, not shipped)")
 	}
-	if req.Spec.K > s.cfg.PoolSlots {
-		return JobStatus{}, fmt.Errorf("service: job needs K=%d workers but the pool has %d slots", req.Spec.K, s.cfg.PoolSlots)
-	}
+	// Jobs whose K exceeds the pool are admitted anyway: the lease
+	// multiplexes logical ranks over the whole pool (see cluster.Lease.Run),
+	// which is how K=64-128 jobs run on a machine-sized executor pool.
 	tn := s.tenants.Get(req.Tenant)
 
 	s.mu.Lock()
@@ -221,8 +221,14 @@ func (s *Server) dispatch() {
 				return
 			}
 			if j = s.queue.popEligible(func(j *job) bool { return s.tenants.Get(j.tenant).CanRun() }); j != nil {
+				want := j.spec.K
+				if want > s.cfg.PoolSlots {
+					// Oversized jobs take the whole pool and multiplex
+					// logical ranks over it.
+					want = s.cfg.PoolSlots
+				}
 				var ok bool
-				if lease, ok = s.pool.TryReserve(j.spec.K); ok {
+				if lease, ok = s.pool.TryReserve(want); ok {
 					break
 				}
 				// The best job does not fit yet: leave it queued and wait

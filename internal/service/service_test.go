@@ -69,13 +69,28 @@ func TestSubmitValidation(t *testing.T) {
 	cases := []SubmitRequest{
 		{Tenant: "", Spec: terasortSpec(100, 1)},
 		{Tenant: "a", Spec: cluster.Spec{Algorithm: "nope", K: 2, Rows: 10}},
-		{Tenant: "a", Spec: cluster.Spec{Algorithm: cluster.AlgTeraSort, K: 8, Rows: 10}}, // K > pool
+		{Tenant: "a", Spec: cluster.Spec{Algorithm: cluster.AlgCoded, K: 4, R: 2, Rows: 10, Placement: "nope"}},
 		{Tenant: "a", Spec: cluster.Spec{Algorithm: cluster.AlgTeraSort, K: 2, Rows: 10, KeepOutput: true}},
 	}
 	for i, req := range cases {
 		if _, err := s.Submit(req); err == nil {
 			t.Fatalf("case %d admitted: %+v", i, req)
 		}
+	}
+	// K above the pool size is admissible now: the lease multiplexes
+	// logical ranks over the pool's executors.
+	big, err := s.Submit(SubmitRequest{Tenant: "a", Spec: cluster.Spec{Algorithm: cluster.AlgTeraSort, K: 8, Rows: 800, Seed: 1}})
+	if err != nil {
+		t.Fatalf("oversized job rejected: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	st, err := s.WaitJob(ctx, big.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateDone || !st.Validated {
+		t.Fatalf("oversized job final status %+v", st)
 	}
 	if _, err := s.Job("job-999999"); !errors.Is(err, ErrUnknownJob) {
 		t.Fatalf("unknown job lookup: %v", err)

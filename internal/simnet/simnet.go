@@ -21,6 +21,10 @@ type Workload struct {
 	K int
 	// R is the redundancy parameter; ignored when Coded is false.
 	R int
+	// Placement names the placement/coding strategy for coded workloads:
+	// ""/clique for the paper's scheme, resolvable for the
+	// resolvable-design scheme. Ignored when Coded is false.
+	Placement placement.Kind
 	// Coded selects CodedTeraSort; false simulates conventional TeraSort.
 	Coded bool
 	// ParallelShuffle models the paper's "Asynchronous Execution" future
@@ -58,6 +62,14 @@ func (w Workload) normalize() (Workload, error) {
 	if w.ChunkRows < 0 {
 		return w, fmt.Errorf("simnet: negative ChunkRows")
 	}
+	kind, err := placement.ParseKind(string(w.Placement))
+	if err != nil {
+		return w, fmt.Errorf("simnet: %w", err)
+	}
+	if !w.Coded && kind != placement.KindClique {
+		return w, fmt.Errorf("simnet: %s placement requires a coded workload", kind)
+	}
+	w.Placement = kind
 	return w, nil
 }
 
@@ -70,7 +82,8 @@ type Report struct {
 	Messages int64
 	// Multicasts is the number of coded-packet multicasts.
 	Multicasts int64
-	// Groups is C(K, r+1), the multicast group count.
+	// Groups is the multicast group count of the placement strategy:
+	// C(K, r+1) for clique, q^r - q^(r-1) for resolvable.
 	Groups int64
 }
 
@@ -219,20 +232,24 @@ func scheduleTime(sendTime []time.Duration, parallel bool) time.Duration {
 }
 
 // simulateCoded models Section IV's six stages over the exact redundant
-// placement plan and group enumeration.
+// placement plan and group enumeration of the selected strategy.
 func simulateCoded(w Workload, cm CostModel) (stats.Breakdown, Report, error) {
-	plan, err := placement.Redundant(w.K, w.R, w.Rows)
+	strat, err := placement.New(w.Placement, w.K, w.R)
+	if err != nil {
+		return stats.Breakdown{}, Report{}, err
+	}
+	plan, err := strat.Plan(w.Rows)
 	if err != nil {
 		return stats.Breakdown{}, Report{}, err
 	}
 	var rep Report
-	rep.Groups = combin.Binomial(w.K, w.R+1)
+	rep.Groups = strat.NumGroups()
 	var b stats.Breakdown
 
 	// CodeGen: per-group communicator setup (MPI_Comm_split equivalent).
 	b[stats.StageCodeGen] = time.Duration(rep.Groups) * cm.GroupSetup
 
-	// Map: every node hashes its C(K-1, r-1) files.
+	// Map: every node hashes the files the strategy places on it.
 	var maxMap time.Duration
 	for node := 0; node < w.K; node++ {
 		mapBytes := float64(plan.StoredRows(node) * kv.RecordSize)
@@ -243,22 +260,25 @@ func simulateCoded(w Workload, cm CostModel) (stats.Breakdown, Report, error) {
 	b[stats.StageMap] = maxMap
 
 	// Encode, Multicast Shuffle and Decode: enumerate every group and
-	// every coded packet. The packet of root u in group M is padded to its
-	// widest contributing segment: max over t in M\{u} of the segment of
-	// I^t_{M\{t}} assigned to u, each IV being fileRows/K records split
-	// into r segments.
+	// every coded packet. The packet of member u in group g is padded to
+	// its widest contributing segment: max over the other members j of the
+	// segment of I^j_{Need[j]} assigned to u, each IV being fileRows/K
+	// records split into |g|-1 segments.
 	encodeVol := make([]float64, w.K)
 	decodeVol := make([]float64, w.K)
 	sendTime := make([]time.Duration, w.K)
-	r := float64(w.R)
 	maxStreamChunks := 1
-	combin.EachSubset(combin.Range(w.K), w.R+1, func(m combin.Set) bool {
-		for _, u := range m.Members() {
+	strat.EachGroup(func(g placement.Group) bool {
+		nseg := float64(len(g.Members) - 1)
+		for iu, u := range g.Members {
 			var maxSeg float64
-			for _, t := range m.Remove(u).Members() {
-				file := plan.FileIndex(m.Remove(t))
+			for j := range g.Members {
+				if j == iu {
+					continue
+				}
+				file := plan.FileIndex(g.Need[j])
 				ivBytes := float64(plan.FileRowCount(file)) * kv.RecordSize / float64(w.K)
-				if seg := ivBytes / r; seg > maxSeg {
+				if seg := ivBytes / nseg; seg > maxSeg {
 					maxSeg = seg
 				}
 			}
@@ -269,11 +289,11 @@ func simulateCoded(w Workload, cm CostModel) (stats.Breakdown, Report, error) {
 			width := maxSeg + float64(chunks)*streamOverhead(w.ChunkRows, codec.FrameSize(0))
 			rep.Multicasts += int64(chunks)
 			rep.ShuffledBytes += width
-			sendTime[u] += time.Duration(chunks) * cm.MulticastTime(width/float64(chunks), w.R)
-			encodeVol[u] += width * r
-			for _, k := range m.Members() {
+			sendTime[u] += time.Duration(chunks) * cm.MulticastTime(width/float64(chunks), len(g.Members)-1)
+			encodeVol[u] += width * nseg
+			for _, k := range g.Members {
 				if k != u {
-					decodeVol[k] += width * r
+					decodeVol[k] += width * nseg
 				}
 			}
 		}
@@ -297,7 +317,7 @@ func simulateCoded(w Workload, cm CostModel) (stats.Breakdown, Report, error) {
 
 	// Reduce: every node sorts its full 1/K partition, inflated by the
 	// coded memory penalty (Section V-C).
-	penalty := 1 + cm.ReduceMemPenalty*r
+	penalty := 1 + cm.ReduceMemPenalty*float64(w.R)
 	reduceBytes := float64(w.Rows) * kv.RecordSize / float64(w.K)
 	b[stats.StageReduce] = time.Duration(float64(perGB(reduceBytes, cm.ReduceSecPerGB)) * penalty)
 	return b, rep, nil

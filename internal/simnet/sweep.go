@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"codedterasort/internal/placement"
 	"codedterasort/internal/stats"
 )
 
@@ -81,6 +82,74 @@ func RenderSweep(title string, pts []SweepPoint) string {
 			p.Times[stats.StageShuffle].Seconds(),
 			p.Times.Total().Seconds(),
 			p.ShuffledGB, p.Groups, p.Speedup)
+	}
+	return b.String()
+}
+
+// PlacementPoint is one K of the clique-vs-resolvable placement sweep:
+// both strategies simulated at full 12 GB scale and the same (K, r), with
+// the structural counts that drive the CodeGen gap.
+type PlacementPoint struct {
+	K, R int
+	// Clique side: C(K-1, r-1)-files-per-node scheme.
+	CliqueGroups   int64
+	CliqueFiles    int
+	CliqueGB       float64
+	CliqueTotalSec float64
+	// Resolvable side: q^(r-1) subfiles, q^r - q^(r-1) groups.
+	ResolvableGroups   int64
+	ResolvableFiles    int
+	ResolvableGB       float64
+	ResolvableTotalSec float64
+}
+
+// SweepPlacement simulates clique vs resolvable coded runs at fixed r for
+// every K in ks. Ks not divisible by r (no resolvable design) are skipped.
+func SweepPlacement(r int, ks []int, cm CostModel) ([]PlacementPoint, error) {
+	out := make([]PlacementPoint, 0, len(ks))
+	for _, k := range ks {
+		if k%r != 0 || k/r < 2 {
+			continue
+		}
+		pt := PlacementPoint{K: k, R: r}
+		for _, kind := range []placement.Kind{placement.KindClique, placement.KindResolvable} {
+			strat, err := placement.New(kind, k, r)
+			if err != nil {
+				return nil, fmt.Errorf("simnet: placement sweep K=%d %s: %w", k, kind, err)
+			}
+			b, rep, err := Simulate(Workload{Rows: Rows12GB, K: k, R: r, Coded: true, Placement: kind}, cm)
+			if err != nil {
+				return nil, fmt.Errorf("simnet: placement sweep K=%d %s: %w", k, kind, err)
+			}
+			if kind == placement.KindClique {
+				pt.CliqueGroups, pt.CliqueFiles = rep.Groups, strat.NumFiles()
+				pt.CliqueGB, pt.CliqueTotalSec = rep.ShuffledBytes/1e9, b.Total().Seconds()
+			} else {
+				pt.ResolvableGroups, pt.ResolvableFiles = rep.Groups, strat.NumFiles()
+				pt.ResolvableGB, pt.ResolvableTotalSec = rep.ShuffledBytes/1e9, b.Total().Seconds()
+			}
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// RenderPlacementSweep formats placement sweep points as a text table.
+func RenderPlacementSweep(title string, pts []PlacementPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%4s %3s  %9s %8s %8s %9s  %9s %8s %8s %9s  %7s\n",
+		"K", "r",
+		"clq.grps", "clq.file", "clq.GB", "clq.s",
+		"res.grps", "res.file", "res.GB", "res.s", "grp.gain")
+	fmt.Fprintf(&b, "%s\n", strings.Repeat("-", 104))
+	for _, p := range pts {
+		gain := float64(p.CliqueGroups) / float64(p.ResolvableGroups)
+		fmt.Fprintf(&b, "%4d %3d  %9d %8d %8.2f %9.2f  %9d %8d %8.2f %9.2f  %6.1fx\n",
+			p.K, p.R,
+			p.CliqueGroups, p.CliqueFiles, p.CliqueGB, p.CliqueTotalSec,
+			p.ResolvableGroups, p.ResolvableFiles, p.ResolvableGB, p.ResolvableTotalSec,
+			gain)
 	}
 	return b.String()
 }

@@ -45,6 +45,12 @@ const DefaultWindow = 4
 type Config struct {
 	// K is the number of worker nodes.
 	K int
+	// Placement names the placement/coding strategy. TeraSort's unicast
+	// shuffle only supports the default single-copy placement, so any
+	// value other than ""/clique is rejected at validation — the knob
+	// exists so cluster specs can fail fast instead of silently ignoring
+	// a -strategy flag on the uncoded algorithm.
+	Placement placement.Kind
 	// Rows is the total input size in records.
 	Rows int64
 	// Seed feeds the row-addressable input generator.
@@ -151,6 +157,11 @@ func (c Config) policies() engine.Policies {
 func (c Config) normalize() (Config, error) {
 	if c.K <= 0 {
 		return c, fmt.Errorf("terasort: K=%d", c.K)
+	}
+	if kind, err := placement.ParseKind(string(c.Placement)); err != nil {
+		return c, fmt.Errorf("terasort: %w", err)
+	} else if kind != placement.KindClique {
+		return c, fmt.Errorf("terasort: %s placement requires the coded algorithm", kind)
 	}
 	if c.Rows < 0 {
 		return c, fmt.Errorf("terasort: negative row count")
