@@ -70,6 +70,7 @@ fuzz:
 	$(GO) test -run=Fuzz -fuzz='FuzzRunReaderV2$$' -fuzztime=5s ./internal/extsort/
 	$(GO) test -run=Fuzz -fuzz=FuzzMapReduceKernels -fuzztime=5s ./internal/mapreduce/
 	$(GO) test -run=Fuzz -fuzz=FuzzDesign -fuzztime=5s ./internal/placement/resolvable/
+	$(GO) test -run=Fuzz -fuzz=FuzzSplitters -fuzztime=5s ./internal/partition/
 
 # Large-K smoke: the K=64 resolvable sort over multiplexed logical ranks,
 # checksum-tied to the uncoded oracle. Also runs (race-enabled) inside the
@@ -94,10 +95,10 @@ cover:
 	$(GO) tool cover -func=cover.out | tail -n 20
 
 # Coverage floor on the framework-critical packages: the stage-graph
-# runtime, the MapReduce layer riding it, and the multi-tenant serving
-# layer must keep >= 80% statement coverage — they are the surfaces every
-# kernel, both engines, and every service client depend on.
-COVER_GATE_PKGS = ./internal/engine ./internal/mapreduce ./internal/service
+# runtime, the MapReduce layer riding it, the multi-tenant serving layer,
+# and the partitioner (the one component every reducer's balance and every
+# splitter agreement depends on) must keep >= 80% statement coverage.
+COVER_GATE_PKGS = ./internal/engine ./internal/mapreduce ./internal/service ./internal/partition
 COVER_GATE_MIN  = 80
 cover-gate:
 	@fail=0; \

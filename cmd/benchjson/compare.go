@@ -74,6 +74,69 @@ func compareDocs(fresh, base benchFile, w io.Writer) []string {
 	}
 	regressions = append(regressions, compareExtsort(fresh, base, w)...)
 	regressions = append(regressions, comparePlacement(fresh, base, w)...)
+	regressions = append(regressions, comparePartition(fresh, base, w)...)
+	return regressions
+}
+
+// zipfUniformFloor and zipfSampledCeiling are the partition section's
+// self-gate on the zipf entry: the skew must really defeat uniform
+// partitioning (max reducer past twice the mean — otherwise the test input
+// stopped being skewed and the section proves nothing), and sampled
+// partitioning must hold the same input under the balance ceiling. Both
+// sides are deterministic functions of the spec, so they gate hard.
+const (
+	zipfUniformFloor   = 2.0
+	zipfSampledCeiling = 1.3
+)
+
+// comparePartition checks the partitioning-policy section. A fresh
+// document without the section hard-fails — the skew-balance numbers are
+// part of the tracked trajectory. The section self-gates on its zipf
+// entry (uniform imbalance above zipfUniformFloor, sampled at or below
+// zipfSampledCeiling, and sampled strictly better than uniform); against a
+// baseline with the section, a sampled imbalance that regressed above the
+// baseline's uniform imbalance on any matched distribution also fails —
+// sampling that partitions worse than the policy it replaces is a
+// regression whatever the absolute number.
+func comparePartition(fresh, base benchFile, w io.Writer) []string {
+	var regressions []string
+	if len(fresh.Partition) == 0 {
+		fmt.Fprintf(w, "%-28s PARTITION SECTION MISSING\n", "partition")
+		return append(regressions, "partition(section missing)")
+	}
+	baseline := make(map[string]partitionResult, len(base.Partition))
+	for _, p := range base.Partition {
+		baseline[p.Dist] = p
+	}
+	for _, p := range fresh.Partition {
+		verdict := "ok"
+		switch {
+		case p.Dist == "zipf" && p.UniformImbalance <= zipfUniformFloor:
+			verdict = fmt.Sprintf("PARTITION REGRESSION (zipf uniform imbalance %.2fx <= %.1fx: input not skewed enough to gate)",
+				p.UniformImbalance, zipfUniformFloor)
+		case p.Dist == "zipf" && p.SampledImbalance > zipfSampledCeiling:
+			verdict = fmt.Sprintf("PARTITION REGRESSION (zipf sampled imbalance %.2fx > %.1fx ceiling)",
+				p.SampledImbalance, zipfSampledCeiling)
+		case p.SampledImbalance >= p.UniformImbalance && p.UniformImbalance > 1:
+			verdict = fmt.Sprintf("PARTITION REGRESSION (sampled %.2fx >= uniform %.2fx)",
+				p.SampledImbalance, p.UniformImbalance)
+		}
+		b, matched := baseline[p.Dist]
+		if verdict == "ok" && matched && b.Rows == p.Rows &&
+			b.UniformImbalance > 0 && p.SampledImbalance > b.UniformImbalance {
+			verdict = fmt.Sprintf("PARTITION REGRESSION (sampled %.2fx above baseline uniform %.2fx)",
+				p.SampledImbalance, b.UniformImbalance)
+		}
+		if verdict != "ok" {
+			regressions = append(regressions, "partition/"+p.Dist)
+		}
+		note := ""
+		if matched && b.SampledImbalance > 0 {
+			note = fmt.Sprintf("  sampled vs baseline %.2fx (advisory)", p.SampledImbalance/b.SampledImbalance)
+		}
+		fmt.Fprintf(w, "partition/%-18s uniform %.2fx, sampled %.2fx, sample round %d B%s  %s\n",
+			p.Dist, p.UniformImbalance, p.SampledImbalance, p.SampleRoundBytes, note, verdict)
+	}
 	return regressions
 }
 

@@ -37,13 +37,23 @@ func placementSection() []placementResult {
 	}
 }
 
+// partitionSection is a minimal valid partition section: the zipf entry
+// clears the self-gate (uniform past the floor, sampled under the
+// ceiling), so every fresh document built from it passes.
+func partitionSection() []partitionResult {
+	return []partitionResult{
+		{Dist: "zipf", K: 8, Rows: 1000, UniformImbalance: 6.9, SampledImbalance: 1.1, SampleRoundBytes: 4096},
+		{Dist: "sorted", K: 8, Rows: 1000, UniformImbalance: 8.0, SampledImbalance: 1.0, SampleRoundBytes: 4096},
+	}
+}
+
 func TestCompareDocs(t *testing.T) {
 	base := benchFile{Results: []benchResult{
 		{Name: "terasort/serial", Rows: 1000, NsPerOp: 100, BytesShuffled: 10_000},
 		{Name: "coded/serial", Rows: 1000, NsPerOp: 200, BytesShuffled: 6_000},
 		{Name: "coded/chunked", Rows: 2000, NsPerOp: 300, BytesShuffled: 9_000},
 		{Name: "terasort/extsort", Rows: 1000, NsPerOp: 400, BytesShuffled: 10_000, SpilledDiskBytes: 5_000},
-	}, Extsort: extsortSection(), Placement: placementSection()}
+	}, Extsort: extsortSection(), Placement: placementSection(), Partition: partitionSection()}
 	fresh := benchFile{Results: []benchResult{
 		// Slower but same shuffle: advisory only, no regression.
 		{Name: "terasort/serial", Rows: 1000, NsPerOp: 300, BytesShuffled: 10_000},
@@ -55,7 +65,7 @@ func TestCompareDocs(t *testing.T) {
 		{Name: "coded/new", Rows: 1000, NsPerOp: 100, BytesShuffled: 1},
 		// Spilled disk bytes more than doubled: the other hard failure.
 		{Name: "terasort/extsort", Rows: 1000, NsPerOp: 400, BytesShuffled: 10_000, SpilledDiskBytes: 11_000},
-	}, Extsort: extsortSection(), Placement: placementSection()}
+	}, Extsort: extsortSection(), Placement: placementSection(), Partition: partitionSection()}
 
 	var out strings.Builder
 	regressions := compareDocs(fresh, base, &out)
@@ -86,7 +96,7 @@ func TestCompareExtsortGates(t *testing.T) {
 	base := benchFile{Extsort: extsortSection()}
 
 	var out strings.Builder
-	missing := compareDocs(benchFile{Placement: placementSection()}, base, &out)
+	missing := compareDocs(benchFile{Placement: placementSection(), Partition: partitionSection()}, base, &out)
 	if len(missing) != 1 || !strings.Contains(missing[0], "section missing") {
 		t.Fatalf("missing-section regressions %v", missing)
 	}
@@ -94,7 +104,7 @@ func TestCompareExtsortGates(t *testing.T) {
 		t.Fatalf("output:\n%s", out.String())
 	}
 
-	fresh := benchFile{Extsort: extsortSection(), Placement: placementSection()}
+	fresh := benchFile{Extsort: extsortSection(), Placement: placementSection(), Partition: partitionSection()}
 	fresh.Extsort[0].SpilledDiskBytes = 3 * base.Extsort[0].SpilledDiskBytes
 	out.Reset()
 	regressions := compareDocs(fresh, base, &out)
@@ -108,7 +118,7 @@ func TestCompareExtsortGates(t *testing.T) {
 	// A baseline predating the section compares nothing but still requires
 	// the fresh section to exist.
 	out.Reset()
-	if r := compareDocs(benchFile{Extsort: extsortSection(), Placement: placementSection()}, benchFile{}, &out); len(r) != 0 {
+	if r := compareDocs(benchFile{Extsort: extsortSection(), Placement: placementSection(), Partition: partitionSection()}, benchFile{}, &out); len(r) != 0 {
 		t.Fatalf("old baseline regressed: %v", r)
 	}
 	if !strings.Contains(out.String(), "new entry, no baseline") {
@@ -122,10 +132,10 @@ func TestCompareExtsortGates(t *testing.T) {
 // win at smaller Ks is not gated (at K=2r the two schemes are close), and
 // a baseline predating the section only costs the advisory gain line.
 func TestComparePlacementGates(t *testing.T) {
-	base := benchFile{Extsort: extsortSection(), Placement: placementSection()}
+	base := benchFile{Extsort: extsortSection(), Placement: placementSection(), Partition: partitionSection()}
 
 	var out strings.Builder
-	missing := compareDocs(benchFile{Extsort: extsortSection()}, base, &out)
+	missing := compareDocs(benchFile{Extsort: extsortSection(), Partition: partitionSection()}, base, &out)
 	if len(missing) != 1 || !strings.Contains(missing[0], "placement(section missing)") {
 		t.Fatalf("missing-section regressions %v", missing)
 	}
@@ -134,7 +144,7 @@ func TestComparePlacementGates(t *testing.T) {
 	}
 
 	// Resolvable no better than clique at the largest K: the hard gate.
-	fresh := benchFile{Extsort: extsortSection(), Placement: placementSection()}
+	fresh := benchFile{Extsort: extsortSection(), Placement: placementSection(), Partition: partitionSection()}
 	fresh.Placement[1].ResolvableGroups = fresh.Placement[1].CliqueGroups
 	out.Reset()
 	regressions := compareDocs(fresh, base, &out)
@@ -146,7 +156,7 @@ func TestComparePlacementGates(t *testing.T) {
 	}
 
 	// A smaller-K entry losing the win is not gated; only the largest K is.
-	fresh = benchFile{Extsort: extsortSection(), Placement: placementSection()}
+	fresh = benchFile{Extsort: extsortSection(), Placement: placementSection(), Partition: partitionSection()}
 	fresh.Placement[0].ResolvableGroups = fresh.Placement[0].CliqueGroups + 1
 	out.Reset()
 	if r := compareDocs(fresh, base, &out); len(r) != 0 {
@@ -164,11 +174,81 @@ func TestComparePlacementGates(t *testing.T) {
 	}
 }
 
+// TestComparePartitionGates: a fresh document without the partition
+// section hard-fails, and so does a zipf entry whose sampled imbalance
+// breaches the ceiling, whose uniform imbalance is too tame to gate, or
+// any distribution where sampled partitions worse than uniform (fresh or
+// baseline).
+func TestComparePartitionGates(t *testing.T) {
+	base := benchFile{Extsort: extsortSection(), Placement: placementSection(), Partition: partitionSection()}
+
+	var out strings.Builder
+	missing := compareDocs(benchFile{Extsort: extsortSection(), Placement: placementSection()}, base, &out)
+	if len(missing) != 1 || !strings.Contains(missing[0], "partition(section missing)") {
+		t.Fatalf("missing-section regressions %v", missing)
+	}
+	if !strings.Contains(out.String(), "PARTITION SECTION MISSING") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+
+	// Sampled imbalance above the zipf ceiling: the hard gate.
+	fresh := benchFile{Extsort: extsortSection(), Placement: placementSection(), Partition: partitionSection()}
+	fresh.Partition[0].SampledImbalance = zipfSampledCeiling + 0.1
+	out.Reset()
+	regressions := compareDocs(fresh, base, &out)
+	if len(regressions) != 1 || regressions[0] != "partition/zipf" {
+		t.Fatalf("ceiling regressions %v, want [partition/zipf]", regressions)
+	}
+	if !strings.Contains(out.String(), "PARTITION REGRESSION") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+
+	// Uniform imbalance at or under the floor: the input stopped being
+	// skewed enough to prove anything, also gated.
+	fresh = benchFile{Extsort: extsortSection(), Placement: placementSection(), Partition: partitionSection()}
+	fresh.Partition[0].UniformImbalance = zipfUniformFloor - 0.5
+	out.Reset()
+	if r := compareDocs(fresh, base, &out); len(r) != 1 || r[0] != "partition/zipf" {
+		t.Fatalf("floor regressions %v, want [partition/zipf]", r)
+	}
+
+	// Sampled no better than uniform on a non-zipf entry: gated too.
+	fresh = benchFile{Extsort: extsortSection(), Placement: placementSection(), Partition: partitionSection()}
+	fresh.Partition[1].SampledImbalance = fresh.Partition[1].UniformImbalance
+	out.Reset()
+	if r := compareDocs(fresh, base, &out); len(r) != 1 || r[0] != "partition/sorted" {
+		t.Fatalf("worse-than-uniform regressions %v, want [partition/sorted]", r)
+	}
+
+	// Sampled regressing above the baseline's uniform: the -compare gate
+	// ISSUE asks for (sampled imbalance on zipf above uniform's).
+	fresh = benchFile{Extsort: extsortSection(), Placement: placementSection(), Partition: partitionSection()}
+	fresh.Partition[0].UniformImbalance = 8.0
+	fresh.Partition[0].SampledImbalance = 1.2 // legal in isolation
+	weak := benchFile{Partition: []partitionResult{
+		{Dist: "zipf", K: 8, Rows: 1000, UniformImbalance: 1.1, SampledImbalance: 1.05},
+	}}
+	out.Reset()
+	if r := compareDocs(fresh, weak, &out); len(r) != 1 || r[0] != "partition/zipf" {
+		t.Fatalf("baseline-uniform regressions %v, want [partition/zipf]", r)
+	}
+
+	// A healthy doc against a baseline predating the section passes, with
+	// the advisory line suppressed.
+	out.Reset()
+	if r := compareDocs(base, benchFile{Extsort: extsortSection(), Placement: placementSection()}, &out); len(r) != 0 {
+		t.Fatalf("old baseline regressed: %v", r)
+	}
+	if strings.Contains(out.String(), "sampled vs baseline") {
+		t.Fatalf("advisory line printed without a baseline:\n%s", out.String())
+	}
+}
+
 func TestCompareFiles(t *testing.T) {
 	dir := t.TempDir()
 	doc := benchFile{Results: []benchResult{
 		{Name: "terasort/serial", Rows: 500, NsPerOp: 100, BytesShuffled: 4_000},
-	}, Extsort: extsortSection(), Placement: placementSection()}
+	}, Extsort: extsortSection(), Placement: placementSection(), Partition: partitionSection()}
 	freshPath := writeDoc(t, dir, "fresh.json", doc)
 	basePath := writeDoc(t, dir, "base.json", doc)
 	var out strings.Builder

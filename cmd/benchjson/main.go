@@ -172,6 +172,23 @@ type placementResult struct {
 	GroupGain float64 `json:"group_gain"`
 }
 
+// partitionResult is one input distribution of the partitioning-policy
+// comparison: a real K=8 TeraSort run per policy, with reducer load
+// imbalance (max worker output rows over mean) under the uniform
+// key-range partitioner vs splitters from the deterministic sampling
+// round, plus what the round cost on the wire. Loads are deterministic
+// functions of the spec, so one run per policy suffices; the compare gate
+// requires sampled partitioning to keep the zipf input balanced where
+// uniform cannot.
+type partitionResult struct {
+	Dist             string  `json:"dist"`
+	K                int     `json:"k"`
+	Rows             int64   `json:"rows"`
+	UniformImbalance float64 `json:"uniform_imbalance"`
+	SampledImbalance float64 `json:"sampled_imbalance"`
+	SampleRoundBytes int64   `json:"sample_round_bytes"`
+}
+
 // benchFile is the BENCH_pipeline.json document.
 type benchFile struct {
 	Host    hostInfo      `json:"host"`
@@ -196,6 +213,11 @@ type benchFile struct {
 	// growing K; the compare gate requires resolvable to beat clique's
 	// group count at the sweep's largest K.
 	Placement []placementResult `json:"placement"`
+	// Partition tracks reducer imbalance under uniform vs sampled
+	// partitioning per skewed input distribution; the compare gate
+	// requires sampled partitioning to hold the zipf input's imbalance
+	// under the balance ceiling uniform partitioning blows through.
+	Partition []partitionResult `json:"partition"`
 }
 
 func main() {
@@ -641,6 +663,51 @@ func runPlacement() ([]placementResult, error) {
 	return out, nil
 }
 
+// runPartition measures the partitioning-policy comparison: for each
+// skewed distribution, one real K=8 TeraSort job per policy, imbalance
+// computed from the workers' reported output rows. The sampled runs
+// exercise the engines' full sampling round (gather, splitter selection,
+// broadcast), so SampleRoundBytes is the measured wire cost, not a model.
+func runPartition(rows int64) ([]partitionResult, error) {
+	const k = 8
+	pRows := rows / 4
+	if pRows < 1<<14 {
+		pRows = 1 << 14
+	}
+	var out []partitionResult
+	for _, d := range kv.SkewedDistributions {
+		spec := cluster.Spec{
+			Algorithm: cluster.AlgTeraSort, K: k, Rows: pRows, Seed: 11,
+			DistName: d.String(),
+		}
+		uni, err := cluster.RunLocal(spec)
+		if err != nil {
+			return nil, fmt.Errorf("partition %v uniform: %w", d, err)
+		}
+		spec.Partitioning = "sample"
+		smp, err := cluster.RunLocal(spec)
+		if err != nil {
+			return nil, fmt.Errorf("partition %v sampled: %w", d, err)
+		}
+		out = append(out, partitionResult{
+			Dist: d.String(), K: k, Rows: pRows,
+			UniformImbalance: loadImbalance(uni),
+			SampledImbalance: loadImbalance(smp),
+			SampleRoundBytes: smp.SampleRoundBytes,
+		})
+	}
+	return out, nil
+}
+
+// loadImbalance is max worker output rows over the mean.
+func loadImbalance(job *cluster.JobReport) float64 {
+	counts := make([]int, len(job.Workers))
+	for i, w := range job.Workers {
+		counts[i] = int(w.OutputRows)
+	}
+	return partition.Imbalance(counts)
+}
+
 func run(out string, rows int64, benchtime time.Duration) error {
 	spillDir, err := os.MkdirTemp("", "benchjson-*")
 	if err != nil {
@@ -716,6 +783,15 @@ func run(out string, rows int64, benchtime time.Duration) error {
 	for _, p := range pl {
 		fmt.Printf("placement/K=%-14d %8d clique groups -> %8d resolvable (gain %.1fx)\n",
 			p.K, p.CliqueGroups, p.ResolvableGroups, p.GroupGain)
+	}
+	pt, err := runPartition(rows)
+	if err != nil {
+		return err
+	}
+	doc.Partition = pt
+	for _, p := range pt {
+		fmt.Printf("partition/%-16s uniform %.2fx -> sampled %.2fx imbalance  sample round %6.1f KB\n",
+			p.Dist, p.UniformImbalance, p.SampledImbalance, float64(p.SampleRoundBytes)/1e3)
 	}
 	p, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {

@@ -25,6 +25,9 @@ type Job struct {
 	Rows          int64
 	Seed          uint64
 	Skewed        bool
+	Dist          string
+	Partition     string
+	Samples       int
 	Tree          bool
 	Rate          float64
 	PerMsg        time.Duration
@@ -48,7 +51,13 @@ func (j *Job) RegisterCommon(fs *flag.FlagSet, defaultK int) {
 	fs.IntVar(&j.K, "k", defaultK, "number of worker nodes")
 	fs.Int64Var(&j.Rows, "rows", 100000, "input size in 100-byte records")
 	fs.Uint64Var(&j.Seed, "seed", 2017, "input generator seed")
-	fs.BoolVar(&j.Skewed, "skewed", false, "skewed input keys")
+	fs.BoolVar(&j.Skewed, "skewed", false, "skewed input keys (legacy; -dist skewed)")
+	fs.StringVar(&j.Dist, "dist", "",
+		"input key distribution: uniform (default), skewed, zipf, sorted, nearsorted, dupheavy, varprefix")
+	fs.StringVar(&j.Partition, "partition", "",
+		"partitioning policy: uniform (default: equal key-range splits) or sample (splitters from a deterministic input sample — balanced reducers on skewed keys)")
+	fs.IntVar(&j.Samples, "samples", 0,
+		"global sample size for -partition=sample (0 = default)")
 	fs.Float64Var(&j.Rate, "rate", 0, "per-node egress cap in Mbps (0 = unlimited)")
 	fs.DurationVar(&j.PerMsg, "permsg", 0, "fixed per-message overhead")
 	fs.IntVar(&j.Chunk, "chunk", 0, "streaming pipelined shuffle chunk size in records (0 = monolithic stages)")
@@ -99,6 +108,7 @@ func (j *Job) Spec(alg cluster.Algorithm) cluster.Spec {
 		Algorithm: alg,
 		K:         j.K, R: j.R, Placement: j.Strategy,
 		Rows: j.Rows, Seed: j.Seed, Skewed: j.Skewed,
+		DistName: j.Dist, Partitioning: j.Partition, SampleSize: j.Samples,
 		TreeMulticast: j.Tree, RateMbps: j.Rate, PerMessage: j.PerMsg,
 		ChunkRows: j.Chunk, Window: j.Window,
 		MemBudget: j.MemBudget, SpillDir: j.SpillDir, InputDir: j.InDir,

@@ -3,7 +3,9 @@
 // of the worker count K at fixed r (including the optimal-r search where
 // speedup peaks before CodeGen dominates), and the clique-vs-resolvable
 // placement comparison showing the resolvable design's group-count win at
-// large K.
+// large K. A final empirical table measures reducer load imbalance under
+// uniform vs sample-based partitioning across the skewed key
+// distributions — generated keys really partitioned, not a cost model.
 //
 // Usage:
 //
@@ -18,6 +20,7 @@ import (
 	"os"
 	"time"
 
+	"codedterasort/internal/kv"
 	"codedterasort/internal/simnet"
 )
 
@@ -73,6 +76,16 @@ func main() {
 	}
 	fmt.Print(simnet.RenderPlacementSweep(
 		fmt.Sprintf("Clique vs resolvable placement (r=%d, 12 GB, 100 Mbps)", *r), ptsP))
+	fmt.Println()
+
+	const skewRows = 1 << 16
+	ptsS, err := simnet.SweepSkew(8, skewRows, 2017, 0, kv.SkewedDistributions)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+	fmt.Print(simnet.RenderSkew(
+		fmt.Sprintf("Reducer imbalance: uniform vs sampled partitioning (K=8, %d rows)", int64(skewRows)), ptsS))
 
 	if *stragglers > 1 {
 		fmt.Println()

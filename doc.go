@@ -58,6 +58,13 @@
 // run as the long-lived cmd/sortd daemon over a shared executor Pool of
 // reusable rank lifecycles and driven by cmd/sortctl (DESIGN.md
 // section 13).
+// Partitioning is skew-robust: beyond the paper's uniform key-domain
+// split, -partition sample runs a pre-Map sampling round — a
+// deterministic stride sample of input keys, pooled at rank 0, K-1
+// quantile splitters broadcast so every rank, engine, mode and recovery
+// attempt partitions identically (internal/partition; -dist selects the
+// skewed-workload generators zipf/sorted/nearsorted/dupheavy/varprefix
+// that defeat the uniform split; DESIGN.md section 16).
 // The benchmarks in bench_test.go regenerate every table and figure of
 // the paper's evaluation; the tests in internal/simnet pin the reproduced
 // values against the paper's tables; cmd/benchjson tracks the pipeline

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"codedterasort/internal/partition"
 	"codedterasort/internal/stats"
 )
 
@@ -103,6 +104,13 @@ func TestSpecValidation(t *testing.T) {
 		{Algorithm: AlgTeraSort, K: 2, Faults: []FaultSpec{{Rank: 5, Stage: "Map", Kind: "kill"}}},
 		{Algorithm: AlgTeraSort, K: 2, Faults: []FaultSpec{{Rank: 0, Stage: "Nope", Kind: "kill"}}},
 		{Algorithm: AlgTeraSort, K: 2, Faults: []FaultSpec{{Rank: 0, Stage: "Map", Kind: "maim"}}},
+		{Algorithm: AlgTeraSort, K: 2, DistName: "pareto"},
+		{Algorithm: AlgTeraSort, K: 2, Partitioning: "quantile"},
+		{Algorithm: AlgTeraSort, K: 2, Partitioning: "sample", SampleSize: -1},
+		{Algorithm: AlgTeraSort, K: 2, SampleSize: 100},
+		{Algorithm: AlgTeraSort, K: 2, Splitters: partition.UniformBounds(2)},
+		{Algorithm: AlgTeraSort, K: 2, Partitioning: "sample", Splitters: partition.UniformBounds(4)},
+		{Algorithm: AlgTeraSort, K: 2, Partitioning: "sample", Splitters: [][]byte{{0x01}}},
 	}
 	for i, s := range bad {
 		if err := s.Validate(); err == nil {
@@ -115,7 +123,9 @@ func TestSpecWireRoundTrip(t *testing.T) {
 	s := Spec{Algorithm: AlgCoded, K: 16, R: 5, Rows: 1 << 20, Seed: 9,
 		Skewed: true, TreeMulticast: true, RateMbps: 100, PerMessage: 50 * time.Millisecond,
 		StageDeadline: time.Second, Heartbeat: 100 * time.Millisecond, MaxAttempts: 2,
-		Faults: []FaultSpec{{Rank: 3, Stage: "Shuffle", Kind: "slow", Factor: 4, Delay: time.Second}}}
+		DistName: "zipf", Partitioning: "sample", SampleSize: 2048,
+		Splitters: partition.UniformBounds(16),
+		Faults:    []FaultSpec{{Rank: 3, Stage: "Shuffle", Kind: "slow", Factor: 4, Delay: time.Second}}}
 	p, err := s.Marshal()
 	if err != nil {
 		t.Fatal(err)

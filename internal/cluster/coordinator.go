@@ -50,6 +50,20 @@ func (c *Coordinator) RunJob(spec Spec) (*JobReport, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
+	// Resolve sampled partitioning coordinator-side: the splitters are a
+	// pure function of the input (the deterministic stride sample), so the
+	// coordinator computes them once and serializes them into the spec it
+	// distributes. Workers then partition by the preset bounds without
+	// running the agreement round — one fewer collective on the hot path,
+	// and the spec on the wire names the exact key-domain split the job ran
+	// with.
+	if spec.sampled() && spec.Splitters == nil {
+		bounds, err := spec.ExpectedSplitters()
+		if err != nil {
+			return nil, fmt.Errorf("cluster: computing splitters: %w", err)
+		}
+		spec.Splitters = bounds
+	}
 	conns := make([]net.Conn, 0, spec.K)
 	defer func() {
 		for _, conn := range conns {
@@ -228,5 +242,7 @@ func collectWorker(rank int, conn net.Conn, spec Spec, mon *monitor) (rep Worker
 		Spill:             msg.Spill,
 		MergeOVCDecided:   msg.MergeOVCDecided,
 		MergeFullCompares: msg.MergeFullCmps,
+		SplitterBounds:    msg.SplitterBounds,
+		SampleRoundBytes:  msg.SampleRoundBytes,
 	}, true, nil
 }

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -10,7 +11,6 @@ import (
 	"codedterasort/internal/engine"
 	"codedterasort/internal/extsort"
 	"codedterasort/internal/kv"
-	"codedterasort/internal/partition"
 	"codedterasort/internal/stats"
 	"codedterasort/internal/terasort"
 	"codedterasort/internal/trace"
@@ -55,6 +55,14 @@ type WorkerReport struct {
 	// including the per-receiver copies of application-layer multicast
 	// and control traffic (tokens, barriers, handshakes).
 	WireBytes int64
+	// SplitterBounds is the splitter set this worker partitioned by when
+	// the job ran under sampled partitioning (nil under uniform). Every
+	// worker must report the same bounds — the coordinator cross-checks.
+	SplitterBounds [][]byte
+	// SampleRoundBytes counts this worker's share of the sampling round's
+	// wire traffic (gathered sample keys, or the broadcast bounds at the
+	// root). 0 under uniform partitioning or preset splitters.
+	SampleRoundBytes int64
 	// Output is the sorted partition itself when Spec.KeepOutput is set.
 	Output kv.Records
 }
@@ -83,6 +91,9 @@ type JobReport struct {
 	MergeFullCompares int64
 	// WireBytes is the total transport-level traffic.
 	WireBytes int64
+	// SampleRoundBytes totals the sampling round's wire traffic across
+	// workers (0 under uniform partitioning or preset splitters).
+	SampleRoundBytes int64
 	// Validated is set when the job's output passed verification against
 	// the input multiset and ordering invariants.
 	Validated bool
@@ -271,8 +282,15 @@ func runAttempt(ctx context.Context, spec Spec, opts Options, consumed map[int]b
 	streaming := spec.MemBudget > 0 && !spec.KeepOutput
 	var checkers []*verify.PartitionChecker
 	if streaming {
+		// Under sampled partitioning the checkers verify against the
+		// splitters the round is expected to agree on — recomputed here
+		// from the input alone, so a run that drifts from the
+		// deterministic sample fails verification.
+		p, err := spec.verifyPartitioner()
+		if err != nil {
+			return nil, nil, err
+		}
 		checkers = make([]*verify.PartitionChecker, spec.K)
-		p := partition.NewUniform(spec.K)
 		for r := 0; r < spec.K; r++ {
 			checkers[r] = verify.NewPartitionChecker(p, r)
 		}
@@ -377,6 +395,32 @@ func runAttempt(ctx context.Context, spec Spec, opts Options, consumed map[int]b
 	return job, nil, nil
 }
 
+// checkSplitterAgreement verifies every worker of a sampled job reported
+// the same splitter bounds, and that they match the coordinator's own
+// replay of the deterministic sampling round. A mismatch means the round's
+// determinism argument was violated (non-deterministic input read, a
+// worker partitioned by stale bounds after recovery) and the job's output,
+// though locally sorted, would not be globally partitioned as verified.
+func checkSplitterAgreement(spec Spec, reports []WorkerReport) error {
+	want, err := spec.ExpectedSplitters()
+	if err != nil {
+		return fmt.Errorf("cluster: replaying sample round: %w", err)
+	}
+	for _, w := range reports {
+		if len(w.SplitterBounds) != len(want) {
+			return fmt.Errorf("cluster: worker %d reported %d splitters, expected %d",
+				w.Rank, len(w.SplitterBounds), len(want))
+		}
+		for i, b := range w.SplitterBounds {
+			if !bytes.Equal(b, want[i]) {
+				return fmt.Errorf("cluster: worker %d splitter %d diverged from the deterministic sample",
+					w.Rank, i)
+			}
+		}
+	}
+	return nil
+}
+
 // inputFiles lists the K part files of a teragen -disk directory.
 func inputFiles(dir string, k int) []string {
 	files := make([]string, k)
@@ -422,10 +466,12 @@ func runWorker(ep transport.Endpoint, spec Spec, faults engine.Faults, sink func
 			Parallel:  spec.ParallelShuffle,
 			ChunkRows: spec.ChunkRows, Window: spec.Window,
 			MemBudget: spec.MemBudget, SpillDir: spec.SpillDir,
-			OutputSink:  sink,
-			Parallelism: spec.Parallelism,
-			Hooks:       hooks,
-			Faults:      faults,
+			OutputSink:   sink,
+			Parallelism:  spec.Parallelism,
+			Hooks:        hooks,
+			Faults:       faults,
+			Partitioning: spec.Partitioning, SampleSize: spec.SampleSize,
+			Splitters: spec.Splitters,
 		}
 		if spec.InputDir != "" {
 			cfg.InputFiles = inputFiles(spec.InputDir, spec.K)
@@ -434,6 +480,8 @@ func runWorker(ep transport.Endpoint, spec Spec, faults engine.Faults, sink func
 		if err != nil {
 			return rep, out, err
 		}
+		rep.SplitterBounds = res.SplitterBounds
+		rep.SampleRoundBytes = res.SampleRoundBytes
 		rep.Times = res.Times
 		rep.SentPayloadBytes = res.ShuffleBytes
 		rep.ChunksSent = res.ChunksSent
@@ -453,14 +501,18 @@ func runWorker(ep transport.Endpoint, spec Spec, faults engine.Faults, sink func
 			Parallel:  spec.ParallelShuffle,
 			ChunkRows: spec.ChunkRows, Window: spec.Window,
 			MemBudget: spec.MemBudget, SpillDir: spec.SpillDir,
-			OutputSink:  sink,
-			Parallelism: spec.Parallelism,
-			Hooks:       hooks,
-			Faults:      faults,
+			OutputSink:   sink,
+			Parallelism:  spec.Parallelism,
+			Hooks:        hooks,
+			Faults:       faults,
+			Partitioning: spec.Partitioning, SampleSize: spec.SampleSize,
+			Splitters: spec.Splitters,
 		}, nil)
 		if err != nil {
 			return rep, out, err
 		}
+		rep.SplitterBounds = res.SplitterBounds
+		rep.SampleRoundBytes = res.SampleRoundBytes
 		rep.Times = res.Times
 		rep.SentPayloadBytes = res.MulticastBytes
 		rep.MulticastOps = res.MulticastOps
@@ -497,6 +549,12 @@ func assemble(spec Spec, reports []WorkerReport, outputs []kv.Records, sums []ve
 		job.Spill.Add(w.Spill)
 		job.MergeOVCDecided += w.MergeOVCDecided
 		job.MergeFullCompares += w.MergeFullCompares
+		job.SampleRoundBytes += w.SampleRoundBytes
+	}
+	if spec.sampled() {
+		if err := checkSplitterAgreement(spec, reports); err != nil {
+			return nil, err
+		}
 	}
 	if outputs == nil && sums == nil {
 		return job, nil
@@ -507,7 +565,10 @@ func assemble(spec Spec, reports []WorkerReport, outputs []kv.Records, sums []ve
 	}
 	if sums == nil {
 		sums = make([]verify.Summary, len(outputs))
-		p := partition.NewUniform(spec.K)
+		p, err := spec.verifyPartitioner()
+		if err != nil {
+			return nil, err
+		}
 		for k, out := range outputs {
 			c := verify.NewPartitionChecker(p, k)
 			if err := c.Feed(out); err != nil {

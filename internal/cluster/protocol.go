@@ -53,6 +53,11 @@ type reportMsg struct {
 	Spill            stats.SpillStats `json:"spill,omitzero"`
 	MergeOVCDecided  int64            `json:"merge_ovc_decided,omitempty"`
 	MergeFullCmps    int64            `json:"merge_full_compares,omitempty"`
+	// SplitterBounds reports the splitters the worker partitioned by under
+	// sampled partitioning (the coordinator cross-checks agreement);
+	// SampleRoundBytes is its share of the sampling round's wire traffic.
+	SplitterBounds   [][]byte `json:"splitter_bounds,omitempty"`
+	SampleRoundBytes int64    `json:"sample_round_bytes,omitempty"`
 }
 
 // progressMsg is one liveness/progress event of the monitored protocol:

@@ -13,10 +13,13 @@ package cluster
 import (
 	"encoding/json"
 	"fmt"
+	"os"
 	"time"
 
 	"codedterasort/internal/engine"
+	"codedterasort/internal/extsort"
 	"codedterasort/internal/kv"
+	"codedterasort/internal/partition"
 	"codedterasort/internal/placement"
 	"codedterasort/internal/stats"
 	"codedterasort/internal/transport"
@@ -50,8 +53,27 @@ type Spec struct {
 	// Seed feeds the row-addressable generator — the stand-in for the
 	// coordinator physically copying input files to worker disks.
 	Seed uint64 `json:"seed"`
-	// Skewed selects the skewed input distribution.
+	// Skewed selects the skewed input distribution. Superseded by
+	// DistName when that is set; kept for wire compatibility.
 	Skewed bool `json:"skewed,omitempty"`
+	// DistName names the input key distribution ("uniform", "skewed",
+	// "zipf", "sorted", "nearsorted", "dupheavy", "varprefix"); "" falls
+	// back to the legacy Skewed flag.
+	DistName string `json:"dist,omitempty"`
+	// Partitioning selects the reducer-partitioning policy: "" or
+	// "uniform" for the paper's uniform key-domain split, "sample" for the
+	// pre-Map sampling round whose pooled splitters balance skewed keys.
+	Partitioning string `json:"partitioning,omitempty"`
+	// SampleSize is the pooled sample-size target of sampled partitioning
+	// (0 = partition.DefaultSampleSize). Requires Partitioning "sample".
+	SampleSize int `json:"sample_size,omitempty"`
+	// Splitters carries the K-1 agreed splitter boundaries of sampled
+	// partitioning, serialized with the spec (JSON base64 per boundary):
+	// when the coordinator can compute them up front — any
+	// generator-backed input — it distributes them here and workers skip
+	// the in-graph sampling round; empty leaves the round to the engines.
+	// Requires Partitioning "sample".
+	Splitters [][]byte `json:"splitters,omitempty"`
 	// TreeMulticast selects binomial-tree multicast instead of the
 	// paper's serial per-receiver multicast.
 	TreeMulticast bool `json:"tree_multicast,omitempty"`
@@ -258,6 +280,31 @@ func (s Spec) Validate() error {
 	if s.MaxAttempts < 0 {
 		return fmt.Errorf("cluster: negative max attempts")
 	}
+	if _, err := kv.ParseDistribution(s.DistName); err != nil {
+		return fmt.Errorf("cluster: %w", err)
+	}
+	pol, err := partition.ParsePolicy(s.Partitioning)
+	if err != nil {
+		return fmt.Errorf("cluster: %w", err)
+	}
+	if s.SampleSize < 0 {
+		return fmt.Errorf("cluster: negative sample size")
+	}
+	if s.SampleSize > 0 && pol != partition.PolicySample {
+		return fmt.Errorf("cluster: sample size set without sample partitioning")
+	}
+	if len(s.Splitters) > 0 {
+		if pol != partition.PolicySample {
+			return fmt.Errorf("cluster: splitters set without sample partitioning")
+		}
+		sp, err := partition.NewSplitters(s.Splitters)
+		if err != nil {
+			return fmt.Errorf("cluster: %w", err)
+		}
+		if sp.NumPartitions() != s.K {
+			return fmt.Errorf("cluster: %d splitters for K=%d", len(s.Splitters), s.K)
+		}
+	}
 	faults, err := s.engineFaults(nil)
 	if err != nil {
 		return err
@@ -270,10 +317,86 @@ func (s Spec) Validate() error {
 
 // Dist returns the input key distribution of the spec.
 func (s Spec) Dist() kv.Distribution {
+	if s.DistName != "" {
+		d, err := kv.ParseDistribution(s.DistName)
+		if err == nil {
+			return d
+		}
+	}
 	if s.Skewed {
 		return kv.DistSkewed
 	}
 	return kv.DistUniform
+}
+
+// sampled reports whether the spec uses sampled partitioning. Unknown
+// policy names were rejected by Validate.
+func (s Spec) sampled() bool {
+	return partition.Policy(s.Partitioning) == partition.PolicySample
+}
+
+// ExpectedSplitters reproduces the splitter boundaries the engines'
+// sampling round will agree on, computed coordinator-side without running
+// the job. The round pools the deterministic global stride sample of the
+// input — the per-holder shares tile the row space, so the pooled multiset
+// is a pure function of (input, sample size) alone — and selection sorts
+// the pool, so replaying the same stride walk here yields byte-identical
+// bounds. For InputDir jobs the part files are sampled positionally, the
+// same way the workers do. Returns nil with no error when the spec does
+// not use sampled partitioning.
+func (s Spec) ExpectedSplitters() ([][]byte, error) {
+	if !s.sampled() {
+		return nil, nil
+	}
+	if len(s.Splitters) > 0 {
+		return s.Splitters, nil
+	}
+	var keys []byte
+	if s.InputDir != "" {
+		for rank := 0; rank < s.K; rank++ {
+			path := extsort.PartFile(s.InputDir, rank)
+			st, err := os.Stat(path)
+			if err != nil {
+				return nil, fmt.Errorf("cluster: sample input: %w", err)
+			}
+			rows := st.Size() / int64(kv.RecordSize)
+			sampled, err := extsort.SampleFile(path, partition.SampleStride(rows*int64(s.K), s.SampleSize))
+			if err != nil {
+				return nil, fmt.Errorf("cluster: sample input: %w", err)
+			}
+			keys = append(keys, sampled.Keys()...)
+		}
+	} else {
+		gen := kv.NewGenerator(s.Seed, s.Dist())
+		stride := partition.SampleStride(s.Rows, s.SampleSize)
+		rec := make([]byte, kv.RecordSize)
+		for g := int64(0); g < s.Rows; g += stride {
+			gen.Record(rec, g)
+			keys = append(keys, rec[:kv.KeySize]...)
+		}
+	}
+	return partition.SelectSplitters(keys, s.K)
+}
+
+// verifyPartitioner returns the partitioner output verification checks
+// worker partitions against: uniform by default, the expected sampled
+// splitters under the sample policy.
+func (s Spec) verifyPartitioner() (partition.Partitioner, error) {
+	if !s.sampled() {
+		return partition.NewUniform(s.K), nil
+	}
+	bounds, err := s.ExpectedSplitters()
+	if err != nil {
+		return nil, err
+	}
+	sp, err := partition.NewSplitters(bounds)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: expected splitters: %w", err)
+	}
+	if sp.NumPartitions() != s.K {
+		return nil, fmt.Errorf("cluster: expected %d splitter partitions for K=%d", sp.NumPartitions(), s.K)
+	}
+	return sp, nil
 }
 
 // PlacementKind returns the parsed placement strategy of the spec; unknown

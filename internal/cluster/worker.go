@@ -9,7 +9,6 @@ import (
 
 	"codedterasort/internal/engine"
 	"codedterasort/internal/kv"
-	"codedterasort/internal/partition"
 	"codedterasort/internal/stats"
 	"codedterasort/internal/transport"
 	"codedterasort/internal/transport/netem"
@@ -110,7 +109,14 @@ func RunWorker(coordAddr string, opts WorkerOptions) error {
 	// membership, and the coordinator cross-checks the reported totals.
 	var sink func(kv.Records) error
 	if spec.MemBudget > 0 {
-		sink = verify.NewPartitionChecker(partition.NewUniform(spec.K), assign.Rank).Feed
+		// Under sampled partitioning the coordinator distributes the spec
+		// with the splitters preset, so the checker's partitioner comes
+		// straight off the wire — no local replay of the sampling round.
+		p, err := spec.verifyPartitioner()
+		if err != nil {
+			return reportFailure(conn, tx, assign.Rank, err)
+		}
+		sink = verify.NewPartitionChecker(p, assign.Rank).Feed
 	}
 	var hooks engine.Hooks
 	if opts.OnStage != nil {
@@ -182,6 +188,8 @@ func RunWorker(coordAddr string, opts WorkerOptions) error {
 		Spill:            rep.Spill,
 		MergeOVCDecided:  rep.MergeOVCDecided,
 		MergeFullCmps:    rep.MergeFullCompares,
+		SplitterBounds:   rep.SplitterBounds,
+		SampleRoundBytes: rep.SampleRoundBytes,
 	}
 	if monitored {
 		return tx.send(workerMsg{Report: &msg})

@@ -49,6 +49,10 @@ const (
 	tagToken     uint8 = 0x22
 	tagBarrier   uint8 = 0x23
 	tagChunkAck  uint8 = 0x24
+	// Sampling-round tags: key samples gathered to rank 0, agreed splitter
+	// bounds broadcast back.
+	tagSample       uint8 = 0x25
+	tagSampleBounds uint8 = 0x26
 )
 
 // DefaultWindow is the in-flight chunk window used when pipelining is
@@ -77,8 +81,27 @@ type Config struct {
 	Seed uint64
 	// Dist selects the input key distribution.
 	Dist kv.Distribution
-	// Part maps keys to the K reducers. Nil selects uniform partitioning.
+	// Part maps keys to the K reducers. Nil selects the Partitioning
+	// policy's partitioner (uniform by default). Mutually exclusive with
+	// Partitioning "sample".
 	Part partition.Partitioner
+	// Partitioning selects the reducer-partitioning policy: "" or
+	// "uniform" keeps the paper's uniform key-domain split; "sample" runs
+	// the pre-Map sampling round — one replica of every input file
+	// contributes a deterministic stride sample of its keys, rank 0
+	// selects K-1 splitters from the pooled sample, and the bounds are
+	// broadcast so all ranks partition identically. The pooled sample is a
+	// pure function of the input, so coded and uncoded runs of the same
+	// input agree on the splitters byte for byte.
+	Partitioning string
+	// SampleSize is the pooled sample-size target of the sampling round;
+	// 0 selects partition.DefaultSampleSize.
+	SampleSize int
+	// Splitters, with Partitioning "sample", installs these K-1 agreed
+	// boundary keys directly and skips the sampling round — the path the
+	// TCP coordinator uses after serializing precomputed splitters into
+	// the job spec. Nil runs the round in the stage graph.
+	Splitters [][]byte
 	// Strategy selects the application-layer multicast algorithm
 	// (sequential per Fig 9b, or the binomial tree MPI_Bcast uses).
 	Strategy transport.BcastStrategy
@@ -178,7 +201,8 @@ func (c Config) policies() engine.Policies {
 		ChunkRows: c.ChunkRows, Window: c.Window, DefaultWindow: DefaultWindow,
 		MemBudget: c.MemBudget, SpillDir: c.SpillDir,
 		Parallelism: c.Parallelism, Parallel: c.Parallel,
-		Faults: c.Faults,
+		Faults:       c.Faults,
+		Partitioning: c.Partitioning, SampleSize: c.SampleSize,
 	}
 }
 
@@ -199,10 +223,32 @@ func (c Config) normalize() (Config, error) {
 		return c, fmt.Errorf("coded: %w", err)
 	}
 	c.strat = strat
-	if c.Part == nil {
-		c.Part = partition.NewUniform(c.K)
+	ppol, err := partition.ParsePolicy(c.Partitioning)
+	if err != nil {
+		return c, fmt.Errorf("coded: %w", err)
 	}
-	if c.Part.NumPartitions() != c.K {
+	if ppol == partition.PolicySample {
+		if c.Part != nil {
+			return c, fmt.Errorf("coded: explicit Part with Partitioning=sample")
+		}
+		if c.Splitters != nil {
+			sp, err := partition.NewSplitters(c.Splitters)
+			if err != nil {
+				return c, fmt.Errorf("coded: preset splitters: %w", err)
+			}
+			c.Part = sp
+		}
+		// With no preset splitters Part stays nil here; the sampling stage
+		// resolves it at run time.
+	} else {
+		if c.Splitters != nil {
+			return c, fmt.Errorf("coded: Splitters without Partitioning=sample")
+		}
+		if c.Part == nil {
+			c.Part = partition.NewUniform(c.K)
+		}
+	}
+	if c.Part != nil && c.Part.NumPartitions() != c.K {
 		return c, fmt.Errorf("coded: partitioner has %d partitions for K=%d", c.Part.NumPartitions(), c.K)
 	}
 	if c.Input != nil {
@@ -261,6 +307,14 @@ type Result struct {
 	// node multicast and received (zero when ChunkRows is unset).
 	ChunksSent     int64
 	ChunksReceived int64
+	// SplitterBounds are the boundary keys this worker partitioned with
+	// under sampled partitioning (agreed in the sampling round or preset
+	// via Config.Splitters); nil under uniform partitioning.
+	SplitterBounds [][]byte
+	// SampleRoundBytes counts the sampling-round payload this worker
+	// pushed: sample keys gathered plus, on the selecting rank, the
+	// broadcast bounds. Zero when no round ran.
+	SampleRoundBytes int64
 }
 
 // Run executes the CodedTeraSort worker for ep.Rank() and blocks until this
@@ -278,12 +332,16 @@ func Run(ep transport.Endpoint, cfg Config, tl *stats.Timeline) (Result, error) 
 	if tl == nil {
 		tl = stats.NewTimeline(stats.NewWallClock())
 	}
-	w := &worker{cfg: cfg, rank: ep.Rank(), store: codec.IVMap{}}
+	w := &worker{cfg: cfg, rank: ep.Rank(), part: cfg.Part, store: codec.IVMap{}}
 	hooks := engine.TimelineHooks(tl).Then(cfg.Hooks)
 	ctx, err := engine.Run(ep, w.graph(), cfg.policies(), tl.Clock(), hooks)
 	if err != nil {
 		return Result{}, err
 	}
+	if sp, ok := w.part.(partition.Splitters); ok {
+		w.result.SplitterBounds = sp.Bounds()
+	}
+	w.result.SampleRoundBytes = ctx.Counters.SampleBytes
 	w.result.MulticastBytes = ctx.Counters.SentBytes
 	w.result.MulticastOps = ctx.Counters.SentOps
 	w.result.ChunksSent = ctx.Counters.ChunksSent
@@ -295,6 +353,7 @@ func Run(ep transport.Endpoint, cfg Config, tl *stats.Timeline) (Result, error) 
 type worker struct {
 	cfg  Config
 	rank int
+	part partition.Partitioner // resolved by config or the sampling stage
 
 	strat    placement.Strategy
 	plan     placement.Plan
@@ -325,10 +384,21 @@ func (w *worker) graph() *engine.Graph {
 	})
 	g.Add(engine.Stage{Kind: engine.KindCodeGen, Modes: engine.AllModes,
 		Provides: []string{"plan", "groups"}, Run: w.codeGenStage})
+	mapNeeds := []string{"plan"}
+	if w.part == nil {
+		// Sampled partitioning without preset splitters: the splitter
+		// agreement rides the graph between CodeGen (it needs the
+		// placement plan to dedupe replicated files) and Map. It shares
+		// the CodeGen timeline column; CodeGen stays the stage fault
+		// injection charges for that column.
+		g.Add(engine.Stage{Kind: engine.KindSample, Modes: engine.AllModes,
+			Needs: []string{"plan"}, Provides: []string{"part"}, Run: w.sampleStage})
+		mapNeeds = append(mapNeeds, "part")
+	}
 	g.Add(engine.Stage{Kind: engine.KindMap, Modes: engine.InMemory,
-		Needs: []string{"plan"}, Provides: []string{"store"}, Run: w.mapStage})
+		Needs: mapNeeds, Provides: []string{"store"}, Run: w.mapStage})
 	g.Add(engine.Stage{Kind: engine.KindMap, Modes: engine.In(engine.ModeSpill),
-		Needs: []string{"plan"}, Provides: []string{"store", "sorter"}, Run: w.mapSpillStage})
+		Needs: mapNeeds, Provides: []string{"store", "sorter"}, Run: w.mapSpillStage})
 	g.Add(engine.Stage{Kind: engine.KindPack, Modes: engine.In(engine.ModeMono),
 		Needs: []string{"groups", "store"}, Provides: []string{"packets"}, Run: w.encodeStage})
 	g.Add(engine.Stage{Kind: engine.KindShuffle, Modes: engine.In(engine.ModeMono),
@@ -399,8 +469,86 @@ func (w *worker) mapStage(ctx *engine.Context) error {
 		inner := source
 		source = func(i int) kv.Records { return w.mapRecords(inner(i)) }
 	}
-	w.store = mapRelevant(w.plan, w.cfg.Part, w.rank, source, ctx.Procs)
+	w.store = mapRelevant(w.plan, w.part, w.rank, source, ctx.Procs)
 	return nil
+}
+
+// sampleStage is the splitter-agreement round of sampled partitioning:
+// draw this rank's share of the global stride sample, pool it at rank 0,
+// and install the broadcast splitters as the run's partitioner.
+func (w *worker) sampleStage(ctx *engine.Context) error {
+	keys, err := w.sampleKeys()
+	if err != nil {
+		return err
+	}
+	bounds, err := ctx.SampleSplitters(
+		transport.MakeTag(tagSample, 0, 0), transport.MakeTag(tagSampleBounds, 0, 0), keys)
+	if err != nil {
+		return err
+	}
+	sp, err := partition.NewSplitters(bounds)
+	if err != nil {
+		return fmt.Errorf("coded: sampled splitters: %w", err)
+	}
+	if sp.NumPartitions() != w.cfg.K {
+		return fmt.Errorf("coded: sampling agreed on %d partitions for K=%d", sp.NumPartitions(), w.cfg.K)
+	}
+	w.part = sp
+	return nil
+}
+
+// sampleKeys draws this rank's share of the deterministic global stride
+// sample. Every file is replicated on R nodes, so only its minimum-rank
+// holder contributes the file's sampled rows; the deduped shares then tile
+// the row space exactly once, making the pooled sample — and hence the
+// splitters — a pure function of the input and the sample size, identical
+// to what an uncoded run of the same input agrees on. Map-stage hooks
+// apply before key extraction so the splitters balance the records the
+// shuffle will actually carry.
+func (w *worker) sampleKeys() ([]byte, error) {
+	// File-order global offsets: generated files tile [0, Rows) via the
+	// plan; supplied input files tile by cumulative length.
+	offsets := make([]int64, w.plan.NumFiles()+1)
+	for i := 0; i < w.plan.NumFiles(); i++ {
+		if w.cfg.Input != nil {
+			offsets[i+1] = offsets[i] + int64(w.cfg.Input[i].Len())
+		} else {
+			offsets[i+1] = offsets[i] + w.plan.FileRowCount(i)
+		}
+	}
+	total := offsets[w.plan.NumFiles()]
+	stride := partition.SampleStride(total, w.cfg.SampleSize)
+	gen := kv.NewGenerator(w.cfg.Seed, w.cfg.Dist)
+	rec := make([]byte, kv.RecordSize)
+	sampled := kv.MakeRecords(0)
+	for _, fi := range w.plan.FilesOn(w.rank) {
+		if minMember(w.plan.Files[fi], w.plan.K) != w.rank {
+			continue
+		}
+		first, last := offsets[fi], offsets[fi+1]
+		for g := partition.FirstSampleRow(first, stride); g < last; g += stride {
+			if w.cfg.Input != nil {
+				sampled = sampled.Append(w.cfg.Input[fi].Record(int(g - first)))
+			} else {
+				// Generated files tile [0, Rows) in file order, so the
+				// plan row of a sampled offset is the offset itself.
+				gen.Record(rec, g)
+				sampled = sampled.Append(rec)
+			}
+		}
+	}
+	return w.mapRecords(sampled).Keys(), nil
+}
+
+// minMember returns the smallest rank in the set (sets are never empty in
+// a placement plan).
+func minMember(s combin.Set, k int) int {
+	for q := 0; q < k; q++ {
+		if s.Contains(q) {
+			return q
+		}
+	}
+	return -1
 }
 
 // mapRecords applies the Map-stage record hooks in order: Filter selects,
@@ -447,7 +595,7 @@ func (w *worker) mapSpillStage(ctx *engine.Context) error {
 	for _, fi := range w.plan.FilesOn(w.rank) {
 		fileSet := w.plan.Files[fi]
 		if err := scan(fi, func(block kv.Records) error {
-			parts := partition.SplitParallel(w.cfg.Part, w.mapRecords(block), ctx.Procs)
+			parts := partition.SplitParallel(w.part, w.mapRecords(block), ctx.Procs)
 			for q := 0; q < w.plan.K; q++ {
 				switch {
 				case q == w.rank:

@@ -59,6 +59,11 @@ const (
 	KindSort
 	// KindReduce produces the node's sorted output partition.
 	KindReduce
+	// KindSample is the pre-Map splitter-agreement round of sampled
+	// partitioning: gather per-rank key samples, select splitters, and
+	// broadcast the agreed bounds. Charged to the CodeGen column (the other
+	// pre-Map coordination stage) so the stats wire format is unchanged.
+	KindSample
 )
 
 // String names the kind.
@@ -80,6 +85,8 @@ func (k Kind) String() string {
 		return "Sort"
 	case KindReduce:
 		return "Reduce"
+	case KindSample:
+		return "Sample"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -89,7 +96,7 @@ func (k Kind) String() string {
 // is timed at all (KindPlace is not).
 func (k Kind) Stats() (stats.Stage, bool) {
 	switch k {
-	case KindCodeGen:
+	case KindCodeGen, KindSample:
 		return stats.StageCodeGen, true
 	case KindMap:
 		return stats.StageMap, true

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"codedterasort/internal/extsort"
+	"codedterasort/internal/partition"
 )
 
 // Mode is the execution mode the scheduler derives from the Policies: how
@@ -95,6 +96,21 @@ type Policies struct {
 	// deterministic failure model behind the cluster runtime's straggler
 	// detection and recovery. Empty injects nothing.
 	Faults Faults
+	// Partitioning selects the reducer-partitioning policy: "" or
+	// "uniform" keeps the paper's uniform key-domain split; "sample" runs
+	// the pre-Map sampling round that agrees on splitters from a pooled
+	// key sample (see partition.Policy).
+	Partitioning string
+	// SampleSize is the pooled sample-size target of the "sample" policy;
+	// 0 selects partition.DefaultSampleSize. Setting it under any other
+	// policy is an error (the knob would silently do nothing).
+	SampleSize int
+}
+
+// Sampled reports whether the partitioning policy is "sample". Callers
+// must have validated the policy via Normalize first.
+func (p Policies) Sampled() bool {
+	return partition.Policy(p.Partitioning) == partition.PolicySample
 }
 
 // Mode derives the execution mode: MemBudget forces out-of-core, ChunkRows
@@ -130,6 +146,16 @@ func (p Policies) Normalize(name string, streams int) (Policies, error) {
 	}
 	if err := p.Faults.Validate(name, streams); err != nil {
 		return p, err
+	}
+	pol, err := partition.ParsePolicy(p.Partitioning)
+	if err != nil {
+		return p, fmt.Errorf("%s: %w", name, err)
+	}
+	if p.SampleSize < 0 {
+		return p, fmt.Errorf("%s: negative SampleSize", name)
+	}
+	if p.SampleSize > 0 && pol != partition.PolicySample {
+		return p, fmt.Errorf("%s: SampleSize set without Partitioning=sample", name)
 	}
 	if p.MemBudget > 0 {
 		if p.ChunkRows == 0 {

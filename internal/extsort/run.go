@@ -434,6 +434,38 @@ func PartFile(dir string, i int) string {
 	return filepath.Join(dir, fmt.Sprintf("part-%05d", i))
 }
 
+// SampleFile reads every stride-th record of a raw record file (the
+// teragen on-disk format) by position, returning the sampled records in
+// file order — the cheap positional scan behind sampled partitioning. A
+// file length that is not a whole number of records is an error.
+func SampleFile(path string, stride int64) (kv.Records, error) {
+	if stride <= 0 {
+		return kv.Records{}, fmt.Errorf("extsort: SampleFile stride=%d", stride)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return kv.Records{}, fmt.Errorf("extsort: open input: %w", err)
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return kv.Records{}, fmt.Errorf("extsort: stat input: %w", err)
+	}
+	if st.Size()%int64(kv.RecordSize) != 0 {
+		return kv.Records{}, fmt.Errorf("extsort: input %s ends mid-record (%d trailing bytes)", path, st.Size()%int64(kv.RecordSize))
+	}
+	rows := st.Size() / int64(kv.RecordSize)
+	sampled := kv.MakeRecords(0)
+	buf := make([]byte, kv.RecordSize)
+	for p := int64(0); p < rows; p += stride {
+		if _, err := f.ReadAt(buf, p*int64(kv.RecordSize)); err != nil {
+			return kv.Records{}, fmt.Errorf("extsort: sample input %s: %w", path, err)
+		}
+		sampled = sampled.Append(buf)
+	}
+	return sampled, nil
+}
+
 // ScanFile reads a raw record file (the teragen on-disk format: bare
 // back-to-back records, no framing) block by block, calling fn with at most
 // blockRows records at a time. The buffer passed to fn is reused; fn must

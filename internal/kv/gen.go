@@ -3,6 +3,7 @@ package kv
 import (
 	"encoding/binary"
 	"fmt"
+	"math"
 
 	"codedterasort/internal/parallel"
 )
@@ -22,6 +23,10 @@ import (
 //   - DistSkewed: the first key byte is drawn from a geometric-ish
 //     distribution, concentrating mass on low byte values. Used by the
 //     extension experiments to stress the sampling partitioner.
+//   - DistZipf, DistSorted, DistNearSorted, DistDupHeavy, DistVarPrefix:
+//     the skewed-workload family (see the Distribution constants) built to
+//     break uniform range partitioning in distinct ways — heavy-head
+//     ranks, presorted rows, tiny key domains, nested hot prefixes.
 type Generator struct {
 	seed uint64
 	dist Distribution
@@ -35,19 +40,89 @@ const (
 	DistUniform Distribution = iota
 	// DistSkewed concentrates keys at the low end of the key space.
 	DistSkewed
+	// DistZipf draws a Zipf(1.1)-distributed rank into the first four key
+	// bytes (heavy head: half the records share the lowest ~2^10 ranks),
+	// with uniform tail bytes so sampled splitters can still cut inside a
+	// hot prefix. The uniform range partitioner collapses under it.
+	DistZipf
+	// DistSorted embeds the row number in the first eight key bytes, so the
+	// input arrives globally sorted — every key lands in the uniform
+	// partitioner's first range at realistic row counts.
+	DistSorted
+	// DistNearSorted is DistSorted with a bounded deterministic jitter of
+	// +/-512 rows, modeling an almost-sorted input (e.g. a re-sort after
+	// small updates).
+	DistNearSorted
+	// DistDupHeavy draws every key from a domain of only 64 distinct whole
+	// keys, stressing splitter dedup: far fewer distinct sample keys than
+	// partitions at realistic K.
+	DistDupHeavy
+	// DistVarPrefix prepends 0-6 bytes of a constant prefix before uniform
+	// bytes, nesting hot shared-prefix ranges of different depths.
+	DistVarPrefix
 )
 
-// String returns the distribution name.
+// Zipf-shape constants of DistZipf: rank = u^(-1/(zipfTheta-1)) is the
+// inverse-CDF of a Pareto tail with P(rank > x) = x^(1-theta), the
+// continuous stand-in for Zipf with exponent theta = 1.1.
+const (
+	zipfTheta = 1.1
+	// nearSortedJitter bounds the displacement of DistNearSorted rows.
+	nearSortedJitter = 512
+	// dupHeavyDomain is the number of distinct keys DistDupHeavy emits.
+	dupHeavyDomain = 64
+	// varPrefixMaxLen and varPrefixByte shape DistVarPrefix keys.
+	varPrefixMaxLen = 6
+	varPrefixByte   = 0x42
+)
+
+// String returns the distribution name, accepted back by ParseDistribution.
 func (d Distribution) String() string {
 	switch d {
 	case DistUniform:
 		return "uniform"
 	case DistSkewed:
 		return "skewed"
+	case DistZipf:
+		return "zipf"
+	case DistSorted:
+		return "sorted"
+	case DistNearSorted:
+		return "nearsorted"
+	case DistDupHeavy:
+		return "dupheavy"
+	case DistVarPrefix:
+		return "varprefix"
 	default:
 		return fmt.Sprintf("Distribution(%d)", int(d))
 	}
 }
+
+// ParseDistribution parses a distribution name as printed by String; ""
+// selects DistUniform.
+func ParseDistribution(name string) (Distribution, error) {
+	switch name {
+	case "", "uniform":
+		return DistUniform, nil
+	case "skewed":
+		return DistSkewed, nil
+	case "zipf":
+		return DistZipf, nil
+	case "sorted":
+		return DistSorted, nil
+	case "nearsorted":
+		return DistNearSorted, nil
+	case "dupheavy":
+		return DistDupHeavy, nil
+	case "varprefix":
+		return DistVarPrefix, nil
+	}
+	return 0, fmt.Errorf("kv: unknown distribution %q (want uniform, skewed, zipf, sorted, nearsorted, dupheavy, or varprefix)", name)
+}
+
+// SkewedDistributions lists the distributions built to break the uniform
+// partitioner, in the order the skew experiments report them.
+var SkewedDistributions = []Distribution{DistZipf, DistSorted, DistNearSorted, DistDupHeavy, DistVarPrefix}
 
 // NewGenerator returns a generator for the given seed and key distribution.
 func NewGenerator(seed uint64, dist Distribution) *Generator {
@@ -66,11 +141,44 @@ func (g *Generator) Record(dst []byte, row int64) {
 	binary.BigEndian.PutUint64(keyMat[0:8], mix64(s+1))
 	binary.BigEndian.PutUint64(keyMat[8:16], mix64(s+2))
 	copy(dst[:KeySize], keyMat[:KeySize])
-	if g.dist == DistSkewed {
+	switch g.dist {
+	case DistSkewed:
 		// Skew: fold the first byte towards zero. b -> b*b/255 keeps the
 		// full range but quadratically favors small values.
 		b := int(dst[0])
 		dst[0] = byte(b * b / 255)
+	case DistZipf:
+		// Inverse-CDF draw of the rank. u is uniform in (0, 1); the offset
+		// keeps it away from 0 so Pow stays finite. math.Pow is only
+		// required to be deterministic within one binary, which is all the
+		// splitter agreement needs (every rank runs the same build).
+		u := (float64(mix64(s+4)>>11) + 0.5) / (1 << 53)
+		rank := math.Pow(u, -1/(zipfTheta-1))
+		r32 := uint32(math.MaxUint32)
+		if rank < float64(math.MaxUint32) {
+			r32 = uint32(rank)
+		}
+		binary.BigEndian.PutUint32(dst[0:4], r32)
+	case DistSorted:
+		binary.BigEndian.PutUint64(dst[0:8], uint64(row))
+	case DistNearSorted:
+		jitter := int64(mix64(s+4)%(2*nearSortedJitter+1)) - nearSortedJitter
+		v := row + jitter
+		if v < 0 {
+			v = 0
+		}
+		binary.BigEndian.PutUint64(dst[0:8], uint64(v))
+	case DistDupHeavy:
+		// The whole key is a function of the duplicate id, so the input
+		// holds exactly dupHeavyDomain distinct keys.
+		h := mix64(mix64(s+4)%dupHeavyDomain + 0xd1b54a32d192ed03)
+		binary.BigEndian.PutUint64(dst[0:8], h)
+		binary.BigEndian.PutUint16(dst[8:10], uint16(h>>48))
+	case DistVarPrefix:
+		d := int(mix64(s+4) % (varPrefixMaxLen + 1))
+		for i := 0; i < d; i++ {
+			dst[i] = varPrefixByte
+		}
 	}
 	// Value: row id in the first 8 bytes (mirrors TeraGen embedding the row
 	// number) then deterministic printable filler.

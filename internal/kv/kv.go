@@ -69,6 +69,16 @@ func (r Records) Value(i int) []byte {
 	return r.buf[i*RecordSize+KeySize : (i+1)*RecordSize]
 }
 
+// Keys returns a fresh flat buffer of every record's key, concatenated in
+// record order (Len() x KeySize bytes) — the sampling round's wire shape.
+func (r Records) Keys() []byte {
+	out := make([]byte, 0, r.Len()*KeySize)
+	for i := 0; i < r.Len(); i++ {
+		out = append(out, r.Key(i)...)
+	}
+	return out
+}
+
 // KeyPrefix64 returns the first 8 key bytes of record i as a big-endian
 // uint64. Because keys compare lexicographically and are uniform in the
 // TeraGen distribution, this prefix is what range partitioners bucket on.

@@ -118,7 +118,17 @@ type Job struct {
 	// framework's hash partitioner, which spreads arbitrary (e.g. text)
 	// keys evenly; kernels whose keys are uniform in the key space (Grep)
 	// may install partition.NewUniform for range-partitioned output.
+	// Mutually exclusive with Partitioning "sample".
 	Part partition.Partitioner
+	// Partitioning selects the partitioning policy ("" or "uniform" keeps
+	// Part / the hash default; "sample" runs the engines' sampling round
+	// over the mapped intermediate keys — the Mapper's emissions, not the
+	// raw input — and partitions by the agreed splitters, range-ordering
+	// the reducers by intermediate key).
+	Partitioning string
+	// SampleSize is the sampling round's global target sample size under
+	// Partitioning "sample" (0 = partition.DefaultSampleSize).
+	SampleSize int
 	// Strategy selects the application-layer multicast algorithm of the
 	// coded shuffle.
 	Strategy transport.BcastStrategy
@@ -168,10 +178,20 @@ func (j Job) normalize() (Job, error) {
 	if j.Rows < 0 {
 		return j, fmt.Errorf("mapreduce: negative row count")
 	}
-	if j.Part == nil {
+	pol, err := partition.ParsePolicy(j.Partitioning)
+	if err != nil {
+		return j, fmt.Errorf("mapreduce: %w", err)
+	}
+	if pol == partition.PolicySample {
+		// The engines' sampling round resolves the partitioner; a preset
+		// one would contradict it.
+		if j.Part != nil {
+			return j, fmt.Errorf("mapreduce: explicit Part with Partitioning=sample")
+		}
+	} else if j.Part == nil {
 		j.Part = NewHashPartitioner(j.K)
 	}
-	if j.Part.NumPartitions() != j.K {
+	if j.Part != nil && j.Part.NumPartitions() != j.K {
 		return j, fmt.Errorf("mapreduce: partitioner has %d partitions for K=%d", j.Part.NumPartitions(), j.K)
 	}
 	return j, nil
@@ -258,6 +278,7 @@ func Run(ep transport.Endpoint, job Job, tl *stats.Timeline) (Result, error) {
 		res, err := coded.Run(ep, coded.Config{
 			K: job.K, R: job.R, Rows: job.Rows, Seed: job.Seed, Dist: job.Dist,
 			Part: job.Part, Strategy: job.Strategy, Input: input,
+			Partitioning: job.Partitioning, SampleSize: job.SampleSize,
 			Parallel: job.Parallel, Transform: job.transform(),
 			ChunkRows: job.ChunkRows, Window: job.Window,
 			MemBudget: job.MemBudget, SpillDir: job.SpillDir,
@@ -280,6 +301,7 @@ func Run(ep transport.Endpoint, job Job, tl *stats.Timeline) (Result, error) {
 	res, err := terasort.Run(ep, terasort.Config{
 		K: job.K, Rows: job.Rows, Seed: job.Seed, Dist: job.Dist,
 		Part: job.Part, Input: input,
+		Partitioning: job.Partitioning, SampleSize: job.SampleSize,
 		Parallel: job.Parallel, Transform: job.transform(),
 		ChunkRows: job.ChunkRows, Window: job.Window,
 		MemBudget: job.MemBudget, SpillDir: job.SpillDir,

@@ -1,0 +1,93 @@
+package mapreduce_test
+
+import (
+	"strings"
+	"testing"
+
+	"codedterasort/internal/kv"
+	"codedterasort/internal/mapreduce"
+	"codedterasort/internal/partition"
+)
+
+// TestSampledJobMatchesSequential: a kernel job under Partitioning
+// "sample" — splitters agreed over the mapped intermediate keys, not the
+// raw input — reduces to output byte-identical to the sequential oracle
+// on both engines.
+func TestSampledJobMatchesSequential(t *testing.T) {
+	kern, ok := mapreduce.Lookup("wordcount")
+	if !ok {
+		t.Fatal("wordcount kernel not registered")
+	}
+	for _, r := range []int{1, 2} {
+		job := kern.Job(3, r, 2000, 21)
+		job.Partitioning = "sample"
+		want, err := mapreduce.Sequential(job)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := mapreduce.RunLocal(job, mapreduce.LocalOptions{})
+		if err != nil {
+			t.Fatalf("R=%d: %v", r, err)
+		}
+		for rank := 0; rank < job.K; rank++ {
+			if !rep.Output(rank).Equal(want[rank]) {
+				t.Fatalf("R=%d rank %d output differs from sequential oracle (%d rows vs %d)",
+					r, rank, rep.Output(rank).Len(), want[rank].Len())
+			}
+		}
+	}
+}
+
+func TestSampledJobRejectsExplicitPart(t *testing.T) {
+	kern, ok := mapreduce.Lookup("wordcount")
+	if !ok {
+		t.Fatal("wordcount kernel not registered")
+	}
+	job := kern.Job(3, 1, 500, 5)
+	job.Partitioning = "sample"
+	job.Part = partition.NewUniform(3)
+	if _, err := mapreduce.RunLocal(job, mapreduce.LocalOptions{}); err == nil ||
+		!strings.Contains(err.Error(), "explicit Part") {
+		t.Fatalf("explicit Part with sampling accepted: %v", err)
+	}
+	if _, err := mapreduce.Sequential(job); err == nil {
+		t.Fatal("Sequential accepted explicit Part with sampling")
+	}
+}
+
+// TestSampledSortRangeOrders: under sampled partitioning the identity
+// sort job range-orders the reducers — every record of rank i sorts below
+// every record of rank i+1 — which hash partitioning cannot promise.
+func TestSampledSortRangeOrders(t *testing.T) {
+	job := mapreduce.Job{
+		Mapper: mapreduce.MapperFunc(func(rec []byte, emit mapreduce.Emit) {
+			emit(rec[:kv.KeySize], rec[kv.KeySize:])
+		}),
+		K: 4, Rows: 3000, Seed: 33, Dist: kv.DistZipf,
+		Partitioning: "sample",
+	}
+	rep, err := mapreduce.RunLocal(job, mapreduce.LocalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev []byte
+	total := int64(0)
+	for rank := 0; rank < job.K; rank++ {
+		out := rep.Output(rank)
+		total += int64(out.Len())
+		if !out.IsSorted() {
+			t.Fatalf("rank %d output not sorted", rank)
+		}
+		for i := 0; i < out.Len(); i++ {
+			if prev != nil && string(out.Key(i)) < string(prev) {
+				t.Fatalf("rank %d key below the previous rank's keys", rank)
+			}
+		}
+		if out.Len() > 0 {
+			prev = append(prev[:0], out.Key(out.Len()-1)...)
+		}
+	}
+	if total != job.Rows {
+		t.Fatalf("%d output rows, want %d", total, job.Rows)
+	}
+}

@@ -22,6 +22,27 @@ func Sequential(job Job) ([]kv.Records, error) {
 		input = kv.NewGenerator(job.Seed, job.Dist).Generate(0, job.Rows)
 	}
 	mapped := kv.TransformRecords(input, job.transform())
+	if job.Part == nil && partition.Policy(job.Partitioning) == partition.PolicySample {
+		// The sampling round, sequentially: the same global stride sample
+		// of input rows the engines draw, mapped through the Mapper, keys
+		// pooled and quantiled — so the engines' agreed splitters are
+		// reproduced exactly.
+		stride := partition.SampleStride(int64(input.Len()), job.SampleSize)
+		sampled := kv.MakeRecords(0)
+		for row := int64(0); row < int64(input.Len()); row += stride {
+			sampled = sampled.Append(input.Record(int(row)))
+		}
+		bounds, err := partition.SelectSplitters(
+			kv.TransformRecords(sampled, job.transform()).Keys(), job.K)
+		if err != nil {
+			return nil, err
+		}
+		sp, err := partition.NewSplitters(bounds)
+		if err != nil {
+			return nil, err
+		}
+		job.Part = sp
+	}
 	parts := partition.SplitParallel(job.Part, mapped, 1)
 	outs := make([]kv.Records, job.K)
 	for rank, part := range parts {

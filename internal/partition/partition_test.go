@@ -2,6 +2,7 @@ package partition
 
 import (
 	"bytes"
+	"reflect"
 	"testing"
 	"testing/quick"
 
@@ -193,13 +194,17 @@ func TestFromSampleBalancesSkewedInput(t *testing.T) {
 }
 
 func TestFromSampleErrors(t *testing.T) {
-	if _, err := FromSample(kv.MakeRecords(0), 4); err == nil {
-		t.Fatalf("tiny sample accepted")
+	s, err := FromSample(kv.MakeRecords(0), 4)
+	if err != nil {
+		t.Fatalf("empty sample must fall back to uniform bounds: %v", err)
+	}
+	if got, want := s.Bounds(), UniformBounds(4); !reflect.DeepEqual(got, want) {
+		t.Fatalf("empty-sample bounds %x, want uniform %x", got, want)
 	}
 	if _, err := FromSample(kv.NewGenerator(1, kv.DistUniform).Generate(0, 10), 0); err == nil {
 		t.Fatalf("k=0 accepted")
 	}
-	s, err := FromSample(kv.NewGenerator(1, kv.DistUniform).Generate(0, 10), 1)
+	s, err = FromSample(kv.NewGenerator(1, kv.DistUniform).Generate(0, 10), 1)
 	if err != nil || s.NumPartitions() != 1 {
 		t.Fatalf("k=1 should give the trivial partitioner, got %v, %v", s.NumPartitions(), err)
 	}

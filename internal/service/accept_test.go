@@ -14,11 +14,12 @@ import (
 )
 
 // TestConcurrentMultiTenantJobs is the serving layer's acceptance bar:
-// six jobs from two tenants submitted concurrently — coded and uncoded,
+// seven jobs from two tenants submitted concurrently — coded and uncoded,
 // two out-of-core jobs spilling under one shared root, one job with an
-// injected mid-Map kill — must all complete with output byte-identical
-// to their sequential oracle runs, with no spill-path collisions, and
-// /metrics must report the per-tenant job counts and stage timings.
+// injected mid-Map kill, one sampled-partitioning job on a zipf input —
+// must all complete with output byte-identical to their sequential oracle
+// runs, with no spill-path collisions, and /metrics must report the
+// per-tenant job counts and stage timings.
 func TestConcurrentMultiTenantJobs(t *testing.T) {
 	specs := []struct {
 		tenant string
@@ -34,6 +35,8 @@ func TestConcurrentMultiTenantJobs(t *testing.T) {
 			Faults:      []cluster.FaultSpec{{Rank: 1, Stage: "Map", Kind: "kill"}},
 			MaxAttempts: 2, StageDeadline: 100 * time.Millisecond}},
 		{"beta", cluster.Spec{Algorithm: cluster.AlgCoded, K: 3, R: 2, Rows: 4000, Seed: 16}},
+		{"acme", cluster.Spec{Algorithm: cluster.AlgTeraSort, K: 3, Rows: 4000, Seed: 17,
+			DistName: "zipf", Partitioning: "sample"}},
 	}
 
 	// Sequential oracles: the same specs through the one-shot coordinator.
@@ -127,9 +130,9 @@ func TestConcurrentMultiTenantJobs(t *testing.T) {
 	// timings.
 	m := s.MetricsText()
 	for _, want := range []string{
-		`sortd_tenant_jobs_finished_total{tenant="acme",outcome="done"} 3`,
+		`sortd_tenant_jobs_finished_total{tenant="acme",outcome="done"} 4`,
 		`sortd_tenant_jobs_finished_total{tenant="beta",outcome="done"} 3`,
-		`sortd_tenant_jobs_admitted_total{tenant="acme"} 3`,
+		`sortd_tenant_jobs_admitted_total{tenant="acme"} 4`,
 		`sortd_tenant_jobs_admitted_total{tenant="beta"} 3`,
 		`sortd_tenant_jobs_recovered_total{tenant="acme"} 1`,
 		`sortd_stage_seconds_total{stage="Map"}`,
@@ -145,7 +148,7 @@ func TestConcurrentMultiTenantJobs(t *testing.T) {
 	}
 
 	// The recovered fault is visible in the tenant counters directly.
-	if c := s.tenants.Get("acme").Counters(); c.Recovered != 1 || c.Completed != 3 {
+	if c := s.tenants.Get("acme").Counters(); c.Recovered != 1 || c.Completed != 4 {
 		t.Fatalf("acme counters %+v", c)
 	}
 }

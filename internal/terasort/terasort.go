@@ -34,6 +34,10 @@ const (
 	tagToken    uint8 = 0x11
 	tagChunk    uint8 = 0x12
 	tagChunkAck uint8 = 0x13
+	// Sampling-round tags: key samples gathered to rank 0, agreed splitter
+	// bounds broadcast back.
+	tagSample       uint8 = 0x14
+	tagSampleBounds uint8 = 0x15
 )
 
 // DefaultWindow is the in-flight chunk window used when pipelining is
@@ -57,8 +61,26 @@ type Config struct {
 	Seed uint64
 	// Dist selects the input key distribution.
 	Dist kv.Distribution
-	// Part maps keys to the K reducers. Nil selects uniform partitioning.
+	// Part maps keys to the K reducers. Nil selects the Partitioning
+	// policy's partitioner (uniform by default). Mutually exclusive with
+	// Partitioning "sample".
 	Part partition.Partitioner
+	// Partitioning selects the reducer-partitioning policy: "" or
+	// "uniform" keeps the paper's uniform key-domain split; "sample" runs
+	// the pre-Map sampling round — every rank contributes a deterministic
+	// stride sample of its input keys, rank 0 selects K-1 splitters from
+	// the pooled sample, and the bounds are broadcast so all ranks
+	// partition identically (the practical TeraSort approach for skewed
+	// keys).
+	Partitioning string
+	// SampleSize is the pooled sample-size target of the sampling round;
+	// 0 selects partition.DefaultSampleSize.
+	SampleSize int
+	// Splitters, with Partitioning "sample", installs these K-1 agreed
+	// boundary keys directly and skips the sampling round — the path the
+	// TCP coordinator uses after serializing precomputed splitters into
+	// the job spec. Nil runs the round in the stage graph.
+	Splitters [][]byte
 	// Input, when non-nil, supplies the K input files directly instead of
 	// generating them: file k is sorted from Input[k]. All workers must
 	// hold the same slice (in-process engines only). Rows and Seed are
@@ -147,7 +169,8 @@ func (c Config) policies() engine.Policies {
 		ChunkRows: c.ChunkRows, Window: c.Window, DefaultWindow: DefaultWindow,
 		MemBudget: c.MemBudget, SpillDir: c.SpillDir,
 		Parallelism: c.Parallelism, Parallel: c.Parallel,
-		Faults: c.Faults,
+		Faults:       c.Faults,
+		Partitioning: c.Partitioning, SampleSize: c.SampleSize,
 	}
 }
 
@@ -166,10 +189,32 @@ func (c Config) normalize() (Config, error) {
 	if c.Rows < 0 {
 		return c, fmt.Errorf("terasort: negative row count")
 	}
-	if c.Part == nil {
-		c.Part = partition.NewUniform(c.K)
+	ppol, err := partition.ParsePolicy(c.Partitioning)
+	if err != nil {
+		return c, fmt.Errorf("terasort: %w", err)
 	}
-	if c.Part.NumPartitions() != c.K {
+	if ppol == partition.PolicySample {
+		if c.Part != nil {
+			return c, fmt.Errorf("terasort: explicit Part with Partitioning=sample")
+		}
+		if c.Splitters != nil {
+			sp, err := partition.NewSplitters(c.Splitters)
+			if err != nil {
+				return c, fmt.Errorf("terasort: preset splitters: %w", err)
+			}
+			c.Part = sp
+		}
+		// With no preset splitters Part stays nil here; the sampling stage
+		// resolves it at run time.
+	} else {
+		if c.Splitters != nil {
+			return c, fmt.Errorf("terasort: Splitters without Partitioning=sample")
+		}
+		if c.Part == nil {
+			c.Part = partition.NewUniform(c.K)
+		}
+	}
+	if c.Part != nil && c.Part.NumPartitions() != c.K {
 		return c, fmt.Errorf("terasort: partitioner has %d partitions for K=%d", c.Part.NumPartitions(), c.K)
 	}
 	if c.Input != nil && len(c.Input) != c.K {
@@ -223,6 +268,14 @@ type Result struct {
 	// when ChunkRows is unset).
 	ChunksSent     int64
 	ChunksReceived int64
+	// SplitterBounds are the boundary keys this worker partitioned with
+	// under sampled partitioning (agreed in the sampling round or preset
+	// via Config.Splitters); nil under uniform partitioning.
+	SplitterBounds [][]byte
+	// SampleRoundBytes counts the sampling-round payload this worker
+	// pushed: sample keys gathered plus, on the selecting rank, the
+	// broadcast bounds. Zero when no round ran.
+	SampleRoundBytes int64
 }
 
 // Run executes the TeraSort worker for ep.Rank() and blocks until this
@@ -240,12 +293,16 @@ func Run(ep transport.Endpoint, cfg Config, tl *stats.Timeline) (Result, error) 
 	if tl == nil {
 		tl = stats.NewTimeline(stats.NewWallClock())
 	}
-	w := &worker{cfg: cfg, rank: ep.Rank()}
+	w := &worker{cfg: cfg, rank: ep.Rank(), part: cfg.Part}
 	hooks := engine.TimelineHooks(tl).Then(cfg.Hooks)
 	ctx, err := engine.Run(ep, w.graph(), cfg.policies(), tl.Clock(), hooks)
 	if err != nil {
 		return Result{}, err
 	}
+	if sp, ok := w.part.(partition.Splitters); ok {
+		w.result.SplitterBounds = sp.Bounds()
+	}
+	w.result.SampleRoundBytes = ctx.Counters.SampleBytes
 	w.result.ShuffleBytes = ctx.Counters.SentBytes
 	w.result.ChunksSent = ctx.Counters.ChunksSent
 	w.result.ChunksReceived = ctx.Counters.ChunksReceived()
@@ -256,6 +313,7 @@ func Run(ep transport.Endpoint, cfg Config, tl *stats.Timeline) (Result, error) 
 type worker struct {
 	cfg  Config
 	rank int
+	part partition.Partitioner // resolved by config or the sampling stage
 
 	local    kv.Records   // this node's input file
 	hashed   []kv.Records // K intermediate values from the Map stage
@@ -281,12 +339,23 @@ func (w *worker) graph() *engine.Graph {
 	g := engine.NewGraph("terasort", func(s stats.Stage) transport.Tag {
 		return transport.MakeTag(tagToken, uint16(s), 0xFFFF)
 	})
+	mapNeeds := []string{"local"}
+	var spillNeeds []string
+	if w.part == nil {
+		// Sampled partitioning without preset splitters: the splitter
+		// agreement rides the graph as a timed pre-Map stage, so hooks,
+		// fault injection and recovery cover it like any other stage.
+		g.Add(engine.Stage{Kind: engine.KindSample, Modes: engine.AllModes,
+			Provides: []string{"part"}, Run: w.sampleStage})
+		mapNeeds = append(mapNeeds, "part")
+		spillNeeds = []string{"part"}
+	}
 	g.Add(engine.Stage{Kind: engine.KindPlace, Modes: engine.InMemory,
 		Provides: []string{"local"}, Run: w.loadLocal})
 	g.Add(engine.Stage{Kind: engine.KindMap, Modes: engine.InMemory,
-		Needs: []string{"local"}, Provides: []string{"hashed"}, Run: w.mapStage})
+		Needs: mapNeeds, Provides: []string{"hashed"}, Run: w.mapStage})
 	g.Add(engine.Stage{Kind: engine.KindMap, Modes: engine.In(engine.ModeSpill),
-		Provides: []string{"sorter", "spools"}, Run: w.mapSpillStage})
+		Needs: spillNeeds, Provides: []string{"sorter", "spools"}, Run: w.mapSpillStage})
 	g.Add(engine.Stage{Kind: engine.KindPack, Modes: engine.In(engine.ModeMono),
 		Needs: []string{"hashed"}, Provides: []string{"packed"}, Run: w.packStage})
 	g.Add(engine.Stage{Kind: engine.KindShuffle, Modes: engine.In(engine.ModeMono),
@@ -368,7 +437,7 @@ func (w *worker) mapSpillStage(ctx *engine.Context) error {
 		w.spools[dst] = sp
 	}
 	process := func(block kv.Records) error {
-		parts := partition.SplitParallel(w.cfg.Part, w.mapRecords(block), ctx.Procs)
+		parts := partition.SplitParallel(w.part, w.mapRecords(block), ctx.Procs)
 		for dst := 0; dst < w.cfg.K; dst++ {
 			if dst == w.rank {
 				if err := sorter.Append(parts[dst]); err != nil {
@@ -419,8 +488,91 @@ func (w *worker) mapSpillStage(ctx *engine.Context) error {
 // first. The scatter runs on the worker's Parallelism goroutines via
 // per-shard histograms.
 func (w *worker) mapStage(ctx *engine.Context) error {
-	w.hashed = partition.SplitParallel(w.cfg.Part, w.mapRecords(w.local), ctx.Procs)
+	w.hashed = partition.SplitParallel(w.part, w.mapRecords(w.local), ctx.Procs)
 	return nil
+}
+
+// sampleStage is the splitter-agreement round of sampled partitioning:
+// draw this rank's share of the global stride sample, pool it at rank 0,
+// and install the broadcast splitters as the run's partitioner.
+func (w *worker) sampleStage(ctx *engine.Context) error {
+	keys, err := w.sampleKeys()
+	if err != nil {
+		return err
+	}
+	bounds, err := ctx.SampleSplitters(
+		transport.MakeTag(tagSample, 0, 0), transport.MakeTag(tagSampleBounds, 0, 0), keys)
+	if err != nil {
+		return err
+	}
+	sp, err := partition.NewSplitters(bounds)
+	if err != nil {
+		return fmt.Errorf("terasort: sampled splitters: %w", err)
+	}
+	if sp.NumPartitions() != w.cfg.K {
+		return fmt.Errorf("terasort: sampling agreed on %d partitions for K=%d", sp.NumPartitions(), w.cfg.K)
+	}
+	w.part = sp
+	return nil
+}
+
+// sampleKeys draws this rank's share of the deterministic global stride
+// sample: the key of every stride-th row of the whole input that lives in
+// this rank's file. The per-rank shares tile the row space, so the pooled
+// sample is a pure function of the input and the sample size — independent
+// of engine and placement, which is what makes coded and uncoded runs (and
+// every recovery attempt) agree on the splitters. Map-stage hooks apply
+// before key extraction so the splitters balance the records the shuffle
+// will actually carry.
+func (w *worker) sampleKeys() ([]byte, error) {
+	sampled := kv.MakeRecords(0)
+	switch {
+	case w.cfg.Input != nil:
+		var total, off int64
+		for i, in := range w.cfg.Input {
+			if i < w.rank {
+				off += int64(in.Len())
+			}
+			total += int64(in.Len())
+		}
+		in := w.cfg.Input[w.rank]
+		stride := partition.SampleStride(total, w.cfg.SampleSize)
+		for g := partition.FirstSampleRow(off, stride); g < off+int64(in.Len()); g += stride {
+			sampled = sampled.Append(in.Record(int(g - off)))
+		}
+	case w.cfg.InputFiles != nil:
+		var err error
+		if sampled, err = sampleFile(w.cfg.InputFiles[w.rank], w.cfg.K, w.cfg.SampleSize); err != nil {
+			return nil, err
+		}
+	default:
+		plan, err := placement.Single(w.cfg.K, w.cfg.Rows)
+		if err != nil {
+			return nil, err
+		}
+		first, last := plan.FileRows(w.rank)
+		gen := kv.NewGenerator(w.cfg.Seed, w.cfg.Dist)
+		stride := partition.SampleStride(w.cfg.Rows, w.cfg.SampleSize)
+		rec := make([]byte, kv.RecordSize)
+		for g := partition.FirstSampleRow(first, stride); g < last; g += stride {
+			gen.Record(rec, g)
+			sampled = sampled.Append(rec)
+		}
+	}
+	return w.mapRecords(sampled).Keys(), nil
+}
+
+// sampleFile draws the stride sample of one on-disk input file. Peer file
+// sizes are not visible locally, so each file samples its own positions at
+// the stride of k files of this size — identical to the global stride when
+// the files split the input evenly, and a valid per-file sample otherwise.
+func sampleFile(path string, k, size int) (kv.Records, error) {
+	st, err := os.Stat(path)
+	if err != nil {
+		return kv.Records{}, fmt.Errorf("terasort: sample input file: %w", err)
+	}
+	rows := st.Size() / int64(kv.RecordSize)
+	return extsort.SampleFile(path, partition.SampleStride(rows*int64(k), size))
 }
 
 // mapRecords applies the Map-stage record hooks in order: Filter selects,
